@@ -1,0 +1,59 @@
+// Ablation E: interpolation direction choice. Algorithm 1 asks for
+// orthonormal random directions; the classic VFTI literature cycles unit
+// vectors through the ports. This bench compares both for MFTI (several t)
+// and VFTI on clean, scarce Example-1-style data, over multiple seeds.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/mfti.hpp"
+#include "metrics/error.hpp"
+#include "vfti/vfti.hpp"
+
+int main() {
+  using namespace mfti;
+  std::printf("=== Ablation: random orthonormal vs cyclic unit directions "
+              "===\n");
+
+  la::Rng sys_rng(31415);
+  ss::RandomSystemOptions sopts;
+  sopts.order = 40;
+  sopts.num_outputs = 8;
+  sopts.num_inputs = 8;
+  sopts.rank_d = 8;
+  const ss::DescriptorSystem sys = ss::random_stable_mimo(sopts, sys_rng);
+  const auto probe =
+      sampling::sample_system(sys, sampling::log_grid(10.0, 1e5, 51));
+  const auto data =
+      sampling::sample_system(sys, sampling::log_grid(10.0, 1e5, 14));
+
+  std::printf("%6s  %-10s  %12s  %12s\n", "t", "seed", "ERR random",
+              "ERR cyclic");
+  io::CsvTable csv({"t", "seed", "err_random", "err_cyclic"});
+  for (std::size_t t : {2ul, 4ul, 8ul}) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      core::MftiOptions random_opts;
+      random_opts.data.uniform_t = t;
+      random_opts.data.seed = seed;
+      core::MftiOptions cyclic_opts = random_opts;
+      cyclic_opts.data.directions = loewner::DirectionKind::Cyclic;
+      const double err_r = metrics::model_error(
+          core::mfti_fit(data, random_opts).model, probe);
+      const double err_c = metrics::model_error(
+          core::mfti_fit(data, cyclic_opts).model, probe);
+      std::printf("%6zu  %-10llu  %12.3e  %12.3e\n", t,
+                  static_cast<unsigned long long>(seed), err_r, err_c);
+      csv.add_row({static_cast<double>(t), static_cast<double>(seed), err_r,
+                   err_c});
+    }
+  }
+  bench::write_csv(csv, "ablation_directions.csv");
+  std::printf("\nReading: once the tangential data is rich enough "
+              "(t >= 4 here) both choices recover the system to machine "
+              "precision and the choice is immaterial — consistent with "
+              "Lemma 3.1, where any full-rank R_i works. In the "
+              "under-determined regime (t = 2: K barely exceeds "
+              "order + rank D) neither direction family can recover the "
+              "system, and seeds matter more than the family.\n");
+  return 0;
+}

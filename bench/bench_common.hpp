@@ -1,0 +1,115 @@
+/// \file bench_common.hpp
+/// \brief Shared fixtures for the paper-reproduction benches: the Example-1
+/// ground-truth system (order-150, 30 ports, full-rank D) and the Example-2
+/// synthetic PDN data sets, plus small output helpers.
+
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/csv.hpp"
+#include "loewner/realization.hpp"
+#include "netgen/mna.hpp"
+#include "netgen/pdn.hpp"
+#include "sampling/dataset.hpp"
+#include "sampling/grid.hpp"
+#include "sampling/noise.hpp"
+#include "sampling/sampler.hpp"
+#include "statespace/random_system.hpp"
+
+namespace mfti::bench {
+
+/// Example 1 of the paper: "an order-150 system with 30 ports". The paper
+/// does not publish the system; DESIGN.md §5 documents this substitute.
+/// rank(D) = 30 is required for the Fig. 1 drop positions (150 / 180 / 180).
+inline ss::DescriptorSystem example1_system(std::uint64_t seed = 20100613) {
+  la::Rng rng(seed);
+  ss::RandomSystemOptions opts;
+  opts.order = 150;
+  opts.num_outputs = 30;
+  opts.num_inputs = 30;
+  opts.rank_d = 30;
+  opts.f_min_hz = 10.0;
+  opts.f_max_hz = 1e5;
+  return ss::random_stable_mimo(opts, rng);
+}
+
+/// Example 1 sampling band.
+inline constexpr double kExample1FMin = 10.0;
+inline constexpr double kExample1FMax = 1e5;
+
+/// Example 2 of the paper: measured 14-port PDN data (proprietary),
+/// substituted by the synthetic PDN of netgen (DESIGN.md §5).
+inline netgen::Circuit example2_pdn_circuit(std::uint64_t seed = 20100614) {
+  la::Rng rng(seed);
+  netgen::PdnOptions opts;  // 6x6 grid, 6 decaps, 14 ports
+  return netgen::make_pdn_circuit(opts, rng);
+}
+
+/// LTI (rational) view of the same PDN, for poles/diagnostics.
+inline ss::DescriptorSystem example2_pdn(std::uint64_t seed = 20100614) {
+  return example2_pdn_circuit(seed).build_impedance_system();
+}
+
+/// Example 2 band (board-level PDN).
+inline constexpr double kPdnFMin = 1e6;
+inline constexpr double kPdnFMax = 1e9;
+
+/// Measurement noise injected into the "measured" PDN data: -60 dB relative
+/// per entry, the accuracy class of a calibrated VNA. (The paper's data is
+/// real measurements whose noise level is not stated.)
+inline constexpr double kPdnNoise = 1e-3;
+
+/// Skin-effect onset: conductor losses grow as sqrt(f) above ~10 MHz, so
+/// the sampled response is not exactly rational — like the measured data
+/// the paper's Example 2 uses.
+inline constexpr double kPdnSkinHz = 1e7;
+
+/// Test 1 of Table 1: 100 uniformly distributed samples + noise.
+inline sampling::SampleSet table1_test1_data(const netgen::Circuit& pdn,
+                                             std::uint64_t noise_seed = 7) {
+  auto data = netgen::sample_s_parameters(
+      pdn, sampling::linear_grid(kPdnFMin, kPdnFMax, 100), 50.0, kPdnSkinHz);
+  la::Rng rng(noise_seed);
+  return sampling::add_noise(data, kPdnNoise, rng);
+}
+
+/// Test 2 of Table 1: 100 poorly distributed samples concentrated in the
+/// high-frequency band (only ~2 samples below 200 MHz) + noise.
+inline sampling::SampleSet table1_test2_data(const netgen::Circuit& pdn,
+                                             std::uint64_t noise_seed = 8) {
+  auto data = netgen::sample_s_parameters(
+      pdn, sampling::clustered_high_grid(kPdnFMin, kPdnFMax, 100, 0.4), 50.0,
+      kPdnSkinHz);
+  la::Rng rng(noise_seed);
+  return sampling::add_noise(data, kPdnNoise, rng);
+}
+
+/// Order selection used by all Loewner-based rows of Table 1: truncate at
+/// the -40 dB singular-value floor (10x the injected noise), the knee where
+/// the data stops carrying system information.
+inline loewner::RealizationOptions table1_realization() {
+  loewner::RealizationOptions opts;
+  opts.selection = loewner::OrderSelection::Tolerance;
+  opts.rank_tol = 1e-2;
+  return opts;
+}
+
+/// Write a CSV next to the binary under bench_out/ (best effort: failures
+/// to create the directory only disable the CSV, never the bench).
+inline void write_csv(const io::CsvTable& table, const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  if (ec) return;
+  try {
+    table.write_file("bench_out/" + name);
+    std::printf("[csv] wrote bench_out/%s\n", name.c_str());
+  } catch (const std::exception&) {
+    // Output directory not writable; stdout already has the numbers.
+  }
+}
+
+}  // namespace mfti::bench

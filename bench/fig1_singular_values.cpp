@@ -1,0 +1,77 @@
+// Reproduces Fig. 1 of the paper: singular value patterns of the Loewner
+// matrix LL, the shifted Loewner matrix sLL, and the pencil x*LL - sLL for
+// VFTI (left subplot: 8x8, no visible drop) and MFTI (right subplot:
+// 240x240 with sharp drops at 150 / 180 / 180).
+//
+// Setup: 8 scattering matrices sampled from an order-150 system with 30
+// ports (full-rank D), as in Example 1.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/minimal_sampling.hpp"
+#include "linalg/svd.hpp"
+#include "loewner/realization.hpp"
+#include "loewner/tangential.hpp"
+
+namespace {
+
+using namespace mfti;
+
+void print_series(const char* title, const loewner::PencilSingularValues& sv,
+                  const std::string& csv_name) {
+  std::printf("\n%s  (x0 = %.3e%+.3ej)\n", title, sv.x0.real(), sv.x0.imag());
+  std::printf("%6s  %14s  %14s  %14s\n", "index", "sigma(L)", "sigma(sL)",
+              "sigma(xL-sL)");
+  io::CsvTable csv({"index", "sigma_L", "sigma_sL", "sigma_xL_minus_sL"});
+  for (std::size_t i = 0; i < sv.loewner.size(); ++i) {
+    std::printf("%6zu  %14.6e  %14.6e  %14.6e\n", i + 1, sv.loewner[i],
+                sv.shifted[i], sv.pencil[i]);
+    csv.add_row({static_cast<double>(i + 1), sv.loewner[i], sv.shifted[i],
+                 sv.pencil[i]});
+  }
+  bench::write_csv(csv, csv_name);
+  std::printf(
+      "largest-gap ranks: L -> %zu, sL -> %zu, xL-sL -> %zu (of %zu)\n",
+      la::rank_by_largest_gap(sv.loewner), la::rank_by_largest_gap(sv.shifted),
+      la::rank_by_largest_gap(sv.pencil), sv.loewner.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 1: singular value pattern of VFTI and MFTI ===\n");
+  std::printf(
+      "Example 1: 8 scattering matrices sampled from an order-150 system "
+      "with 30 ports (rank(D) = 30).\n");
+
+  const ss::DescriptorSystem sys = bench::example1_system();
+  const sampling::SampleSet data = sampling::sample_system(
+      sys, sampling::log_grid(bench::kExample1FMin, bench::kExample1FMax, 8));
+
+  // VFTI: vector-format data -> 8x8 Loewner matrices.
+  loewner::TangentialOptions vopts;
+  vopts.uniform_t = 1;
+  vopts.directions = loewner::DirectionKind::Cyclic;
+  const loewner::TangentialData vdata =
+      loewner::build_tangential_data(data, vopts);
+  print_series("VFTI (t_i = 1, K = 8)",
+               loewner::pencil_singular_values(vdata),
+               "fig1_vfti.csv");
+
+  // MFTI: matrix-format data with t_i = 30 -> 240x240 Loewner matrices.
+  const loewner::TangentialData mdata =
+      loewner::build_tangential_data(data, {});
+  print_series("MFTI (t_i = 30, K = 240)",
+               loewner::pencil_singular_values(mdata),
+               "fig1_mfti.csv");
+
+  const auto bounds = core::minimal_samples(150, 30, 30, 30);
+  std::printf(
+      "\nPaper expectation: VFTI shows no detectable drop at 8 samples; "
+      "MFTI drops at order(Gamma)=150 for L and order+rank(D)=180 for sL "
+      "and xL-sL,\nconfirming Theorem 3.5 (k_min bounds: lower=%zu, "
+      "upper=%zu, empirical=%zu).\n",
+      bounds.lower, bounds.upper, bounds.empirical);
+  return 0;
+}

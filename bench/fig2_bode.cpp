@@ -1,0 +1,51 @@
+// Reproduces Fig. 2 of the paper: Bode diagram (input 1 -> output 1) of the
+// original Example-1 system and the models recovered by MFTI and VFTI from
+// the same 8 samples. The MFTI model overlays the original; the VFTI model
+// does not (8 samples are adequate for MFTI but inadequate for VFTI).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/mfti.hpp"
+#include "metrics/error.hpp"
+#include "statespace/response.hpp"
+#include "vfti/vfti.hpp"
+
+int main() {
+  using namespace mfti;
+  std::printf("=== Fig. 2: Bode diagrams of original and recovered systems "
+              "===\n");
+
+  const ss::DescriptorSystem sys = bench::example1_system();
+  const sampling::SampleSet data = sampling::sample_system(
+      sys, sampling::log_grid(bench::kExample1FMin, bench::kExample1FMax, 8));
+
+  const core::MftiResult mfti_fit = core::mfti_fit(data);
+  const vfti::VftiResult vfti_fit = vfti::vfti_fit(data);
+  std::printf("MFTI model order: %zu, VFTI model order: %zu\n",
+              mfti_fit.order, vfti_fit.order);
+
+  const std::vector<double> sweep =
+      sampling::log_grid(bench::kExample1FMin, bench::kExample1FMax, 100);
+  const auto mag_orig = ss::bode_magnitude(sys, sweep, 0, 0);
+  const auto mag_mfti = ss::bode_magnitude(mfti_fit.model, sweep, 0, 0);
+  const auto mag_vfti = ss::bode_magnitude(vfti_fit.model, sweep, 0, 0);
+
+  std::printf("%14s  %14s  %14s  %14s\n", "freq (Hz)", "|H11| original",
+              "|H11| MFTI", "|H11| VFTI");
+  io::CsvTable csv({"freq_hz", "mag_original", "mag_mfti", "mag_vfti"});
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    std::printf("%14.6e  %14.6e  %14.6e  %14.6e\n", sweep[i], mag_orig[i],
+                mag_mfti[i], mag_vfti[i]);
+    csv.add_row({sweep[i], mag_orig[i], mag_mfti[i], mag_vfti[i]});
+  }
+  bench::write_csv(csv, "fig2_bode.csv");
+
+  const sampling::SampleSet dense = sampling::sample_system(sys, sweep);
+  std::printf("\nERR over the dense sweep: MFTI = %.3e, VFTI = %.3e\n",
+              metrics::model_error(mfti_fit.model, dense),
+              metrics::model_error(vfti_fit.model, dense));
+  std::printf("Paper expectation: the MFTI curve overlays the original; the "
+              "VFTI curve deviates visibly.\n");
+  return 0;
+}

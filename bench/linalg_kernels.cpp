@@ -1,0 +1,102 @@
+// Micro-benchmarks of the dense linear-algebra kernels everything else is
+// built on (google-benchmark). Useful to see where the Loewner pipeline's
+// time goes and to catch performance regressions in the substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "linalg/eig.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/random.hpp"
+#include "linalg/svd.hpp"
+
+namespace la = mfti::la;
+
+namespace {
+
+la::Mat random_mat(std::size_t n, std::uint64_t seed) {
+  la::Rng rng(seed);
+  return la::random_matrix(n, n, rng);
+}
+
+la::CMat random_cmat(std::size_t n, std::uint64_t seed) {
+  la::Rng rng(seed);
+  return la::random_complex_matrix(n, n, rng);
+}
+
+void BM_MatMulReal(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::Mat a = random_mat(n, 1);
+  const la::Mat b = random_mat(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MatMulReal)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+void BM_LuSolveComplex(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::CMat a = random_cmat(n, 3);
+  const la::CMat b = random_cmat(n, 4).block(0, 0, n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::solve(a, b));
+  }
+}
+BENCHMARK(BM_LuSolveComplex)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_QrReal(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::Mat a = random_mat(n, 5);
+  for (auto _ : state) {
+    la::QrDecomposition<double> qr(a);
+    benchmark::DoNotOptimize(qr.rcond_estimate());
+  }
+}
+BENCHMARK(BM_QrReal)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SvdJacobiComplex(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::CMat a = random_cmat(n, 6);
+  la::SvdOptions opts;
+  opts.algorithm = la::SvdAlgorithm::Jacobi;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::svd(a, opts));
+  }
+}
+BENCHMARK(BM_SvdJacobiComplex)->Arg(16)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_SvdGolubKahanComplex(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::CMat a = random_cmat(n, 6);
+  la::SvdOptions opts;
+  opts.algorithm = la::SvdAlgorithm::GolubKahan;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::svd(a, opts));
+  }
+}
+BENCHMARK(BM_SvdGolubKahanComplex)->Arg(16)->Arg(32)->Arg(64)->Arg(96)->Arg(192)->Arg(256);
+
+void BM_SingularValuesOnly(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::CMat a = random_cmat(n, 7);
+  la::SvdOptions opts;
+  opts.algorithm = la::SvdAlgorithm::GolubKahan;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::singular_values(a, opts));
+  }
+}
+BENCHMARK(BM_SingularValuesOnly)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_EigenvaluesComplex(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::CMat a = random_cmat(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::eigenvalues(a));
+  }
+}
+BENCHMARK(BM_EigenvaluesComplex)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Fit a model to S-parameters from a Touchstone file — the workflow for
+// real measured data:
+//
+//   1. a 4-port multi-drop interconnect is synthesised and written to
+//      bus.s4p (stand-in for "the file your VNA or EM tool produced"),
+//   2. the file is read back,
+//   3. MFTI fits a descriptor model,
+//   4. the model's response is written out as a Touchstone file again so
+//      any RF tool can overlay fit vs data.
+
+#include <cstdio>
+
+#include "core/mfti.hpp"
+#include "io/touchstone.hpp"
+#include "metrics/error.hpp"
+#include "netgen/rlc.hpp"
+#include "sampling/grid.hpp"
+#include "sampling/sampler.hpp"
+#include "statespace/response.hpp"
+
+int main() {
+  using namespace mfti;
+
+  // --- 1. synthesise "measured" data ---------------------------------------
+  const ss::DescriptorSystem bus = netgen::rlc_multidrop(24, 4);
+  const auto freqs = sampling::log_grid(1e7, 2e10, 80);
+  const sampling::SampleSet data =
+      netgen::sample_s_parameters(bus, freqs, 50.0);
+  io::write_touchstone_file("bus.s4p", data, 50.0);
+  std::printf("wrote bus.s4p: 4-port multi-drop bus, %zu frequencies\n",
+              data.size());
+
+  // --- 2. read it back (port count comes from the extension) ----------------
+  const io::TouchstoneData loaded = io::read_touchstone_file("bus.s4p");
+  std::printf("read bus.s4p: %zu ports, z0 = %.0f ohm, %zu samples\n",
+              loaded.samples.num_inputs(), loaded.z0, loaded.samples.size());
+
+  // --- 3. fit ----------------------------------------------------------------
+  const core::MftiResult fit = core::mfti_fit(loaded.samples);
+  std::printf("MFTI model: order %zu, ERR on the file's samples %.2e\n",
+              fit.order, metrics::model_error(fit.model, loaded.samples));
+
+  // --- 4. export the model's response ----------------------------------------
+  const sampling::SampleSet model_resp =
+      sampling::sample_system(fit.model, freqs);
+  io::write_touchstone_file("bus_model.s4p", model_resp, loaded.z0);
+  std::printf("wrote bus_model.s4p (overlay with bus.s4p in any RF tool)\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// The paper's headline claim (Example 1) as a runnable demo: when samples
+// are scarce — each one costs an EM-solver run or a measurement sweep —
+// matrix-format interpolation recovers a massive-port system from ~1/p the
+// samples vector-format interpolation needs.
+//
+// Here: a 30-port, order-150 interconnect model, sampled at just 6
+// frequencies (the Theorem-3.5 minimum). MFTI recovers it to ~1e-8; VFTI,
+// given the same 6 matrices, cannot.
+
+#include <cstdio>
+
+#include "core/mfti.hpp"
+#include "core/minimal_sampling.hpp"
+#include "linalg/svd.hpp"
+#include "metrics/error.hpp"
+#include "sampling/grid.hpp"
+#include "sampling/sampler.hpp"
+#include "statespace/random_system.hpp"
+#include "vfti/vfti.hpp"
+
+int main() {
+  using namespace mfti;
+
+  la::Rng rng(77);
+  ss::RandomSystemOptions sys_opts;
+  sys_opts.order = 150;
+  sys_opts.num_outputs = 30;
+  sys_opts.num_inputs = 30;
+  sys_opts.rank_d = 30;
+  const ss::DescriptorSystem truth = ss::random_stable_mimo(sys_opts, rng);
+
+  const auto bounds = core::minimal_samples(150, 30, 30, 30);
+  std::printf("Theorem 3.5: k_min for a (order=150, rank D=30, 30-port) "
+              "system is %zu matrix samples;\n"
+              "VFTI would need about %zu.\n\n",
+              bounds.empirical, core::minimal_vfti_samples(150, 30));
+
+  const sampling::SampleSet scarce = sampling::sample_system(
+      truth, sampling::log_grid(10.0, 1e5, bounds.empirical));
+  const sampling::SampleSet probe =
+      sampling::sample_system(truth, sampling::log_grid(10.0, 1e5, 101));
+
+  // MFTI: full-matrix tangential data.
+  const core::MftiResult mfti = core::mfti_fit(scarce);
+  std::printf("MFTI from %zu samples: order %zu, validation ERR %.2e\n",
+              scarce.size(), mfti.order,
+              metrics::model_error(mfti.model, probe));
+
+  // The singular-value drop that makes the order detection work (Fig. 1).
+  const std::size_t drop = la::rank_by_largest_gap(mfti.singular_values);
+  std::printf("  singular-value drop at index %zu (= order + rank D)\n",
+              drop);
+
+  // VFTI with the same budget: the Loewner matrix is only k x k.
+  const vfti::VftiResult vfti = vfti::vfti_fit(scarce);
+  std::printf("VFTI from the same samples: order %zu, validation ERR %.2e\n",
+              vfti.order, metrics::model_error(vfti.model, probe));
+  std::printf("  (no rank information in a %zux%zu Loewner matrix — the "
+              "samples are adequate for MFTI, inadequate for VFTI)\n",
+              scarce.size(), scarce.size());
+  return 0;
+}

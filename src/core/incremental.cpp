@@ -1,0 +1,118 @@
+#include "core/incremental.hpp"
+
+#include <stdexcept>
+
+namespace mfti::core {
+
+namespace {
+
+// Append `cols` columns taken from `src` (range [first, last)) to `dst`.
+CMat append_cols(const CMat& dst, const CMat& src, std::size_t first,
+                 std::size_t last) {
+  CMat out(src.rows(), dst.cols() + (last - first));
+  out.set_block(0, 0, dst);
+  for (std::size_t j = first; j < last; ++j)
+    for (std::size_t i = 0; i < src.rows(); ++i)
+      out(i, dst.cols() + (j - first)) = src(i, j);
+  return out;
+}
+
+CMat append_rows(const CMat& dst, const CMat& src, std::size_t first,
+                 std::size_t last) {
+  CMat out(dst.rows() + (last - first), src.cols());
+  out.set_block(0, 0, dst);
+  for (std::size_t i = first; i < last; ++i)
+    for (std::size_t j = 0; j < src.cols(); ++j)
+      out(dst.rows() + (i - first), j) = src(i, j);
+  return out;
+}
+
+}  // namespace
+
+IncrementalLoewner::IncrementalLoewner(const loewner::TangentialData& full)
+    : full_(&full) {
+  full.validate();
+  cur_.r = CMat(full.num_inputs(), 0);
+  cur_.w = CMat(full.num_outputs(), 0);
+  cur_.l = CMat(0, full.num_outputs());
+  cur_.v = CMat(0, full.num_inputs());
+  used_.assign(num_units(), false);
+}
+
+std::size_t IncrementalLoewner::num_units() const {
+  return std::min(full_->num_right_pairs(), full_->num_left_pairs());
+}
+
+void IncrementalLoewner::add_unit(std::size_t u) {
+  if (u >= num_units()) {
+    throw std::invalid_argument("IncrementalLoewner: unit out of range");
+  }
+  if (used_[u]) {
+    throw std::invalid_argument("IncrementalLoewner: unit already added");
+  }
+  const std::size_t old_kl = cur_.left_height();
+  const std::size_t old_kr = cur_.right_width();
+  append_right_pair(u);
+  append_left_pair(u);
+  extend_pencil(old_kl, old_kr);
+  used_[u] = true;
+  units_.push_back(u);
+}
+
+void IncrementalLoewner::append_right_pair(std::size_t pair) {
+  const auto [first, last] = full_->right_pair_cols(pair);
+  cur_.r = append_cols(cur_.r, full_->r, first, last);
+  cur_.w = append_cols(cur_.w, full_->w, first, last);
+  for (std::size_t j = first; j < last; ++j)
+    cur_.lambda.push_back(full_->lambda[j]);
+  cur_.right_t.push_back(full_->right_t[pair]);
+  cur_.right_freq_hz.push_back(full_->right_freq_hz[pair]);
+}
+
+void IncrementalLoewner::append_left_pair(std::size_t pair) {
+  const auto [first, last] = full_->left_pair_rows(pair);
+  cur_.l = append_rows(cur_.l, full_->l, first, last);
+  cur_.v = append_rows(cur_.v, full_->v, first, last);
+  for (std::size_t i = first; i < last; ++i) cur_.mu.push_back(full_->mu[i]);
+  cur_.left_t.push_back(full_->left_t[pair]);
+  cur_.left_freq_hz.push_back(full_->left_freq_hz[pair]);
+}
+
+void IncrementalLoewner::extend_pencil(std::size_t old_kl,
+                                       std::size_t old_kr) {
+  const std::size_t kl = cur_.left_height();
+  const std::size_t kr = cur_.right_width();
+  const std::size_t m = cur_.num_inputs();
+  const std::size_t p = cur_.num_outputs();
+
+  CMat ll(kl, kr);
+  CMat sll(kl, kr);
+  ll.set_block(0, 0, ll_);
+  sll.set_block(0, 0, sll_);
+
+  // Only entries in the new row band or new column band are computed.
+  auto compute_entry = [&](std::size_t i, std::size_t j) {
+    Complex vr{};
+    for (std::size_t q = 0; q < m; ++q) vr += cur_.v(i, q) * cur_.r(q, j);
+    Complex lw{};
+    for (std::size_t q = 0; q < p; ++q) lw += cur_.l(i, q) * cur_.w(q, j);
+    const Complex denom = cur_.mu[i] - cur_.lambda[j];
+    if (denom == Complex{}) {
+      throw std::invalid_argument(
+          "IncrementalLoewner: coincident left/right points");
+    }
+    ll(i, j) = (vr - lw) / denom;
+    sll(i, j) = (cur_.mu[i] * vr - cur_.lambda[j] * lw) / denom;
+    ++entries_computed_;
+  };
+
+  for (std::size_t i = 0; i < old_kl; ++i)
+    for (std::size_t j = old_kr; j < kr; ++j) compute_entry(i, j);
+  for (std::size_t i = old_kl; i < kl; ++i)
+    for (std::size_t j = 0; j < kr; ++j) compute_entry(i, j);
+
+  ll_ = std::move(ll);
+  sll_ = std::move(sll);
+}
+
+}  // namespace mfti::core

@@ -1,0 +1,66 @@
+/// \file incremental.hpp
+/// \brief Incremental growth of the block Loewner pencil — the "update W,
+/// V, LL and sLL instead of calculating them all from the beginning" of
+/// Algorithm 2, step 4.
+///
+/// The recursive algorithm works on *units*: unit `u` couples right pair
+/// `u` and left pair `u` of a fixed full tangential data set (the paper
+/// selects the same index set II for rows and columns, keeping the Loewner
+/// matrix square). Adding a unit appends `2 t` columns and `2 t` rows, and
+/// only the new entries are computed.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "loewner/tangential.hpp"
+
+namespace mfti::core {
+
+using la::CMat;
+using la::Complex;
+using la::Real;
+
+/// Grows a TangentialData subset and its Loewner pair one unit at a time.
+/// The referenced full data set must outlive this object.
+class IncrementalLoewner {
+ public:
+  explicit IncrementalLoewner(const loewner::TangentialData& full);
+
+  /// Number of available units = min(#right pairs, #left pairs).
+  std::size_t num_units() const;
+
+  /// Append unit `u` (right pair u + left pair u of the full data).
+  /// \throws std::invalid_argument if out of range or already added.
+  void add_unit(std::size_t u);
+
+  /// The currently selected subset, in insertion order.
+  const std::vector<std::size_t>& units() const { return units_; }
+
+  /// Current tangential subset (valid after the first add_unit).
+  const loewner::TangentialData& data() const { return cur_; }
+
+  const CMat& loewner() const { return ll_; }
+  const CMat& shifted() const { return sll_; }
+
+  /// Total Loewner entries computed so far. For a final size K x K built in
+  /// steps this stays exactly K^2 (each entry computed once) — the property
+  /// test that proves incrementality.
+  std::size_t entries_computed() const { return entries_computed_; }
+
+ private:
+  void append_right_pair(std::size_t pair);
+  void append_left_pair(std::size_t pair);
+  void extend_pencil(std::size_t old_kl, std::size_t old_kr);
+
+  const loewner::TangentialData* full_;
+  loewner::TangentialData cur_;
+  std::vector<std::size_t> units_;
+  std::vector<bool> used_;
+  CMat ll_;
+  CMat sll_;
+  std::size_t entries_computed_ = 0;
+};
+
+}  // namespace mfti::core

@@ -1,0 +1,14 @@
+#include "core/mfti.hpp"
+
+namespace mfti::core {
+
+MftiResult mfti_fit(const sampling::SampleSet& samples,
+                    const MftiOptions& opts) {
+  loewner::TangentialData data =
+      loewner::build_tangential_data(samples, opts.data);
+  loewner::Realization real = loewner::realize(data, opts.realization);
+  return {std::move(real.model), std::move(real.singular_values), real.order,
+          std::move(data)};
+}
+
+}  // namespace mfti::core

@@ -1,0 +1,42 @@
+/// \file mfti.hpp
+/// \brief Algorithm 1 of the paper: MFTI of noise-free (or lightly noisy)
+/// data. Builds matrix-format tangential data from the full sample
+/// matrices, assembles the block Loewner pencil, applies the real
+/// transform, truncates by SVD and returns a real descriptor model.
+
+#pragma once
+
+#include "loewner/realization.hpp"
+#include "loewner/tangential.hpp"
+#include "sampling/dataset.hpp"
+#include "statespace/descriptor.hpp"
+
+namespace mfti::core {
+
+/// Options for mfti_fit. The defaults implement Algorithm 1 verbatim:
+/// orthonormal random directions with t_i = min(m, p) (full-matrix
+/// interpolation), largest-gap order detection, real two-sided SVD
+/// projection.
+struct MftiOptions {
+  loewner::TangentialOptions data;
+  loewner::RealizationOptions realization;
+};
+
+/// Result of an MFTI fit.
+struct MftiResult {
+  ss::DescriptorSystem model;
+  /// Singular values that drove the order selection.
+  std::vector<la::Real> singular_values;
+  /// Selected reduced order ("reduced order" column of Table 1).
+  std::size_t order;
+  /// The tangential data the model was built from (diagnostics, tests,
+  /// and the recursive algorithm's error bookkeeping).
+  loewner::TangentialData data;
+};
+
+/// Fit a real descriptor model to frequency samples (Algorithm 1).
+/// \throws std::invalid_argument for fewer than 2 samples or invalid t.
+MftiResult mfti_fit(const sampling::SampleSet& samples,
+                    const MftiOptions& opts = {});
+
+}  // namespace mfti::core

@@ -1,0 +1,35 @@
+#include "core/minimal_sampling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mfti::core {
+
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+SamplingBounds minimal_samples(std::size_t order, std::size_t rank_d,
+                               std::size_t num_inputs,
+                               std::size_t num_outputs, std::size_t size_a) {
+  if (order == 0 || num_inputs == 0 || num_outputs == 0) {
+    throw std::invalid_argument("minimal_samples: zero order or ports");
+  }
+  if (size_a == 0) size_a = order;
+  if (size_a < order) {
+    throw std::invalid_argument("minimal_samples: size_a < order");
+  }
+  const std::size_t ports = std::min(num_inputs, num_outputs);
+  return {ceil_div(order, ports), ceil_div(size_a + rank_d, ports),
+          ceil_div(order + rank_d, ports)};
+}
+
+std::size_t minimal_vfti_samples(std::size_t order, std::size_t rank_d) {
+  return order + rank_d;
+}
+
+}  // namespace mfti::core

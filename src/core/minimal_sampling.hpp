@@ -1,0 +1,40 @@
+/// \file minimal_sampling.hpp
+/// \brief Theorem 3.5 of the paper: bounds on the least number of
+/// noise-free matrix samples needed to recover the underlying system.
+///
+/// `order(Gamma) / min(m,p)  <=  k_min  <=  (size(A0) + rank(D0)) / min(m,p)`
+/// with the empirical value `k_min = (order(Gamma) + rank(D0)) / min(m,p)`.
+/// VFTI, by contrast, needs at least `order(Gamma)` samples — a factor of
+/// `min(m, p)` more.
+
+#pragma once
+
+#include <cstddef>
+
+namespace mfti::core {
+
+/// Sampling bounds of Theorem 3.5 (all counts in *matrix* samples, rounded
+/// up).
+struct SamplingBounds {
+  std::size_t lower;      ///< order / min(m, p)
+  std::size_t upper;      ///< (size_a + rank_d) / min(m, p)
+  std::size_t empirical;  ///< (order + rank_d) / min(m, p)
+};
+
+/// Compute the Theorem 3.5 bounds.
+/// \param order      order(Gamma) = rank(E0), the number of finite poles
+/// \param rank_d     rank of the direct-feedthrough matrix D0
+/// \param num_inputs m
+/// \param num_outputs p
+/// \param size_a     size(A0); 0 means "equal to order" (nonsingular E0)
+/// \throws std::invalid_argument for zero port counts or order
+SamplingBounds minimal_samples(std::size_t order, std::size_t rank_d,
+                               std::size_t num_inputs,
+                               std::size_t num_outputs,
+                               std::size_t size_a = 0);
+
+/// The minimum number of *vector* (VFTI) samples for the same system:
+/// `order + rank_d` tangential interpolation conditions.
+std::size_t minimal_vfti_samples(std::size_t order, std::size_t rank_d);
+
+}  // namespace mfti::core

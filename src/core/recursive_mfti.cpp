@@ -1,0 +1,139 @@
+#include "core/recursive_mfti.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/incremental.hpp"
+#include "linalg/norms.hpp"
+#include "statespace/response.hpp"
+
+namespace mfti::core {
+
+namespace {
+
+// Tangential error of one unit (Algorithm 2, step 6):
+// || W_u - H(lambda_u) R_u ||_F + || V_u - L_u H(mu_u) ||_F,
+// optionally normalised by ||W_u||_F + ||V_u||_F. Only the non-conjugate
+// half of each pair is evaluated (the conjugate half carries the same
+// information for a real model).
+la::Real unit_error(const ss::ComplexDescriptorSystem& model,
+                    const loewner::TangentialData& full, std::size_t u,
+                    bool relative) {
+  const std::size_t t_r = full.right_t[u];
+  const auto [rc0, rc1] = full.right_pair_cols(u);
+  (void)rc1;
+  const Complex lambda(0.0, 2.0 * std::numbers::pi * full.right_freq_hz[u]);
+  const CMat h_r = ss::transfer_function(model, lambda);
+  CMat rdir(full.num_inputs(), t_r);
+  CMat wdat(full.num_outputs(), t_r);
+  for (std::size_t c = 0; c < t_r; ++c) {
+    for (std::size_t i = 0; i < full.num_inputs(); ++i)
+      rdir(i, c) = full.r(i, rc0 + c);
+    for (std::size_t i = 0; i < full.num_outputs(); ++i)
+      wdat(i, c) = full.w(i, rc0 + c);
+  }
+  const la::Real err_right = la::frobenius_norm(wdat - h_r * rdir);
+
+  const std::size_t t_l = full.left_t[u];
+  const auto [lr0, lr1] = full.left_pair_rows(u);
+  (void)lr1;
+  const Complex mu(0.0, 2.0 * std::numbers::pi * full.left_freq_hz[u]);
+  const CMat h_l = ss::transfer_function(model, mu);
+  CMat ldir(t_l, full.num_outputs());
+  CMat vdat(t_l, full.num_inputs());
+  for (std::size_t r = 0; r < t_l; ++r) {
+    for (std::size_t j = 0; j < full.num_outputs(); ++j)
+      ldir(r, j) = full.l(lr0 + r, j);
+    for (std::size_t j = 0; j < full.num_inputs(); ++j)
+      vdat(r, j) = full.v(lr0 + r, j);
+  }
+  const la::Real err_left = la::frobenius_norm(vdat - ldir * h_l);
+  if (relative) {
+    const la::Real scale =
+        la::frobenius_norm(wdat) + la::frobenius_norm(vdat);
+    return scale > 0.0 ? (err_right + err_left) / scale
+                       : err_right + err_left;
+  }
+  return err_right + err_left;
+}
+
+}  // namespace
+
+RecursiveMftiResult recursive_mfti_fit(const sampling::SampleSet& samples,
+                                       const RecursiveMftiOptions& opts) {
+  if (opts.units_per_iteration == 0) {
+    throw std::invalid_argument("recursive_mfti_fit: k0 must be positive");
+  }
+  const loewner::TangentialData full =
+      loewner::build_tangential_data(samples, opts.data);
+  IncrementalLoewner inc(full);
+  const std::size_t num_units = inc.num_units();
+  if (num_units < 2) {
+    throw std::invalid_argument(
+        "recursive_mfti_fit: need at least 4 samples (2 units)");
+  }
+  const std::size_t k0 = std::min(opts.units_per_iteration, num_units);
+
+  // Initial candidate order: the paper's strided interleave
+  // [0, k0, 2k0, ..., 1, 1+k0, ...] so the first batch spreads uniformly
+  // over the frequency axis.
+  std::vector<std::size_t> remaining;
+  remaining.reserve(num_units);
+  for (std::size_t offset = 0; offset < k0; ++offset)
+    for (std::size_t u = offset; u < num_units; u += k0)
+      remaining.push_back(u);
+
+  RecursiveMftiResult res;
+  loewner::Realization real;
+  while (true) {
+    ++res.iterations;
+    const std::size_t take = std::min(k0, remaining.size());
+    for (std::size_t i = 0; i < take; ++i) inc.add_unit(remaining[i]);
+    remaining.erase(remaining.begin(),
+                    remaining.begin() + static_cast<std::ptrdiff_t>(take));
+
+    real = loewner::realize(inc.data(), inc.loewner(), inc.shifted(),
+                            opts.realization);
+
+    if (remaining.empty()) break;  // Step 7: iI exhausted
+
+    // Errors of the current model on every remaining unit.
+    const ss::ComplexDescriptorSystem cmodel = ss::to_complex(real.model);
+    std::vector<la::Real> err(remaining.size());
+    for (std::size_t i = 0; i < remaining.size(); ++i)
+      err[i] = unit_error(cmodel, full, remaining[i], opts.relative_error);
+    const la::Real mean =
+        std::accumulate(err.begin(), err.end(), 0.0) /
+        static_cast<la::Real>(err.size());
+    res.mean_error_history.push_back(mean);
+
+    // Re-order the candidates by error (Step 6's sort).
+    std::vector<std::size_t> perm(remaining.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+      return opts.selection == SelectionRule::BestFirst ? err[a] < err[b]
+                                                        : err[a] > err[b];
+    });
+    std::vector<std::size_t> reordered(remaining.size());
+    for (std::size_t i = 0; i < perm.size(); ++i)
+      reordered[i] = remaining[perm[i]];
+    remaining = std::move(reordered);
+
+    if (mean <= opts.threshold) {
+      res.converged = true;
+      break;
+    }
+    if (res.iterations >= opts.max_iterations) break;
+  }
+
+  res.model = std::move(real.model);
+  res.order = real.order;
+  res.singular_values = std::move(real.singular_values);
+  res.used_units = inc.units();
+  return res;
+}
+
+}  // namespace mfti::core

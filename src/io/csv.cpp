@@ -1,0 +1,43 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mfti::io {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("CsvTable: empty header");
+  }
+}
+
+void CsvTable::add_row(const std::vector<double>& row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("CsvTable: row width mismatch");
+  }
+  rows_.push_back(row);
+}
+
+void CsvTable::write(std::ostream& out) const {
+  for (std::size_t j = 0; j < header_.size(); ++j) {
+    out << header_[j] << (j + 1 < header_.size() ? "," : "\n");
+  }
+  out.precision(12);
+  for (const auto& row : rows_) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      out << row[j] << (j + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+void CsvTable::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::invalid_argument("CsvTable: cannot open " + path);
+  }
+  write(out);
+}
+
+}  // namespace mfti::io

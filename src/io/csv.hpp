@@ -1,0 +1,36 @@
+/// \file csv.hpp
+/// \brief Minimal CSV writer for benchmark/experiment output so every
+/// series a bench prints can also be consumed by external plotting tools.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mfti::io {
+
+/// A CSV table with a fixed header and numeric rows.
+class CsvTable {
+ public:
+  /// \throws std::invalid_argument for an empty header.
+  explicit CsvTable(std::vector<std::string> header);
+
+  /// \throws std::invalid_argument when the row width differs from the
+  /// header width.
+  void add_row(const std::vector<double>& row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  void write(std::ostream& out) const;
+
+  /// \throws std::invalid_argument on open failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace mfti::io

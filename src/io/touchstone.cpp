@@ -1,0 +1,222 @@
+#include "io/touchstone.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mfti::io {
+
+namespace {
+
+enum class Format { RealImag, MagAngle, DbAngle };
+
+struct OptionLine {
+  Real unit_scale = 1e9;  // Touchstone default unit is GHz
+  Format format = Format::MagAngle;
+  Real z0 = 50.0;
+};
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+OptionLine parse_option_line(const std::string& line) {
+  OptionLine opt;
+  std::istringstream is(line.substr(1));  // skip '#'
+  std::string tok;
+  bool expect_z0 = false;
+  while (is >> tok) {
+    const std::string t = upper(tok);
+    if (expect_z0) {
+      opt.z0 = std::stod(t);
+      expect_z0 = false;
+    } else if (t == "HZ") {
+      opt.unit_scale = 1.0;
+    } else if (t == "KHZ") {
+      opt.unit_scale = 1e3;
+    } else if (t == "MHZ") {
+      opt.unit_scale = 1e6;
+    } else if (t == "GHZ") {
+      opt.unit_scale = 1e9;
+    } else if (t == "S") {
+      // parameter type: only S supported
+    } else if (t == "Y" || t == "Z" || t == "H" || t == "G") {
+      throw std::invalid_argument(
+          "read_touchstone: only S-parameter files are supported");
+    } else if (t == "RI") {
+      opt.format = Format::RealImag;
+    } else if (t == "MA") {
+      opt.format = Format::MagAngle;
+    } else if (t == "DB") {
+      opt.format = Format::DbAngle;
+    } else if (t == "R") {
+      expect_z0 = true;
+    } else {
+      throw std::invalid_argument("read_touchstone: unknown option token '" +
+                                  tok + "'");
+    }
+  }
+  return opt;
+}
+
+la::Complex decode(Format fmt, Real a, Real b) {
+  switch (fmt) {
+    case Format::RealImag:
+      return {a, b};
+    case Format::MagAngle: {
+      const Real rad = b * std::numbers::pi / 180.0;
+      return {a * std::cos(rad), a * std::sin(rad)};
+    }
+    case Format::DbAngle: {
+      const Real mag = std::pow(10.0, a / 20.0);
+      const Real rad = b * std::numbers::pi / 180.0;
+      return {mag * std::cos(rad), mag * std::sin(rad)};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+TouchstoneData read_touchstone(std::istream& in, std::size_t num_ports) {
+  if (num_ports == 0) {
+    throw std::invalid_argument("read_touchstone: zero ports");
+  }
+  OptionLine opt;
+  bool have_option = false;
+  std::vector<Real> numbers;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip comments.
+    const std::size_t bang = line.find('!');
+    if (bang != std::string::npos) line.erase(bang);
+    // Trim leading whitespace.
+    std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') {
+      if (have_option) {
+        throw std::invalid_argument(
+            "read_touchstone: multiple option lines");
+      }
+      opt = parse_option_line(line.substr(start));
+      have_option = true;
+      continue;
+    }
+    std::istringstream is(line);
+    Real x;
+    while (is >> x) numbers.push_back(x);
+    if (!is.eof()) {
+      throw std::invalid_argument("read_touchstone: non-numeric data: " +
+                                  line);
+    }
+  }
+
+  const std::size_t per_record = 1 + 2 * num_ports * num_ports;
+  if (numbers.empty() || numbers.size() % per_record != 0) {
+    throw std::invalid_argument(
+        "read_touchstone: token count does not match the port count");
+  }
+
+  std::vector<sampling::FrequencySample> samples;
+  for (std::size_t rec = 0; rec < numbers.size(); rec += per_record) {
+    const Real f_hz = numbers[rec] * opt.unit_scale;
+    la::CMat s(num_ports, num_ports);
+    for (std::size_t e = 0; e < num_ports * num_ports; ++e) {
+      const Real a = numbers[rec + 1 + 2 * e];
+      const Real b = numbers[rec + 2 + 2 * e];
+      std::size_t i, j;
+      if (num_ports == 2) {
+        // 2-port files store S11 S21 S12 S22 (column-major).
+        j = e / 2;
+        i = e % 2;
+      } else {
+        i = e / num_ports;
+        j = e % num_ports;
+      }
+      s(i, j) = decode(opt.format, a, b);
+    }
+    samples.push_back({f_hz, std::move(s)});
+  }
+  return {sampling::SampleSet(std::move(samples)), opt.z0};
+}
+
+TouchstoneData read_touchstone_file(const std::string& path) {
+  // Infer port count from ".sNp".
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos) {
+    throw std::invalid_argument("read_touchstone_file: no extension: " +
+                                path);
+  }
+  const std::string ext = upper(path.substr(dot + 1));
+  if (ext.size() < 3 || ext.front() != 'S' || ext.back() != 'P') {
+    throw std::invalid_argument(
+        "read_touchstone_file: extension is not .sNp: " + path);
+  }
+  const std::string digits = ext.substr(1, ext.size() - 2);
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      throw std::invalid_argument(
+          "read_touchstone_file: bad port count in extension: " + path);
+    }
+  }
+  const std::size_t ports = std::stoul(digits);
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("read_touchstone_file: cannot open " + path);
+  }
+  return read_touchstone(in, ports);
+}
+
+void write_touchstone(std::ostream& out, const sampling::SampleSet& data,
+                      Real z0) {
+  if (data.empty()) {
+    throw std::invalid_argument("write_touchstone: empty sample set");
+  }
+  if (data.num_inputs() != data.num_outputs()) {
+    throw std::invalid_argument(
+        "write_touchstone: S-parameters must be square");
+  }
+  const std::size_t p = data.num_inputs();
+  out << "! generated by mfti::io (matrix-format tangential interpolation "
+         "library)\n";
+  out << "# HZ S RI R " << z0 << "\n";
+  out.precision(12);
+  for (const auto& smp : data) {
+    out << smp.f_hz;
+    std::size_t on_line = 0;
+    for (std::size_t e = 0; e < p * p; ++e) {
+      std::size_t i, j;
+      if (p == 2) {
+        j = e / 2;
+        i = e % 2;
+      } else {
+        i = e / p;
+        j = e % p;
+      }
+      out << ' ' << smp.s(i, j).real() << ' ' << smp.s(i, j).imag();
+      if (++on_line == 4 && e + 1 < p * p) {
+        out << '\n';
+        on_line = 0;
+      }
+    }
+    out << '\n';
+  }
+}
+
+void write_touchstone_file(const std::string& path,
+                           const sampling::SampleSet& data, Real z0) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::invalid_argument("write_touchstone_file: cannot open " + path);
+  }
+  write_touchstone(out, data, z0);
+}
+
+}  // namespace mfti::io

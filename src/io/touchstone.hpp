@@ -1,0 +1,46 @@
+/// \file touchstone.hpp
+/// \brief Touchstone v1 (.sNp) reader/writer for scattering-parameter data
+/// — the interchange format real S-parameter measurements arrive in, so
+/// the library can be used on actual VNA / EM-solver output.
+///
+/// Supported: option line `# <unit> S <format> R <z0>` with units
+/// HZ/KHZ/MHZ/GHZ and formats RI/MA/DB, `!` comments, arbitrary line
+/// wrapping, and the classic 2-port column order quirk (S11 S21 S12 S22).
+/// Written files use `# HZ S RI R <z0>`.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sampling/dataset.hpp"
+
+namespace mfti::io {
+
+using la::Real;
+
+/// Result of reading a Touchstone file.
+struct TouchstoneData {
+  sampling::SampleSet samples;
+  Real z0 = 50.0;  ///< reference impedance from the option line
+};
+
+/// Parse Touchstone text for a network with `num_ports` ports.
+/// \throws std::invalid_argument on malformed input.
+TouchstoneData read_touchstone(std::istream& in, std::size_t num_ports);
+
+/// Read from a file path; the port count is inferred from the `.sNp`
+/// extension (e.g. "x.s4p" -> 4).
+/// \throws std::invalid_argument if the extension gives no port count or
+/// the file cannot be opened.
+TouchstoneData read_touchstone_file(const std::string& path);
+
+/// Write samples as Touchstone (`# HZ S RI R z0`).
+void write_touchstone(std::ostream& out, const sampling::SampleSet& data,
+                      Real z0 = 50.0);
+
+/// Write to a file path. \throws std::invalid_argument on open failure.
+void write_touchstone_file(const std::string& path,
+                           const sampling::SampleSet& data, Real z0 = 50.0);
+
+}  // namespace mfti::io

@@ -1,0 +1,77 @@
+/// \file eig.hpp
+/// \brief Eigenvalue solvers: general complex (Hessenberg + shifted QR),
+/// Hermitian (two-sided Jacobi), and generalized pencil eigenvalues via
+/// shift-invert.
+///
+/// Used for: poles of descriptor models `det(sE - A) = 0` (stability checks
+/// and model diagnostics) and pole relocation inside vector fitting
+/// (eigenvalues of `diag(poles) - b c^T`).
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mfti::la {
+
+/// Options for the shifted-QR eigenvalue iteration.
+struct EigOptions {
+  /// Iterations allowed per eigenvalue before giving up.
+  int max_iterations_per_eigenvalue = 60;
+  /// Apply Parlett–Reinsch balancing before the Hessenberg reduction.
+  bool balance = true;
+};
+
+/// Eigenvalues of a general complex square matrix (unordered).
+/// \throws ConvergenceError if the QR iteration stalls.
+std::vector<Complex> eigenvalues(const CMat& a, const EigOptions& opts = {});
+
+/// Eigenvalues of a general real square matrix (computed in complex
+/// arithmetic; conjugate symmetry of the result is inherited numerically).
+std::vector<Complex> eigenvalues(const Mat& a, const EigOptions& opts = {});
+
+/// Eigen-decomposition of a Hermitian matrix: `a = V diag(w) V^*` with real
+/// `w` ascending and unitary `V` (two-sided Jacobi).
+struct HermitianEig {
+  std::vector<Real> w;
+  CMat v;
+};
+
+/// \throws std::invalid_argument if `a` is not square;
+/// \throws ConvergenceError if Jacobi fails to converge.
+HermitianEig hermitian_eig(const CMat& a, int max_sweeps = 64,
+                           Real tol = 1e-14);
+
+/// Finite eigenvalues of the pencil `(A, E)`, i.e. values `s` with
+/// `det(s E - A) = 0`, computed by shift-invert: `M = (A - s0 E)^{-1} E`
+/// has eigenvalues `mu = 1 / (s - s0)`; `mu ~ 0` corresponds to infinite
+/// pencil eigenvalues and is filtered with `inf_tol`.
+///
+/// If `shift` is not given, a few candidate shifts are tried until
+/// `A - s0 E` is comfortably regular.
+/// \throws SingularMatrixError if no regular shift is found (singular
+/// pencil).
+std::vector<Complex> generalized_eigenvalues(
+    const CMat& a, const CMat& e, std::optional<Complex> shift = std::nullopt,
+    Real inf_tol = 1e-12, const EigOptions& opts = {});
+
+/// Real-matrix convenience overload of generalized_eigenvalues.
+std::vector<Complex> generalized_eigenvalues(
+    const Mat& a, const Mat& e, std::optional<Complex> shift = std::nullopt,
+    Real inf_tol = 1e-12, const EigOptions& opts = {});
+
+/// Right eigenvector for a *known* eigenvalue of the pencil `(A, E)`
+/// (i.e. `A v = lambda E v`), computed by inverse iteration with a slightly
+/// perturbed shift. Returns a unit-norm vector.
+/// \throws ConvergenceError if the iteration fails to settle.
+CMat pencil_eigenvector(const CMat& a, const CMat& e, Complex lambda,
+                        int max_iterations = 8, Real tol = 1e-10);
+
+/// Left eigenvector (`w^* A = lambda w^* E`), unit norm.
+CMat pencil_left_eigenvector(const CMat& a, const CMat& e, Complex lambda,
+                             int max_iterations = 8, Real tol = 1e-10);
+
+}  // namespace mfti::la

@@ -1,0 +1,80 @@
+#include "linalg/lstsq.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+
+namespace mfti::la {
+
+namespace {
+
+template <typename T>
+Matrix<T> lstsq_qr_impl(const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("lstsq: row count mismatch");
+  }
+  return QrDecomposition<T>(a).solve(b);
+}
+
+template <typename T>
+Matrix<T> lstsq_svd_impl(const Matrix<T>& a, const Matrix<T>& b, Real rcond) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("lstsq_svd: row count mismatch");
+  }
+  const Svd<T> d = svd(a);
+  const std::size_t r = numerical_rank(d.s, rcond);
+  // x = V_r diag(1/s_r) U_r^* b
+  Matrix<T> utb = d.u.block(0, 0, a.rows(), r).adjoint() * b;
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < utb.cols(); ++j)
+      utb(i, j) /= static_cast<T>(d.s[i]);
+  return d.v.block(0, 0, a.cols(), r) * utb;
+}
+
+}  // namespace
+
+Mat lstsq(const Mat& a, const Mat& b) { return lstsq_qr_impl(a, b); }
+CMat lstsq(const CMat& a, const CMat& b) { return lstsq_qr_impl(a, b); }
+
+Mat lstsq_svd(const Mat& a, const Mat& b, Real rcond) {
+  return lstsq_svd_impl(a, b, rcond);
+}
+CMat lstsq_svd(const CMat& a, const CMat& b, Real rcond) {
+  return lstsq_svd_impl(a, b, rcond);
+}
+
+Mat lstsq_minnorm(const Mat& a, const Mat& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("lstsq_minnorm: row count mismatch");
+  }
+  if (a.rows() >= a.cols()) {
+    throw std::invalid_argument(
+        "lstsq_minnorm: system must be underdetermined (rows < cols)");
+  }
+  // A = R^T Q^T with A^T = Q R; min-norm solution x = Q R^{-T} b.
+  QrDecomposition<Real> qr(a.transpose());
+  const Mat r = qr.r_thin();  // rows(A) x rows(A) upper triangular
+  const std::size_t n = a.rows();
+  // Forward substitution with R^T (lower triangular).
+  Real maxdiag = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    maxdiag = std::max(maxdiag, std::abs(r(i, i)));
+  const Real tol = maxdiag * static_cast<Real>(n) *
+                   std::numeric_limits<Real>::epsilon();
+  Mat y(n, b.cols());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(r(i, i)) <= tol) {
+      throw SingularMatrixError("lstsq_minnorm: row-rank deficient system");
+    }
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      Real s = b(i, j);
+      for (std::size_t k = 0; k < i; ++k) s -= r(k, i) * y(k, j);
+      y(i, j) = s / r(i, i);
+    }
+  }
+  return qr.apply_q(y);
+}
+
+}  // namespace mfti::la

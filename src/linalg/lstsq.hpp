@@ -1,0 +1,32 @@
+/// \file lstsq.hpp
+/// \brief Dense least-squares solvers (QR for the full-rank fast path,
+/// truncated-SVD pseudo-inverse for rank-deficient systems).
+///
+/// Vector fitting assembles large overdetermined systems whose conditioning
+/// degrades as poles converge; the SVD fallback keeps the iteration alive.
+
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace mfti::la {
+
+/// `min ||A x - b||_2` via Householder QR. Requires rows >= cols and full
+/// column rank. \throws SingularMatrixError on rank deficiency.
+Mat lstsq(const Mat& a, const Mat& b);
+CMat lstsq(const CMat& a, const CMat& b);
+
+/// `min ||A x - b||_2` via the truncated-SVD pseudo-inverse: singular values
+/// below `rcond * s_max` are treated as zero, yielding the minimum-norm
+/// solution. Works for any shape and rank.
+Mat lstsq_svd(const Mat& a, const Mat& b, Real rcond = 1e-12);
+CMat lstsq_svd(const CMat& a, const CMat& b, Real rcond = 1e-12);
+
+/// Minimum-norm solution of an *underdetermined* consistent system
+/// (rows < cols, full row rank) via QR of `A^T`: much cheaper than the SVD
+/// route for the wide systems vector fitting produces when the requested
+/// order exceeds the data support. \throws SingularMatrixError on row-rank
+/// deficiency.
+Mat lstsq_minnorm(const Mat& a, const Mat& b);
+
+}  // namespace mfti::la

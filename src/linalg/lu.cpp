@@ -1,0 +1,112 @@
+#include "linalg/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mfti::la {
+
+template <typename T>
+LuDecomposition<T>::LuDecomposition(Matrix<T> a) : lu_(std::move(a)) {
+  if (!lu_.is_square()) {
+    throw std::invalid_argument("LuDecomposition: matrix must be square");
+  }
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest |entry| of column k to the top.
+    std::size_t piv = k;
+    Real best = detail::abs_value(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const Real cand = detail::abs_value(lu_(i, k));
+      if (cand > best) {
+        best = cand;
+        piv = i;
+      }
+    }
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
+      std::swap(perm_[k], perm_[piv]);
+      sign_ = -sign_;
+    }
+    const T pivot = lu_(k, k);
+    if (pivot == T{}) {
+      singular_ = true;
+      continue;  // leave the zero column; solve() will refuse later
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const T m = lu_(i, k) / pivot;
+      lu_(i, k) = m;
+      if (m == T{}) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+    }
+  }
+}
+
+template <typename T>
+Real LuDecomposition<T>::rcond_estimate() const {
+  const std::size_t n = order();
+  if (n == 0) return 1.0;
+  Real lo = std::numeric_limits<Real>::infinity();
+  Real hi = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real p = detail::abs_value(lu_(i, i));
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  return hi == 0.0 ? 0.0 : lo / hi;
+}
+
+template <typename T>
+Matrix<T> LuDecomposition<T>::solve(const Matrix<T>& b) const {
+  const std::size_t n = order();
+  if (b.rows() != n) {
+    throw std::invalid_argument("LuDecomposition::solve: rhs row mismatch");
+  }
+  if (singular_) {
+    throw SingularMatrixError("LuDecomposition::solve: matrix is singular");
+  }
+  const std::size_t nrhs = b.cols();
+  // Apply permutation: x = P b.
+  Matrix<T> x(n, nrhs);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < nrhs; ++j) x(i, j) = b(perm_[i], j);
+  // Forward substitution with unit-lower L.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const T m = lu_(i, k);
+      if (m == T{}) continue;
+      for (std::size_t j = 0; j < nrhs; ++j) x(i, j) -= m * x(k, j);
+    }
+  }
+  // Back substitution with U.
+  for (std::size_t k = n; k-- > 0;) {
+    const T pivot = lu_(k, k);
+    for (std::size_t j = 0; j < nrhs; ++j) x(k, j) /= pivot;
+    for (std::size_t i = 0; i < k; ++i) {
+      const T m = lu_(i, k);
+      if (m == T{}) continue;
+      for (std::size_t j = 0; j < nrhs; ++j) x(i, j) -= m * x(k, j);
+    }
+  }
+  return x;
+}
+
+template <typename T>
+T LuDecomposition<T>::determinant() const {
+  T det = static_cast<T>(sign_);
+  for (std::size_t i = 0; i < order(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+template <typename T>
+Matrix<T> LuDecomposition<T>::inverse() const {
+  return solve(Matrix<T>::identity(order()));
+}
+
+template class LuDecomposition<Real>;
+template class LuDecomposition<Complex>;
+
+}  // namespace mfti::la

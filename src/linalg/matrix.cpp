@@ -1,0 +1,75 @@
+#include "linalg/matrix.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace mfti::la {
+
+CMat to_complex(const Mat& a) {
+  CMat c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) c(i, j) = Complex(a(i, j), 0.0);
+  return c;
+}
+
+CMat to_complex(const Mat& re, const Mat& im) {
+  if (re.rows() != im.rows() || re.cols() != im.cols()) {
+    throw std::invalid_argument("to_complex: shape mismatch");
+  }
+  CMat c(re.rows(), re.cols());
+  for (std::size_t i = 0; i < re.rows(); ++i)
+    for (std::size_t j = 0; j < re.cols(); ++j)
+      c(i, j) = Complex(re(i, j), im(i, j));
+  return c;
+}
+
+Mat real_part(const CMat& a) {
+  Mat r(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) r(i, j) = a(i, j).real();
+  return r;
+}
+
+Mat imag_part(const CMat& a) {
+  Mat r(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) r(i, j) = a(i, j).imag();
+  return r;
+}
+
+bool is_effectively_real(const CMat& a, Real tol) {
+  const Real scale = std::max(a.max_abs(), 1.0);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (std::abs(a(i, j).imag()) > tol * scale) return false;
+  return true;
+}
+
+std::string to_string(const Mat& a, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    os << (i == 0 ? "[[" : " [");
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      os << a(i, j) << (j + 1 < a.cols() ? ", " : "");
+    }
+    os << (i + 1 < a.rows() ? "]\n" : "]]");
+  }
+  return os.str();
+}
+
+std::string to_string(const CMat& a, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    os << (i == 0 ? "[[" : " [");
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      os << a(i, j).real() << (a(i, j).imag() >= 0 ? "+" : "")
+         << a(i, j).imag() << "j" << (j + 1 < a.cols() ? ", " : "");
+    }
+    os << (i + 1 < a.rows() ? "]\n" : "]]");
+  }
+  return os.str();
+}
+
+}  // namespace mfti::la

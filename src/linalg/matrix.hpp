@@ -1,0 +1,406 @@
+/// \file matrix.hpp
+/// \brief Dense row-major matrix type used throughout the MFTI library.
+///
+/// The library deliberately carries its own small dense linear-algebra layer
+/// (no external BLAS/LAPACK/Eigen dependency): every matrix that occurs in
+/// the Loewner framework of the paper is dense and of moderate size
+/// (a few hundred rows), so a clear, well-tested O(n^3) implementation is
+/// both sufficient and fully portable.
+///
+/// `Matrix<T>` is instantiated for `T = double` (`Mat`) and
+/// `T = std::complex<double>` (`CMat`). Vectors are n-by-1 matrices.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mfti::la {
+
+using Real = double;
+using Complex = std::complex<double>;
+
+/// Thrown when a numerically singular matrix is met where a regular one is
+/// required (LU solve, inverse, shift-invert).
+class SingularMatrixError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an iterative eigenvalue/SVD routine fails to converge.
+class ConvergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+inline Real conj_if_complex(Real x) { return x; }
+inline Complex conj_if_complex(const Complex& x) { return std::conj(x); }
+
+inline Real abs_value(Real x) { return std::abs(x); }
+inline Real abs_value(const Complex& x) { return std::abs(x); }
+
+}  // namespace detail
+
+/// Dense row-major matrix.
+///
+/// Invariants: `data_.size() == rows_ * cols_` at all times; dimensions are
+/// fixed after construction except through assignment or `resize`.
+template <typename T>
+class Matrix {
+ public:
+  using value_type = T;
+
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// `rows` x `cols` matrix, zero initialised.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  /// `rows` x `cols` matrix with every entry set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, const T& fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construction from nested initialiser lists (row major):
+  /// `Matrix<double> a{{1,2},{3,4}};`
+  Matrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = init.size();
+    cols_ = rows_ == 0 ? 0 : init.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      if (row.size() != cols_) {
+        throw std::invalid_argument("Matrix: ragged initializer list");
+      }
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  /// Total number of entries.
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  /// True when the matrix is square (including 0x0).
+  bool is_square() const { return rows_ == cols_; }
+
+  /// Unchecked element access (row `i`, column `j`).
+  T& operator()(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  /// Bounds-checked element access.
+  T& at(std::size_t i, std::size_t j) {
+    check_indices(i, j);
+    return data_[i * cols_ + j];
+  }
+  const T& at(std::size_t i, std::size_t j) const {
+    check_indices(i, j);
+    return data_[i * cols_ + j];
+  }
+
+  /// Raw storage (row major); useful for I/O and tight kernels.
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Reset to `rows` x `cols`, zero filled (previous content discarded).
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, T{});
+  }
+
+  /// Set every entry to zero.
+  void set_zero() { std::fill(data_.begin(), data_.end(), T{}); }
+
+  // --- factories ----------------------------------------------------------
+
+  static Matrix zeros(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols);
+  }
+
+  static Matrix ones(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols, T{1});
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  /// Square matrix with `d` on the diagonal.
+  static Matrix diagonal(const std::vector<T>& d) {
+    Matrix m(d.size(), d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+    return m;
+  }
+
+  /// Column vector from a std::vector.
+  static Matrix column(const std::vector<T>& v) {
+    Matrix m(v.size(), 1);
+    for (std::size_t i = 0; i < v.size(); ++i) m(i, 0) = v[i];
+    return m;
+  }
+
+  /// Row vector from a std::vector.
+  static Matrix row_vector(const std::vector<T>& v) {
+    Matrix m(1, v.size());
+    for (std::size_t j = 0; j < v.size(); ++j) m(0, j) = v[j];
+    return m;
+  }
+
+  // --- structure ----------------------------------------------------------
+
+  Matrix transpose() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    return t;
+  }
+
+  /// Entry-wise complex conjugate (identity for real matrices).
+  Matrix conjugate() const {
+    Matrix c(rows_, cols_);
+    for (std::size_t k = 0; k < data_.size(); ++k)
+      c.data_[k] = detail::conj_if_complex(data_[k]);
+    return c;
+  }
+
+  /// Conjugate transpose.
+  Matrix adjoint() const { return conjugate().transpose(); }
+
+  /// Copy of the `r` x `c` block whose top-left corner is (`i0`, `j0`).
+  Matrix block(std::size_t i0, std::size_t j0, std::size_t r,
+               std::size_t c) const {
+    if (i0 + r > rows_ || j0 + c > cols_) {
+      throw std::invalid_argument("Matrix::block: out of range");
+    }
+    Matrix b(r, c);
+    for (std::size_t i = 0; i < r; ++i)
+      for (std::size_t j = 0; j < c; ++j) b(i, j) = (*this)(i0 + i, j0 + j);
+    return b;
+  }
+
+  /// Overwrite the block with top-left corner (`i0`, `j0`) by `b`.
+  void set_block(std::size_t i0, std::size_t j0, const Matrix& b) {
+    if (i0 + b.rows_ > rows_ || j0 + b.cols_ > cols_) {
+      throw std::invalid_argument("Matrix::set_block: out of range");
+    }
+    for (std::size_t i = 0; i < b.rows_; ++i)
+      for (std::size_t j = 0; j < b.cols_; ++j)
+        (*this)(i0 + i, j0 + j) = b(i, j);
+  }
+
+  /// Copy of row `i` as a 1 x cols matrix.
+  Matrix row(std::size_t i) const { return block(i, 0, 1, cols_); }
+
+  /// Copy of column `j` as a rows x 1 matrix.
+  Matrix col(std::size_t j) const { return block(0, j, rows_, 1); }
+
+  /// Main diagonal as a vector.
+  std::vector<T> diag() const {
+    std::vector<T> d(std::min(rows_, cols_));
+    for (std::size_t i = 0; i < d.size(); ++i) d[i] = (*this)(i, i);
+    return d;
+  }
+
+  /// Rows selected by `idx` (in the given order), all columns.
+  Matrix select_rows(const std::vector<std::size_t>& idx) const {
+    Matrix out(idx.size(), cols_);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      if (idx[i] >= rows_) {
+        throw std::invalid_argument("Matrix::select_rows: index out of range");
+      }
+      for (std::size_t j = 0; j < cols_; ++j) out(i, j) = (*this)(idx[i], j);
+    }
+    return out;
+  }
+
+  /// Columns selected by `idx` (in the given order), all rows.
+  Matrix select_cols(const std::vector<std::size_t>& idx) const {
+    Matrix out(rows_, idx.size());
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      if (idx[j] >= cols_) {
+        throw std::invalid_argument("Matrix::select_cols: index out of range");
+      }
+      for (std::size_t i = 0; i < rows_; ++i) out(i, j) = (*this)(i, idx[j]);
+    }
+    return out;
+  }
+
+  // --- arithmetic ---------------------------------------------------------
+
+  Matrix& operator+=(const Matrix& rhs) {
+    check_same_shape(rhs, "operator+=");
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += rhs.data_[k];
+    return *this;
+  }
+
+  Matrix& operator-=(const Matrix& rhs) {
+    check_same_shape(rhs, "operator-=");
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= rhs.data_[k];
+    return *this;
+  }
+
+  Matrix& operator*=(const T& s) {
+    for (auto& x : data_) x *= s;
+    return *this;
+  }
+
+  Matrix& operator/=(const T& s) {
+    for (auto& x : data_) x /= s;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, const T& s) { return a *= s; }
+  friend Matrix operator*(const T& s, Matrix a) { return a *= s; }
+  friend Matrix operator/(Matrix a, const T& s) { return a /= s; }
+
+  friend Matrix operator-(const Matrix& a) {
+    Matrix m(a.rows_, a.cols_);
+    for (std::size_t k = 0; k < a.data_.size(); ++k) m.data_[k] = -a.data_[k];
+    return m;
+  }
+
+  /// Matrix product (i-k-j loop order for cache friendliness).
+  friend Matrix operator*(const Matrix& a, const Matrix& b) {
+    if (a.cols_ != b.rows_) {
+      throw std::invalid_argument(
+          "Matrix::operator*: inner dimensions differ (" +
+          std::to_string(a.cols_) + " vs " + std::to_string(b.rows_) + ")");
+    }
+    Matrix c(a.rows_, b.cols_);
+    for (std::size_t i = 0; i < a.rows_; ++i) {
+      for (std::size_t k = 0; k < a.cols_; ++k) {
+        const T aik = a(i, k);
+        if (aik == T{}) continue;
+        const T* brow = &b.data_[k * b.cols_];
+        T* crow = &c.data_[i * c.cols_];
+        for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+      }
+    }
+    return c;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+  /// Largest absolute entry (0 for an empty matrix).
+  Real max_abs() const {
+    Real m = 0;
+    for (const auto& x : data_) m = std::max(m, detail::abs_value(x));
+    return m;
+  }
+
+ private:
+  void check_indices(std::size_t i, std::size_t j) const {
+    if (i >= rows_ || j >= cols_) {
+      throw std::out_of_range("Matrix::at: index (" + std::to_string(i) +
+                              "," + std::to_string(j) + ") out of " +
+                              std::to_string(rows_) + "x" +
+                              std::to_string(cols_));
+    }
+  }
+
+  void check_same_shape(const Matrix& rhs, const char* what) const {
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+      throw std::invalid_argument(std::string("Matrix::") + what +
+                                  ": shape mismatch");
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using Mat = Matrix<Real>;
+using CMat = Matrix<Complex>;
+
+// --- free functions --------------------------------------------------------
+
+/// Horizontal concatenation [a, b].
+template <typename T>
+Matrix<T> hstack(const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("hstack: row counts differ");
+  }
+  Matrix<T> c(a.rows(), a.cols() + b.cols());
+  c.set_block(0, 0, a);
+  c.set_block(0, a.cols(), b);
+  return c;
+}
+
+/// Vertical concatenation [a; b].
+template <typename T>
+Matrix<T> vstack(const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("vstack: column counts differ");
+  }
+  Matrix<T> c(a.rows() + b.rows(), a.cols());
+  c.set_block(0, 0, a);
+  c.set_block(a.rows(), 0, b);
+  return c;
+}
+
+/// Block diagonal concatenation diag(a, b).
+template <typename T>
+Matrix<T> blkdiag(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> c(a.rows() + b.rows(), a.cols() + b.cols());
+  c.set_block(0, 0, a);
+  c.set_block(a.rows(), a.cols(), b);
+  return c;
+}
+
+/// Promote a real matrix to complex.
+CMat to_complex(const Mat& a);
+
+/// Complex matrix from real and imaginary parts (shapes must agree).
+CMat to_complex(const Mat& re, const Mat& im);
+
+/// Real part.
+Mat real_part(const CMat& a);
+
+/// Imaginary part.
+Mat imag_part(const CMat& a);
+
+/// True when every entry's imaginary part is at most `tol` in magnitude
+/// relative to the largest entry of the matrix (absolute for zero matrices).
+bool is_effectively_real(const CMat& a, Real tol = 1e-9);
+
+/// Entry-wise approximate equality with combined absolute/relative tolerance:
+/// `|a_ij - b_ij| <= atol + rtol * max(|a|,|b|)_max`.
+template <typename T>
+bool approx_equal(const Matrix<T>& a, const Matrix<T>& b, Real rtol = 1e-10,
+                  Real atol = 1e-12) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const Real scale = std::max(a.max_abs(), b.max_abs());
+  const Real bound = atol + rtol * scale;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (detail::abs_value(a(i, j) - b(i, j)) > bound) return false;
+  return true;
+}
+
+/// Human-readable rendering (for diagnostics and examples).
+std::string to_string(const Mat& a, int precision = 4);
+std::string to_string(const CMat& a, int precision = 4);
+
+}  // namespace mfti::la

@@ -1,0 +1,87 @@
+#include "linalg/norms.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/svd.hpp"
+
+namespace mfti::la {
+
+namespace {
+
+template <typename T>
+Real frobenius_impl(const Matrix<T>& a) {
+  Real s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const Real x = detail::abs_value(a(i, j));
+      s += x * x;
+    }
+  return std::sqrt(s);
+}
+
+template <typename T>
+Real one_norm_impl(const Matrix<T>& a) {
+  Real best = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    Real s = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      s += detail::abs_value(a(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+template <typename T>
+Real inf_norm_impl(const Matrix<T>& a) {
+  Real best = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    Real s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      s += detail::abs_value(a(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+template <typename T>
+Real two_norm_impl(const Matrix<T>& a) {
+  if (a.empty()) return 0.0;
+  const std::vector<Real> s = singular_values(a);
+  return s.empty() ? 0.0 : s.front();
+}
+
+template <typename T>
+Real cond_impl(const Matrix<T>& a) {
+  if (a.empty()) return 1.0;
+  const std::vector<Real> s = singular_values(a);
+  if (s.back() <= 0.0) return std::numeric_limits<Real>::infinity();
+  return s.front() / s.back();
+}
+
+}  // namespace
+
+Real frobenius_norm(const Mat& a) { return frobenius_impl(a); }
+Real frobenius_norm(const CMat& a) { return frobenius_impl(a); }
+Real one_norm(const Mat& a) { return one_norm_impl(a); }
+Real one_norm(const CMat& a) { return one_norm_impl(a); }
+Real inf_norm(const Mat& a) { return inf_norm_impl(a); }
+Real inf_norm(const CMat& a) { return inf_norm_impl(a); }
+Real two_norm(const Mat& a) { return two_norm_impl(a); }
+Real two_norm(const CMat& a) { return two_norm_impl(a); }
+Real condition_number(const Mat& a) { return cond_impl(a); }
+Real condition_number(const CMat& a) { return cond_impl(a); }
+
+Real vector_norm(const std::vector<Real>& v) {
+  Real s = 0.0;
+  for (Real x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+Real vector_norm(const std::vector<Complex>& v) {
+  Real s = 0.0;
+  for (const Complex& x : v) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+}  // namespace mfti::la

@@ -1,0 +1,196 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace mfti::la {
+
+namespace {
+
+// alpha = -(x0/|x0|) * normx; for x0 == 0 fall back to -normx. This choice
+// avoids cancellation in v = x - alpha e1 (|v0| = |x0| + normx).
+Real householder_alpha(Real x0, Real normx) {
+  return x0 >= 0 ? -normx : normx;
+}
+
+Complex householder_alpha(const Complex& x0, Real normx) {
+  const Real a = std::abs(x0);
+  if (a == 0.0) return Complex(-normx, 0.0);
+  return -(x0 / a) * normx;
+}
+
+// Apply the Householder reflector stored in column k of `pack` (scaled
+// essential part below the diagonal, v_k = 1 implicit) to the column block
+// [col_begin, cols) of `b`, touching rows k..m-1. Row-major friendly: one
+// forward sweep accumulates w = v^* B, one forward sweep applies the
+// update B -= v w.
+template <typename T>
+void apply_reflector(const Matrix<T>& pack, std::size_t k, Real beta,
+                     Matrix<T>& b, std::size_t col_begin,
+                     std::vector<T>& w) {
+  if (beta == 0.0) return;
+  const std::size_t m = b.rows();
+  const std::size_t nc = b.cols();
+  w.assign(nc - col_begin, T{});
+  {
+    const T* brow = &b(k, 0);
+    for (std::size_t j = col_begin; j < nc; ++j) w[j - col_begin] = brow[j];
+  }
+  for (std::size_t i = k + 1; i < m; ++i) {
+    const T vi = detail::conj_if_complex(pack(i, k));
+    if (vi == T{}) continue;
+    const T* brow = &b(i, 0);
+    for (std::size_t j = col_begin; j < nc; ++j)
+      w[j - col_begin] += vi * brow[j];
+  }
+  const T scale = static_cast<T>(beta);
+  for (auto& x : w) x *= scale;
+  {
+    T* brow = &b(k, 0);
+    for (std::size_t j = col_begin; j < nc; ++j) brow[j] -= w[j - col_begin];
+  }
+  for (std::size_t i = k + 1; i < m; ++i) {
+    const T vi = pack(i, k);
+    if (vi == T{}) continue;
+    T* brow = &b(i, 0);
+    for (std::size_t j = col_begin; j < nc; ++j)
+      brow[j] -= vi * w[j - col_begin];
+  }
+}
+
+}  // namespace
+
+template <typename T>
+QrDecomposition<T>::QrDecomposition(Matrix<T> a) : qr_(std::move(a)) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  const std::size_t r = std::min(m, n);
+  beta_.assign(r, 0.0);
+  std::vector<T> w;
+
+  for (std::size_t k = 0; k < r; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    Real normx2 = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      const Real ax = detail::abs_value(qr_(i, k));
+      normx2 += ax * ax;
+    }
+    const Real normx = std::sqrt(normx2);
+    if (normx == 0.0) {
+      beta_[k] = 0.0;  // identity reflector; R entry stays 0
+      continue;
+    }
+    const T x0 = qr_(k, k);
+    const T alpha = householder_alpha(x0, normx);
+    const T v0 = x0 - alpha;
+    // v^*v = 2 normx (normx + |x0|); for the reflector scaled by 1/v0:
+    // H = I - (2 |v0|^2 / v^*v) v~ v~^* with v~_k = 1.
+    const Real v0abs = detail::abs_value(v0);
+    const Real vtv = 2.0 * normx * (normx + detail::abs_value(x0));
+    beta_[k] = 2.0 * v0abs * v0abs / vtv;
+    for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) = qr_(i, k) / v0;
+    qr_(k, k) = alpha;
+    apply_reflector(qr_, k, beta_[k], qr_, k + 1, w);
+  }
+}
+
+template <typename T>
+Matrix<T> QrDecomposition<T>::apply_qt(Matrix<T> b) const {
+  const std::size_t m = rows();
+  if (b.rows() != m) {
+    throw std::invalid_argument("QrDecomposition::apply_qt: row mismatch");
+  }
+  std::vector<T> w;
+  for (std::size_t k = 0; k < beta_.size(); ++k) {
+    apply_reflector(qr_, k, beta_[k], b, 0, w);
+  }
+  return b;
+}
+
+template <typename T>
+Matrix<T> QrDecomposition<T>::apply_q(Matrix<T> b) const {
+  const std::size_t m = rows();
+  const std::size_t r = beta_.size();
+  if (b.rows() < r || b.rows() > m) {
+    throw std::invalid_argument("QrDecomposition::apply_q: row mismatch");
+  }
+  if (b.rows() < m) {
+    Matrix<T> padded(m, b.cols());
+    padded.set_block(0, 0, b);
+    b = std::move(padded);
+  }
+  std::vector<T> w;
+  for (std::size_t k = r; k-- > 0;) {
+    apply_reflector(qr_, k, beta_[k], b, 0, w);
+  }
+  return b;
+}
+
+template <typename T>
+Matrix<T> QrDecomposition<T>::q_thin() const {
+  const std::size_t r = beta_.size();
+  return apply_q(Matrix<T>::identity(r));
+}
+
+template <typename T>
+Matrix<T> QrDecomposition<T>::q_full() const {
+  return apply_q(Matrix<T>::identity(rows()));
+}
+
+template <typename T>
+Matrix<T> QrDecomposition<T>::r_thin() const {
+  const std::size_t r = beta_.size();
+  Matrix<T> out(r, cols());
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = i; j < cols(); ++j) out(i, j) = qr_(i, j);
+  return out;
+}
+
+template <typename T>
+Real QrDecomposition<T>::rcond_estimate() const {
+  Real lo = std::numeric_limits<Real>::infinity();
+  Real hi = 0.0;
+  for (std::size_t i = 0; i < beta_.size(); ++i) {
+    const Real d = detail::abs_value(qr_(i, i));
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  return hi == 0.0 ? 0.0 : lo / hi;
+}
+
+template <typename T>
+Matrix<T> QrDecomposition<T>::solve(const Matrix<T>& b) const {
+  const std::size_t m = rows();
+  const std::size_t n = cols();
+  if (m < n) {
+    throw std::invalid_argument(
+        "QrDecomposition::solve: need rows >= cols for least squares");
+  }
+  Matrix<T> y = apply_qt(b);
+  // Back substitution on the leading n x n block of R.
+  Real maxdiag = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    maxdiag = std::max(maxdiag, detail::abs_value(qr_(i, i)));
+  const Real tol =
+      maxdiag * static_cast<Real>(n) * std::numeric_limits<Real>::epsilon();
+  Matrix<T> x(n, b.cols());
+  for (std::size_t k = n; k-- > 0;) {
+    const T d = qr_(k, k);
+    if (detail::abs_value(d) <= tol) {
+      throw SingularMatrixError(
+          "QrDecomposition::solve: rank-deficient least-squares system");
+    }
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      T s = y(k, j);
+      for (std::size_t i = k + 1; i < n; ++i) s -= qr_(k, i) * x(i, j);
+      x(k, j) = s / d;
+    }
+  }
+  return x;
+}
+
+template class QrDecomposition<Real>;
+template class QrDecomposition<Complex>;
+
+}  // namespace mfti::la

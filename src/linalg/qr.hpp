@@ -1,0 +1,82 @@
+/// \file qr.hpp
+/// \brief Householder QR factorisation (real and complex) and QR-based
+/// least-squares solves.
+///
+/// QR is used to orthonormalise random tangential directions (Algorithm 1,
+/// step 1 of the paper asks for *orthonormal* matrix-format directions) and
+/// to solve the dense least-squares systems inside vector fitting.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mfti::la {
+
+/// Householder QR of an m-by-n matrix (any aspect ratio), `A = Q R`.
+///
+/// The reflectors are stored packed (the essential part of each Householder
+/// vector below the diagonal, `R` on and above). `Q` is materialised on
+/// demand; `apply_qt`/`apply_q` work without forming it.
+template <typename T>
+class QrDecomposition {
+ public:
+  explicit QrDecomposition(Matrix<T> a);
+
+  std::size_t rows() const { return qr_.rows(); }
+  std::size_t cols() const { return qr_.cols(); }
+
+  /// Thin factor Q (m x min(m,n)) with orthonormal columns.
+  Matrix<T> q_thin() const;
+
+  /// Full square unitary factor Q (m x m).
+  Matrix<T> q_full() const;
+
+  /// Thin triangular factor R (min(m,n) x n).
+  Matrix<T> r_thin() const;
+
+  /// Compute `Q^* b` in place of a copy (b must have m rows).
+  Matrix<T> apply_qt(Matrix<T> b) const;
+
+  /// Compute `Q b` for b with min(m,n) <= rows(b) <= m; b is zero-padded to
+  /// m rows if thin.
+  Matrix<T> apply_q(Matrix<T> b) const;
+
+  /// Least-squares solve `min ||A x - b||_2` (requires m >= n and full
+  /// column rank). \throws SingularMatrixError when R has a negligible
+  /// diagonal entry (rank deficiency).
+  Matrix<T> solve(const Matrix<T>& b) const;
+
+  /// Smallest/largest |R_ii| ratio — cheap rank-deficiency indicator.
+  Real rcond_estimate() const;
+
+ private:
+  Matrix<T> qr_;         // packed reflectors + R
+  std::vector<Real> beta_;  // reflector scalings (0 => identity reflector)
+};
+
+/// Convenience: thin QR as a pair {Q, R}.
+template <typename T>
+struct ThinQr {
+  Matrix<T> q;
+  Matrix<T> r;
+};
+
+template <typename T>
+ThinQr<T> thin_qr(const Matrix<T>& a) {
+  QrDecomposition<T> d(a);
+  return {d.q_thin(), d.r_thin()};
+}
+
+/// Orthonormal basis of the column span (thin Q).
+template <typename T>
+Matrix<T> orthonormalize(const Matrix<T>& a) {
+  return QrDecomposition<T>(a).q_thin();
+}
+
+extern template class QrDecomposition<Real>;
+extern template class QrDecomposition<Complex>;
+
+}  // namespace mfti::la

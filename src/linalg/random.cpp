@@ -1,0 +1,30 @@
+#include "linalg/random.hpp"
+
+#include "linalg/qr.hpp"
+
+namespace mfti::la {
+
+Mat random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Mat m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.normal();
+  return m;
+}
+
+CMat random_complex_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  CMat m(rows, cols);
+  const Real inv_sqrt2 = 0.7071067811865476;
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      m(i, j) = Complex(rng.normal() * inv_sqrt2, rng.normal() * inv_sqrt2);
+  return m;
+}
+
+Mat random_orthonormal(std::size_t rows, std::size_t cols, Rng& rng) {
+  if (rows < cols) {
+    throw std::invalid_argument("random_orthonormal: need rows >= cols");
+  }
+  return orthonormalize(random_matrix(rows, cols, rng));
+}
+
+}  // namespace mfti::la

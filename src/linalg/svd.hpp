@@ -1,0 +1,90 @@
+/// \file svd.hpp
+/// \brief Singular value decomposition via one-sided Jacobi rotations.
+///
+/// The SVD is the workhorse of the Loewner framework: the numerical rank of
+/// `x0*L - sL` (Lemma 3.4 of the paper) determines the order of the
+/// recovered model, and its singular vectors project the raw Loewner pencil
+/// down to a minimal realization. One-sided Jacobi is chosen because it is
+/// simple, unconditionally convergent in practice, and computes small
+/// singular values to high relative accuracy — exactly what the
+/// "sharp drop" detection of Fig. 1 needs.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mfti::la {
+
+/// Thin SVD `A = U diag(s) V^*` with `r = min(rows, cols)`:
+/// `u` is rows x r, `s` holds r non-negative values in descending order,
+/// `v` is cols x r.
+///
+/// Columns of `u`/`v` associated with singular values that are exactly zero
+/// are zero vectors (no arbitrary basis completion is invented); downstream
+/// code only consumes the leading, numerically significant part.
+template <typename T>
+struct Svd {
+  Matrix<T> u;
+  std::vector<Real> s;
+  Matrix<T> v;
+
+  /// Reconstruct `U diag(s) V^*` (testing aid).
+  Matrix<T> reconstruct() const;
+};
+
+/// SVD algorithm choice.
+enum class SvdAlgorithm {
+  /// Golub–Kahan bidiagonalization + shifted bidiagonal QR for larger
+  /// matrices, one-sided Jacobi for small ones.
+  Auto,
+  /// One-sided Jacobi: simplest, high relative accuracy, O(n^3) per sweep.
+  Jacobi,
+  /// Householder bidiagonalization + implicit-shift QR on the bidiagonal —
+  /// the standard fast dense SVD (what LAPACK's gesvd does).
+  GolubKahan,
+};
+
+/// Options for the SVD.
+struct SvdOptions {
+  SvdAlgorithm algorithm = SvdAlgorithm::Auto;
+  /// Jacobi: maximum number of full sweeps over all column pairs.
+  int max_sweeps = 64;
+  /// Jacobi: two columns count as orthogonal when
+  /// `|g_i^* g_j| <= tol * ||g_i|| * ||g_j||`.
+  Real tol = 1e-14;
+};
+
+/// Compute the thin SVD of `a`.
+/// \throws ConvergenceError if the sweep limit is exceeded.
+template <typename T>
+Svd<T> svd(const Matrix<T>& a, const SvdOptions& opts = {});
+
+/// Singular values only (descending).
+template <typename T>
+std::vector<Real> singular_values(const Matrix<T>& a,
+                                  const SvdOptions& opts = {});
+
+/// Numerical rank: number of singular values `> rel_tol * s_max`
+/// (`s` must be descending, as produced by `svd`).
+std::size_t numerical_rank(const std::vector<Real>& s, Real rel_tol = 1e-10);
+
+/// Index of the largest *relative gap* `s[i] / s[i+1]` in a descending
+/// singular-value sequence, i.e. the rank suggested by the sharpest drop.
+/// Values below `floor_tol * s_max` are ignored as noise. Returns `s.size()`
+/// when no drop larger than `min_gap` exists.
+std::size_t rank_by_largest_gap(const std::vector<Real>& s,
+                                Real min_gap = 1e3, Real floor_tol = 1e-14);
+
+extern template struct Svd<Real>;
+extern template struct Svd<Complex>;
+extern template Svd<Real> svd(const Matrix<Real>&, const SvdOptions&);
+extern template Svd<Complex> svd(const Matrix<Complex>&, const SvdOptions&);
+extern template std::vector<Real> singular_values(const Matrix<Real>&,
+                                                  const SvdOptions&);
+extern template std::vector<Real> singular_values(const Matrix<Complex>&,
+                                                  const SvdOptions&);
+
+}  // namespace mfti::la

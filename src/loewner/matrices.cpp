@@ -1,0 +1,113 @@
+#include "loewner/matrices.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/norms.hpp"
+
+namespace mfti::loewner {
+
+namespace {
+
+// Shared kernel: computes VR = V R and LW = L W once, then fills the
+// requested combination(s).
+struct Kernels {
+  CMat vr;  // Kl x Kr
+  CMat lw;  // Kl x Kr
+};
+
+Kernels inner_products(const TangentialData& d) {
+  return {d.v * d.r, d.l * d.w};
+}
+
+void check_disjoint(const Complex& mu, const Complex& lambda) {
+  if (mu == lambda) {
+    throw std::invalid_argument(
+        "loewner_matrix: left and right interpolation points must be "
+        "disjoint");
+  }
+}
+
+}  // namespace
+
+CMat loewner_matrix(const TangentialData& d) {
+  d.validate();
+  const Kernels k = inner_products(d);
+  const std::size_t kl = d.left_height();
+  const std::size_t kr = d.right_width();
+  CMat out(kl, kr);
+  for (std::size_t i = 0; i < kl; ++i) {
+    for (std::size_t j = 0; j < kr; ++j) {
+      check_disjoint(d.mu[i], d.lambda[j]);
+      out(i, j) = (k.vr(i, j) - k.lw(i, j)) / (d.mu[i] - d.lambda[j]);
+    }
+  }
+  return out;
+}
+
+CMat shifted_loewner_matrix(const TangentialData& d) {
+  d.validate();
+  const Kernels k = inner_products(d);
+  const std::size_t kl = d.left_height();
+  const std::size_t kr = d.right_width();
+  CMat out(kl, kr);
+  for (std::size_t i = 0; i < kl; ++i) {
+    for (std::size_t j = 0; j < kr; ++j) {
+      check_disjoint(d.mu[i], d.lambda[j]);
+      out(i, j) = (d.mu[i] * k.vr(i, j) - d.lambda[j] * k.lw(i, j)) /
+                  (d.mu[i] - d.lambda[j]);
+    }
+  }
+  return out;
+}
+
+std::pair<CMat, CMat> loewner_pair(const TangentialData& d) {
+  d.validate();
+  const Kernels k = inner_products(d);
+  const std::size_t kl = d.left_height();
+  const std::size_t kr = d.right_width();
+  CMat ll(kl, kr);
+  CMat sll(kl, kr);
+  for (std::size_t i = 0; i < kl; ++i) {
+    for (std::size_t j = 0; j < kr; ++j) {
+      check_disjoint(d.mu[i], d.lambda[j]);
+      const Complex denom = d.mu[i] - d.lambda[j];
+      ll(i, j) = (k.vr(i, j) - k.lw(i, j)) / denom;
+      sll(i, j) = (d.mu[i] * k.vr(i, j) - d.lambda[j] * k.lw(i, j)) / denom;
+    }
+  }
+  return {std::move(ll), std::move(sll)};
+}
+
+std::pair<Real, Real> sylvester_residuals(const TangentialData& d,
+                                          const CMat& loewner,
+                                          const CMat& shifted) {
+  const Kernels k = inner_products(d);
+  const std::size_t kl = d.left_height();
+  const std::size_t kr = d.right_width();
+  // LL * Lam - M * LL  vs  L W - V R   (note: LW - VR = -(VR - LW))
+  CMat res1(kl, kr);
+  CMat res2(kl, kr);
+  for (std::size_t i = 0; i < kl; ++i) {
+    for (std::size_t j = 0; j < kr; ++j) {
+      const Complex rhs1 = k.lw(i, j) - k.vr(i, j);
+      res1(i, j) = loewner(i, j) * d.lambda[j] - d.mu[i] * loewner(i, j) -
+                   rhs1;
+      const Complex rhs2 =
+          k.lw(i, j) * d.lambda[j] - d.mu[i] * k.vr(i, j);
+      res2(i, j) = shifted(i, j) * d.lambda[j] - d.mu[i] * shifted(i, j) -
+                   rhs2;
+    }
+  }
+  const Real scale1 = la::frobenius_norm(k.lw) + la::frobenius_norm(k.vr);
+  Real scale2 = 0.0;
+  for (std::size_t i = 0; i < kl; ++i)
+    for (std::size_t j = 0; j < kr; ++j)
+      scale2 += std::norm(k.lw(i, j) * d.lambda[j]) +
+                std::norm(d.mu[i] * k.vr(i, j));
+  scale2 = std::sqrt(scale2);
+  return {la::frobenius_norm(res1) / std::max(scale1, 1e-300),
+          la::frobenius_norm(res2) / std::max(scale2, 1e-300)};
+}
+
+}  // namespace mfti::loewner

@@ -1,0 +1,37 @@
+/// \file matrices.hpp
+/// \brief Block-format Loewner and shifted Loewner matrices (eqs. (11)-(12)
+/// of the paper) and the Sylvester identities (13) they satisfy.
+
+#pragma once
+
+#include <utility>
+
+#include "loewner/tangential.hpp"
+
+namespace mfti::loewner {
+
+/// Loewner matrix (Kl x Kr):
+/// `LL(r, c) = (V(r,:) R(:,c) - L(r,:) W(:,c)) / (mu_r - lambda_c)`.
+/// The block layout of eq. (11) emerges from the stacked data ordering.
+/// \throws std::invalid_argument if some `mu_r == lambda_c` (left and right
+/// point sets must be disjoint).
+CMat loewner_matrix(const TangentialData& d);
+
+/// Shifted Loewner matrix (Kl x Kr):
+/// `sLL(r, c) = (mu_r V(r,:) R(:,c) - lambda_c L(r,:) W(:,c)) / (mu_r -
+/// lambda_c)`.
+CMat shifted_loewner_matrix(const TangentialData& d);
+
+/// Both matrices in one pass (shares the two inner products).
+std::pair<CMat, CMat> loewner_pair(const TangentialData& d);
+
+/// Residuals of the Sylvester equations (13):
+/// `|| LL Lam - M LL - (L W - V R) ||_F` and
+/// `|| sLL Lam - M sLL - (L W Lam - M V R) ||_F`,
+/// normalised by the Frobenius norm of the left-hand sides' data terms.
+/// Both are ~1e-14 for correctly constructed matrices (property test).
+std::pair<Real, Real> sylvester_residuals(const TangentialData& d,
+                                          const CMat& loewner,
+                                          const CMat& shifted);
+
+}  // namespace mfti::loewner

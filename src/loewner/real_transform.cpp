@@ -1,0 +1,55 @@
+#include "loewner/real_transform.hpp"
+
+#include <stdexcept>
+
+namespace mfti::loewner {
+
+CMat pair_transform(const std::vector<std::size_t>& pair_t) {
+  std::size_t total = 0;
+  for (std::size_t t : pair_t) total += 2 * t;
+  CMat out(total, total);
+  const Real inv_sqrt2 = 0.7071067811865476;
+  const Complex j(0.0, 1.0);
+  std::size_t off = 0;
+  for (std::size_t t : pair_t) {
+    for (std::size_t i = 0; i < t; ++i) {
+      // [ I  -jI ]
+      // [ I   jI ]  scaled by 1/sqrt(2)
+      out(off + i, off + i) = inv_sqrt2;
+      out(off + i, off + t + i) = -j * inv_sqrt2;
+      out(off + t + i, off + i) = inv_sqrt2;
+      out(off + t + i, off + t + i) = j * inv_sqrt2;
+    }
+    off += 2 * t;
+  }
+  return out;
+}
+
+RealLoewnerPencil real_transform(const TangentialData& d, const CMat& loewner,
+                                 const CMat& shifted, Real tol) {
+  const CMat t_right = pair_transform(d.right_t);
+  const CMat t_left = pair_transform(d.left_t);
+  const CMat t_left_adj = t_left.adjoint();
+
+  const CMat ll = t_left_adj * loewner * t_right;
+  const CMat sll = t_left_adj * shifted * t_right;
+  const CMat v = t_left_adj * d.v;
+  const CMat w = d.w * t_right;
+
+  for (const CMat* m : {&ll, &sll, &v, &w}) {
+    if (!la::is_effectively_real(*m, tol)) {
+      throw std::invalid_argument(
+          "real_transform: transformed matrices are not real — data is not "
+          "conjugate-symmetric");
+    }
+  }
+  return {la::real_part(ll), la::real_part(sll), la::real_part(v),
+          la::real_part(w)};
+}
+
+RealLoewnerPencil real_transform(const TangentialData& d, Real tol) {
+  const auto [ll, sll] = loewner_pair(d);
+  return real_transform(d, ll, sll, tol);
+}
+
+}  // namespace mfti::loewner

@@ -1,0 +1,109 @@
+/// \file realization.hpp
+/// \brief State-space realization from Loewner data: Lemma 3.1 (raw,
+/// full-order), Lemma 3.2 (real), Lemma 3.4 (SVD-truncated) of the paper.
+
+#pragma once
+
+#include <optional>
+
+#include "loewner/real_transform.hpp"
+#include "loewner/tangential.hpp"
+#include "statespace/descriptor.hpp"
+
+namespace mfti::loewner {
+
+/// Which matrix provides the truncating SVD of Lemma 3.4.
+enum class SvdPencil {
+  /// Two-sided Mayo–Antoulas projection: row space from `[LL, sLL]`, column
+  /// space from `[LL; sLL]`. Keeps the realization real after truncation —
+  /// the default for user-facing models.
+  TwoSided,
+  /// Paper-literal: SVD of `x0 LL - sLL` with `x0` one of the sample
+  /// points. Produces a complex realization (use realize_complex).
+  ShiftedPencil,
+};
+
+/// How the reduced order r is chosen from the singular values.
+enum class OrderSelection {
+  /// Sharpest relative drop in the singular-value sequence (Fig. 1's
+  /// "sharp drop"); falls back to Tolerance when no drop exceeds
+  /// `gap_min`.
+  LargestGap,
+  /// Keep singular values above `rank_tol * s_max`.
+  Tolerance,
+  /// Use exactly `fixed_order` (clipped to the available count).
+  Fixed,
+};
+
+/// Options for realize / realize_complex.
+struct RealizationOptions {
+  SvdPencil pencil = SvdPencil::TwoSided;
+  /// Shift for SvdPencil::ShiftedPencil. Defaults to the first left point
+  /// `mu_1` (the paper selects `x0` from the sample points).
+  std::optional<Complex> x0;
+  OrderSelection selection = OrderSelection::LargestGap;
+  Real rank_tol = 1e-9;
+  Real gap_min = 1e3;
+  std::size_t fixed_order = 0;
+  /// Balance `LL` against `sLL` by the dominant sample frequency before the
+  /// SVD (the two differ by a factor ~ 2 pi f_max otherwise, which skews
+  /// the stacked SVDs). Order selection and projection bases change; the
+  /// realization formulas are scale-invariant.
+  bool frequency_scaling = true;
+};
+
+/// A truncated real realization (Lemma 3.2 + Lemma 3.4, TwoSided pencil).
+struct Realization {
+  ss::DescriptorSystem model;
+  /// Singular values that drove the order selection (of the row-stacked
+  /// pencil; scaled when frequency_scaling is on).
+  std::vector<Real> singular_values;
+  std::size_t order;  ///< selected truncation rank r
+};
+
+/// A truncated complex realization (paper-literal Lemma 3.4).
+struct ComplexRealization {
+  ss::ComplexDescriptorSystem model;
+  std::vector<Real> singular_values;  ///< of `x0 LL - sLL`
+  std::size_t order;
+};
+
+/// Real, SVD-truncated realization. Uses the TwoSided pencil regardless of
+/// `opts.pencil` (a real model cannot be built from the complex shifted
+/// pencil's singular vectors); order selection follows `opts`.
+/// \throws std::invalid_argument on empty data.
+Realization realize(const TangentialData& d,
+                    const RealizationOptions& opts = {});
+
+/// Same, but with the (complex, untransformed) Loewner pair already
+/// assembled — used by the recursive algorithm, which maintains the pair
+/// incrementally (Algorithm 2, step 4).
+Realization realize(const TangentialData& d, const CMat& loewner,
+                    const CMat& shifted, const RealizationOptions& opts = {});
+
+/// Complex realization; honours `opts.pencil` (default here:
+/// ShiftedPencil). Satisfies the interpolation conditions (10) exactly for
+/// noise-free, sufficiently rich data.
+ComplexRealization realize_complex(const TangentialData& d,
+                                   RealizationOptions opts = {});
+
+/// Lemma 3.1 verbatim: the full-order raw realization
+/// `E = -LL, A = -sLL, B = V, C = W, D = 0` with **no** SVD truncation.
+/// Only valid when `x LL - sLL` is regular at the sample points (i.e. the
+/// data exactly determines a system of order Kl = Kr); primarily a
+/// correctness oracle for tests.
+ss::ComplexDescriptorSystem realize_full_complex(const TangentialData& d);
+
+/// Singular values of `LL`, `sLL` and `x0 LL - sLL` — the three curves of
+/// the paper's Fig. 1.
+struct PencilSingularValues {
+  std::vector<Real> loewner;
+  std::vector<Real> shifted;
+  std::vector<Real> pencil;  ///< x0 LL - sLL
+  Complex x0;
+};
+
+PencilSingularValues pencil_singular_values(
+    const TangentialData& d, std::optional<Complex> x0 = std::nullopt);
+
+}  // namespace mfti::loewner

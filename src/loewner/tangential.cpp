@@ -1,0 +1,213 @@
+#include "loewner/tangential.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "sampling/directions.hpp"
+
+namespace mfti::loewner {
+
+std::pair<std::size_t, std::size_t> TangentialData::right_pair_cols(
+    std::size_t i) const {
+  if (i >= right_t.size()) {
+    throw std::invalid_argument("right_pair_cols: pair index out of range");
+  }
+  std::size_t first = 0;
+  for (std::size_t k = 0; k < i; ++k) first += 2 * right_t[k];
+  return {first, first + 2 * right_t[i]};
+}
+
+std::pair<std::size_t, std::size_t> TangentialData::left_pair_rows(
+    std::size_t i) const {
+  if (i >= left_t.size()) {
+    throw std::invalid_argument("left_pair_rows: pair index out of range");
+  }
+  std::size_t first = 0;
+  for (std::size_t k = 0; k < i; ++k) first += 2 * left_t[k];
+  return {first, first + 2 * left_t[i]};
+}
+
+void TangentialData::validate() const {
+  const std::size_t kr = right_width();
+  const std::size_t kl = left_height();
+  if (kr == 0 || kl == 0) {
+    throw std::invalid_argument("TangentialData: empty right or left data");
+  }
+  if (r.cols() != kr || w.cols() != kr) {
+    throw std::invalid_argument("TangentialData: R/W column count != Kr");
+  }
+  if (l.rows() != kl || v.rows() != kl) {
+    throw std::invalid_argument("TangentialData: L/V row count != Kl");
+  }
+  if (w.rows() != num_outputs() || v.cols() != num_inputs()) {
+    throw std::invalid_argument("TangentialData: W/V port dimensions");
+  }
+  std::size_t acc = 0;
+  for (std::size_t t : right_t) acc += 2 * t;
+  if (acc != kr) {
+    throw std::invalid_argument("TangentialData: right pair sizes != Kr");
+  }
+  acc = 0;
+  for (std::size_t t : left_t) acc += 2 * t;
+  if (acc != kl) {
+    throw std::invalid_argument("TangentialData: left pair sizes != Kl");
+  }
+  if (right_freq_hz.size() != right_t.size() ||
+      left_freq_hz.size() != left_t.size()) {
+    throw std::invalid_argument("TangentialData: frequency bookkeeping");
+  }
+  // Conjugate pairing: second half of each pair mirrors the first.
+  const Real tol = 1e-12;
+  for (std::size_t i = 0; i < right_t.size(); ++i) {
+    const auto [first, last] = right_pair_cols(i);
+    const std::size_t t = right_t[i];
+    for (std::size_t c = first; c < first + t; ++c) {
+      if (std::abs(lambda[c + t] - std::conj(lambda[c])) >
+          tol * std::abs(lambda[c])) {
+        throw std::invalid_argument(
+            "TangentialData: right points not conjugate-paired");
+      }
+      for (std::size_t row = 0; row < w.rows(); ++row) {
+        if (std::abs(w(row, c + t) - std::conj(w(row, c))) >
+            tol * (1.0 + std::abs(w(row, c)))) {
+          throw std::invalid_argument(
+              "TangentialData: W not conjugate-paired");
+        }
+      }
+    }
+    (void)last;
+  }
+  for (std::size_t i = 0; i < left_t.size(); ++i) {
+    const auto [first, last] = left_pair_rows(i);
+    const std::size_t t = left_t[i];
+    for (std::size_t rr = first; rr < first + t; ++rr) {
+      if (std::abs(mu[rr + t] - std::conj(mu[rr])) > tol * std::abs(mu[rr])) {
+        throw std::invalid_argument(
+            "TangentialData: left points not conjugate-paired");
+      }
+      for (std::size_t col = 0; col < v.cols(); ++col) {
+        if (std::abs(v(rr + t, col) - std::conj(v(rr, col))) >
+            tol * (1.0 + std::abs(v(rr, col)))) {
+          throw std::invalid_argument(
+              "TangentialData: V not conjugate-paired");
+        }
+      }
+    }
+    (void)last;
+  }
+}
+
+TangentialData build_tangential_data(const sampling::SampleSet& samples,
+                                     const TangentialOptions& opts) {
+  if (samples.size() < 2) {
+    throw std::invalid_argument(
+        "build_tangential_data: need at least 2 samples (one right + one "
+        "left point)");
+  }
+  const std::size_t k = samples.size();
+  const std::size_t p = samples.num_outputs();
+  const std::size_t m = samples.num_inputs();
+  const std::size_t t_max = std::min(m, p);
+
+  std::vector<std::size_t> t(k);
+  if (!opts.t_per_sample.empty()) {
+    if (opts.t_per_sample.size() != k) {
+      throw std::invalid_argument(
+          "build_tangential_data: t_per_sample size must equal sample count");
+    }
+    t = opts.t_per_sample;
+  } else {
+    const std::size_t u = opts.uniform_t == 0 ? t_max : opts.uniform_t;
+    for (auto& x : t) x = u;
+  }
+  for (std::size_t x : t) {
+    if (x == 0 || x > t_max) {
+      throw std::invalid_argument(
+          "build_tangential_data: t must satisfy 1 <= t <= min(m, p)");
+    }
+  }
+
+  la::Rng rng(opts.seed);
+
+  TangentialData out;
+  std::size_t kr = 0, kl = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (i % 2 == 0) {
+      kr += 2 * t[i];
+    } else {
+      kl += 2 * t[i];
+    }
+  }
+  out.r = CMat(m, kr);
+  out.w = CMat(p, kr);
+  out.l = CMat(kl, p);
+  out.v = CMat(kl, m);
+  out.lambda.resize(kr);
+  out.mu.resize(kl);
+
+  std::size_t col = 0;
+  std::size_t row = 0;
+  // Separate cyclic offsets per side: using the global sample index would
+  // alias with the even/odd right-left split (e.g. for 2 ports every right
+  // sample would probe port 0 only) and make the data rank-deficient.
+  std::size_t right_count = 0;
+  std::size_t left_count = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Real f = samples[i].f_hz;
+    const Complex jw(0.0, 2.0 * std::numbers::pi * f);
+    const std::size_t ti = t[i];
+    if (i % 2 == 0) {
+      // Right pair: direction R_i (m x t), data W_i = S(f_i) R_i.
+      const Mat ri =
+          opts.directions == DirectionKind::RandomOrthonormal
+              ? sampling::random_right_direction(m, ti, rng)
+              : sampling::cyclic_right_direction(m, ti, right_count++);
+      const CMat rc = la::to_complex(ri);
+      const CMat wi = samples[i].s * rc;
+      for (std::size_t c = 0; c < ti; ++c) {
+        out.lambda[col + c] = jw;
+        out.lambda[col + ti + c] = std::conj(jw);
+        for (std::size_t q = 0; q < m; ++q) {
+          out.r(q, col + c) = rc(q, c);
+          out.r(q, col + ti + c) = rc(q, c);  // real directions: R = conj(R)
+        }
+        for (std::size_t q = 0; q < p; ++q) {
+          out.w(q, col + c) = wi(q, c);
+          out.w(q, col + ti + c) = std::conj(wi(q, c));
+        }
+      }
+      col += 2 * ti;
+      out.right_t.push_back(ti);
+      out.right_freq_hz.push_back(f);
+    } else {
+      // Left pair: direction L_i (t x p), data V_i = L_i S(f_i).
+      const Mat li =
+          opts.directions == DirectionKind::RandomOrthonormal
+              ? sampling::random_left_direction(p, ti, rng)
+              : sampling::cyclic_left_direction(p, ti, left_count++);
+      const CMat lc = la::to_complex(li);
+      const CMat vi = lc * samples[i].s;
+      for (std::size_t rr = 0; rr < ti; ++rr) {
+        out.mu[row + rr] = jw;
+        out.mu[row + ti + rr] = std::conj(jw);
+        for (std::size_t q = 0; q < p; ++q) {
+          out.l(row + rr, q) = lc(rr, q);
+          out.l(row + ti + rr, q) = lc(rr, q);
+        }
+        for (std::size_t q = 0; q < m; ++q) {
+          out.v(row + rr, q) = vi(rr, q);
+          out.v(row + ti + rr, q) = std::conj(vi(rr, q));
+        }
+      }
+      row += 2 * ti;
+      out.left_t.push_back(ti);
+      out.left_freq_hz.push_back(f);
+    }
+  }
+
+  out.validate();
+  return out;
+}
+
+}  // namespace mfti::loewner

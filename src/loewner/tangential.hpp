@@ -1,0 +1,102 @@
+/// \file tangential.hpp
+/// \brief Tangential interpolation data in the stacked "compact format" of
+/// the paper's eqs. (8)-(9).
+///
+/// The data generation follows eqs. (6)-(7): the sampled frequencies are
+/// split alternately into *right* points (1st, 3rd, 5th, ... sample) and
+/// *left* points (2nd, 4th, ...). Every point is immediately followed by
+/// its complex-conjugate partner (`lambda -> conj(lambda)`, `W -> conj(W)`)
+/// so that the recovered model can be made real (Lemma 3.2).
+///
+/// A note on conjugation: the paper's printed eq. (6) reads
+/// `W_i = W_{i-1}` for the even (mirror) entries, but the overline
+/// (conjugation) was lost in typesetting — without it
+/// `H(-j w) = conj(H(j w))` cannot hold and the real transform fails.
+/// We conjugate, matching the original Loewner references [6,8].
+///
+/// Matrix-format data with per-pair width `t` (1 <= t <= min(m, p))
+/// subsumes both the paper's MFTI (t up to min(m, p)) and the VFTI
+/// baseline (t = 1).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sampling/dataset.hpp"
+
+namespace mfti::loewner {
+
+using la::CMat;
+using la::Complex;
+using la::Mat;
+using la::Real;
+
+/// Stacked tangential data. Right data occupy the columns of `r`/`w`
+/// (width `Kr = sum of 2 t_i` over right pairs); left data occupy the rows
+/// of `l`/`v` (height `Kl`). Conjugate-pair blocks are adjacent: the block
+/// of `+j w_i` is immediately followed by the block of `-j w_i`.
+struct TangentialData {
+  std::vector<Complex> lambda;  ///< right points, one per stacked column
+  CMat r;                       ///< m x Kr   stacked right directions
+  CMat w;                       ///< p x Kr   stacked right data  W_i = S R_i
+
+  std::vector<Complex> mu;      ///< left points, one per stacked row
+  CMat l;                       ///< Kl x p   stacked left directions
+  CMat v;                       ///< Kl x m   stacked left data   V_i = L_i S
+
+  std::vector<std::size_t> right_t;  ///< width t of each right pair
+  std::vector<std::size_t> left_t;   ///< width t of each left pair
+  std::vector<Real> right_freq_hz;   ///< originating frequency per right pair
+  std::vector<Real> left_freq_hz;    ///< originating frequency per left pair
+
+  std::size_t right_width() const { return lambda.size(); }   ///< Kr
+  std::size_t left_height() const { return mu.size(); }       ///< Kl
+  std::size_t num_inputs() const { return r.rows(); }          ///< m
+  std::size_t num_outputs() const { return l.cols(); }         ///< p
+  std::size_t num_right_pairs() const { return right_t.size(); }
+  std::size_t num_left_pairs() const { return left_t.size(); }
+
+  /// Column range [first, first + 2 t) of right pair `i`.
+  std::pair<std::size_t, std::size_t> right_pair_cols(std::size_t i) const;
+  /// Row range [first, first + 2 t) of left pair `i`.
+  std::pair<std::size_t, std::size_t> left_pair_rows(std::size_t i) const;
+
+  /// Check all structural invariants (dimensions, conjugate pairing).
+  /// \throws std::invalid_argument on violation.
+  void validate() const;
+};
+
+/// How interpolation directions are chosen.
+enum class DirectionKind {
+  /// Random orthonormal directions (Algorithm 1, step 1). Different pairs
+  /// draw independent directions.
+  RandomOrthonormal,
+  /// Deterministic unit-vector directions cycling through the ports —
+  /// the classic choice of the VFTI literature [8].
+  Cyclic,
+};
+
+/// Options for build_tangential_data.
+struct TangentialOptions {
+  /// Per-sample block width `t_i`; empty means "use `uniform_t` for all".
+  /// Values are clamped nowhere: they must satisfy 1 <= t_i <= min(m, p).
+  std::vector<std::size_t> t_per_sample;
+  /// Used when `t_per_sample` is empty. 0 means min(m, p): the full-matrix
+  /// interpolation of Lemma 3.1.
+  std::size_t uniform_t = 0;
+  DirectionKind directions = DirectionKind::RandomOrthonormal;
+  std::uint64_t seed = 0x5eed'0001;
+};
+
+/// Build stacked tangential data from frequency samples per eqs. (6)-(9).
+/// Samples at even positions (0-based) become right pairs, odd positions
+/// left pairs; each contributes its conjugate partner too.
+/// \throws std::invalid_argument for empty data, fewer than 2 samples
+/// (no left data), or invalid `t`.
+TangentialData build_tangential_data(const sampling::SampleSet& samples,
+                                     const TangentialOptions& opts = {});
+
+}  // namespace mfti::loewner

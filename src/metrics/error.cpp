@@ -1,0 +1,53 @@
+#include "metrics/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/norms.hpp"
+#include "statespace/response.hpp"
+
+namespace mfti::metrics {
+
+std::vector<Real> per_sample_errors(const ss::DescriptorSystem& model,
+                                    const sampling::SampleSet& data) {
+  if (data.empty()) {
+    throw std::invalid_argument("per_sample_errors: empty data set");
+  }
+  if (model.num_outputs() != data.num_outputs() ||
+      model.num_inputs() != data.num_inputs()) {
+    throw std::invalid_argument("per_sample_errors: port dimension mismatch");
+  }
+  const std::vector<la::CMat> h =
+      ss::frequency_response(model, data.frequencies());
+  std::vector<Real> err;
+  err.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Real denom = la::two_norm(data[i].s);
+    const Real num = la::two_norm(h[i] - data[i].s);
+    err.push_back(denom > 0.0 ? num / denom : num);
+  }
+  return err;
+}
+
+Real aggregate_error(const std::vector<Real>& per_sample) {
+  if (per_sample.empty()) {
+    throw std::invalid_argument("aggregate_error: empty error vector");
+  }
+  Real s = 0.0;
+  for (Real e : per_sample) s += e * e;
+  return std::sqrt(s) / std::sqrt(static_cast<Real>(per_sample.size()));
+}
+
+Real model_error(const ss::DescriptorSystem& model,
+                 const sampling::SampleSet& data) {
+  return aggregate_error(per_sample_errors(model, data));
+}
+
+Real max_error(const ss::DescriptorSystem& model,
+               const sampling::SampleSet& data) {
+  const std::vector<Real> err = per_sample_errors(model, data);
+  return *std::max_element(err.begin(), err.end());
+}
+
+}  // namespace mfti::metrics

@@ -1,0 +1,3 @@
+// Stopwatch is header-only; this translation unit anchors the library and
+// verifies the header is self-contained.
+#include "metrics/stopwatch.hpp"

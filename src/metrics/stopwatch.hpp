@@ -1,0 +1,27 @@
+/// \file stopwatch.hpp
+/// \brief Wall-clock timing for the CPU-time columns of Table 1.
+
+#pragma once
+
+#include <chrono>
+
+namespace mfti::metrics {
+
+/// Monotonic wall-clock stopwatch, started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mfti::metrics

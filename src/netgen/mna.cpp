@@ -1,0 +1,224 @@
+#include "netgen/mna.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "statespace/response.hpp"
+
+namespace mfti::netgen {
+
+Circuit::Circuit(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+std::size_t Circuit::add_node() { return num_nodes_++; }
+
+void Circuit::check_node(std::size_t n, const char* what) const {
+  if (n != kGround && n >= num_nodes_) {
+    throw std::invalid_argument(std::string(what) + ": node out of range");
+  }
+}
+
+void Circuit::add_resistor(std::size_t a, std::size_t b, Real ohms) {
+  check_node(a, "add_resistor");
+  check_node(b, "add_resistor");
+  if (ohms <= 0.0) {
+    throw std::invalid_argument("add_resistor: resistance must be positive");
+  }
+  if (a == b) throw std::invalid_argument("add_resistor: shorted element");
+  resistors_.push_back({a, b, ohms, 0.0});
+}
+
+void Circuit::add_capacitor(std::size_t a, std::size_t b, Real farads) {
+  check_node(a, "add_capacitor");
+  check_node(b, "add_capacitor");
+  if (farads <= 0.0) {
+    throw std::invalid_argument("add_capacitor: capacitance must be positive");
+  }
+  if (a == b) throw std::invalid_argument("add_capacitor: shorted element");
+  capacitors_.push_back({a, b, farads, 0.0});
+}
+
+void Circuit::add_inductor(std::size_t a, std::size_t b, Real henries,
+                           Real series_ohms) {
+  check_node(a, "add_inductor");
+  check_node(b, "add_inductor");
+  if (henries <= 0.0) {
+    throw std::invalid_argument("add_inductor: inductance must be positive");
+  }
+  if (series_ohms < 0.0) {
+    throw std::invalid_argument("add_inductor: negative series resistance");
+  }
+  if (a == b) throw std::invalid_argument("add_inductor: shorted element");
+  inductors_.push_back({a, b, henries, series_ohms});
+}
+
+void Circuit::add_port(std::size_t node) {
+  check_node(node, "add_port");
+  if (node == kGround) {
+    throw std::invalid_argument("add_port: port node cannot be ground");
+  }
+  ports_.push_back(node);
+}
+
+ss::DescriptorSystem Circuit::build_impedance_system() const {
+  if (ports_.empty()) {
+    throw std::logic_error("build_impedance_system: no ports declared");
+  }
+  const std::size_t nv = num_nodes_;
+  const std::size_t nl = inductors_.size();
+  const std::size_t n = nv + nl;  // states: node voltages + inductor currents
+  const std::size_t p = ports_.size();
+
+  Mat e(n, n);
+  Mat a(n, n);
+
+  // Conductance stamps: KCL rows get -G v.
+  auto stamp_g = [&](std::size_t na, std::size_t nb, Real g) {
+    if (na != kGround) a(na, na) -= g;
+    if (nb != kGround) a(nb, nb) -= g;
+    if (na != kGround && nb != kGround) {
+      a(na, nb) += g;
+      a(nb, na) += g;
+    }
+  };
+  for (const auto& r : resistors_) stamp_g(r.a, r.b, 1.0 / r.value);
+
+  // Capacitance stamps on E (KCL rows: C dv/dt).
+  for (const auto& c : capacitors_) {
+    if (c.a != kGround) e(c.a, c.a) += c.value;
+    if (c.b != kGround) e(c.b, c.b) += c.value;
+    if (c.a != kGround && c.b != kGround) {
+      e(c.a, c.b) -= c.value;
+      e(c.b, c.a) -= c.value;
+    }
+  }
+
+  // Inductor branches: L di/dt = v_a - v_b - Rs i; KCL: current i leaves a,
+  // enters b.
+  for (std::size_t k = 0; k < nl; ++k) {
+    const auto& ind = inductors_[k];
+    const std::size_t row = nv + k;
+    e(row, row) = ind.value;
+    if (ind.a != kGround) {
+      a(row, ind.a) += 1.0;
+      a(ind.a, row) -= 1.0;
+    }
+    if (ind.b != kGround) {
+      a(row, ind.b) -= 1.0;
+      a(ind.b, row) += 1.0;
+    }
+    a(row, row) -= ind.series;
+  }
+
+  // Ports: unit current injection into the node; output = node voltage.
+  Mat b(n, p);
+  Mat c(p, n);
+  for (std::size_t j = 0; j < p; ++j) {
+    b(ports_[j], j) = 1.0;
+    c(j, ports_[j]) = 1.0;
+  }
+
+  ss::DescriptorSystem sys{std::move(e), std::move(a), std::move(b),
+                           std::move(c), Mat(p, p)};
+  sys.validate();
+  return sys;
+}
+
+CMat Circuit::impedance_at(Real f_hz, Real skin_f_hz) const {
+  if (ports_.empty()) {
+    throw std::logic_error("impedance_at: no ports declared");
+  }
+  if (f_hz <= 0.0) {
+    throw std::invalid_argument("impedance_at: frequency must be positive");
+  }
+  const Complex jw(0.0, 2.0 * std::numbers::pi * f_hz);
+  const std::size_t nv = num_nodes_;
+  CMat y(nv, nv);
+
+  auto stamp = [&](std::size_t na, std::size_t nb, const Complex& adm) {
+    if (na != kGround) y(na, na) += adm;
+    if (nb != kGround) y(nb, nb) += adm;
+    if (na != kGround && nb != kGround) {
+      y(na, nb) -= adm;
+      y(nb, na) -= adm;
+    }
+  };
+  for (const auto& r : resistors_) stamp(r.a, r.b, Complex(1.0 / r.value, 0));
+  for (const auto& c : capacitors_) stamp(c.a, c.b, jw * c.value);
+  for (const auto& ind : inductors_) {
+    Real rs = ind.series;
+    if (skin_f_hz > 0.0) {
+      rs *= 1.0 + std::sqrt(f_hz / skin_f_hz);
+    }
+    stamp(ind.a, ind.b, 1.0 / (jw * ind.value + rs));
+  }
+
+  // Unit current injections at the ports; Z columns are the node voltages.
+  const std::size_t p = ports_.size();
+  CMat rhs(nv, p);
+  for (std::size_t j = 0; j < p; ++j) rhs(ports_[j], j) = Complex(1.0, 0.0);
+  const CMat v = la::solve(y, rhs);
+  CMat z(p, p);
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j < p; ++j) z(i, j) = v(ports_[i], j);
+  return z;
+}
+
+CMat z_to_s(const CMat& z, Real z0) {
+  if (!z.is_square()) {
+    throw std::invalid_argument("z_to_s: Z must be square");
+  }
+  if (z0 <= 0.0) throw std::invalid_argument("z_to_s: z0 must be positive");
+  const std::size_t p = z.rows();
+  CMat zp = z;
+  CMat zm = z;
+  for (std::size_t i = 0; i < p; ++i) {
+    zp(i, i) += z0;
+    zm(i, i) -= z0;
+  }
+  // S = (Z - z0 I)(Z + z0 I)^{-1}; solve from the right:
+  // S (Z + z0 I) = (Z - z0 I)  =>  (Z + z0 I)^T S^T = (Z - z0 I)^T.
+  return la::solve(zp.transpose(), zm.transpose()).transpose();
+}
+
+CMat s_to_z(const CMat& s, Real z0) {
+  if (!s.is_square()) {
+    throw std::invalid_argument("s_to_z: S must be square");
+  }
+  if (z0 <= 0.0) throw std::invalid_argument("s_to_z: z0 must be positive");
+  const std::size_t p = s.rows();
+  CMat ip = CMat::identity(p);
+  CMat im = CMat::identity(p);
+  ip += s;
+  im -= s;
+  // Z = z0 (I + S)(I - S)^{-1} (solve from the right as above).
+  CMat z = la::solve(im.transpose(), ip.transpose()).transpose();
+  z *= Complex(z0, 0.0);
+  return z;
+}
+
+sampling::SampleSet sample_s_parameters(const ss::DescriptorSystem& z_sys,
+                                        const std::vector<Real>& freqs_hz,
+                                        Real z0) {
+  const std::vector<CMat> z = ss::frequency_response(z_sys, freqs_hz);
+  std::vector<sampling::FrequencySample> out;
+  out.reserve(freqs_hz.size());
+  for (std::size_t i = 0; i < freqs_hz.size(); ++i) {
+    out.push_back({freqs_hz[i], z_to_s(z[i], z0)});
+  }
+  return sampling::SampleSet(std::move(out));
+}
+
+sampling::SampleSet sample_s_parameters(const Circuit& ckt,
+                                        const std::vector<Real>& freqs_hz,
+                                        Real z0, Real skin_f_hz) {
+  std::vector<sampling::FrequencySample> out;
+  out.reserve(freqs_hz.size());
+  for (Real f : freqs_hz) {
+    out.push_back({f, z_to_s(ckt.impedance_at(f, skin_f_hz), z0)});
+  }
+  return sampling::SampleSet(std::move(out));
+}
+
+}  // namespace mfti::netgen

@@ -1,0 +1,114 @@
+/// \file mna.hpp
+/// \brief Modified nodal analysis: build descriptor-form state-space models
+/// of lumped RLC networks, plus the network-parameter conversions
+/// (Z <-> S) used to produce scattering data.
+///
+/// This substrate replaces the paper's measured data sources: Example 2's
+/// 14-port power distribution network is proprietary, so we synthesise an
+/// equivalent circuit and sample it through the very same code path an EM
+/// solver or VNA would feed.
+///
+/// Formulation: unknowns are node voltages and inductor branch currents,
+///   [ Ccap  0 ] d/dt [v ]   [ -G   -Al ] [v ]   [ Bu ]
+///   [  0    L ]      [iL] = [ Al^T   0 ] [iL] + [ 0  ] u,
+/// with ports modelled as current injections and port voltages as outputs,
+/// i.e. H(s) is the open-circuit impedance matrix Z(s).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sampling/dataset.hpp"
+#include "statespace/descriptor.hpp"
+
+namespace mfti::netgen {
+
+using la::CMat;
+using la::Complex;
+using la::Mat;
+using la::Real;
+
+/// Lumped-element netlist with ground-referenced ports.
+class Circuit {
+ public:
+  /// Sentinel node id for the ground/reference node.
+  static constexpr std::size_t kGround = static_cast<std::size_t>(-1);
+
+  /// Create a circuit with `num_nodes` non-ground nodes (ids 0..n-1).
+  explicit Circuit(std::size_t num_nodes);
+
+  /// Add one more node; returns its id. Used by builders that create
+  /// internal nodes (e.g. decap branches).
+  std::size_t add_node();
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_ports() const { return ports_.size(); }
+
+  /// Two-terminal elements; either terminal may be kGround.
+  /// \throws std::invalid_argument for non-positive values or bad nodes.
+  void add_resistor(std::size_t a, std::size_t b, Real ohms);
+  void add_capacitor(std::size_t a, std::size_t b, Real farads);
+  /// Inductor with optional series resistance (models conductor loss
+  /// without adding an internal node).
+  void add_inductor(std::size_t a, std::size_t b, Real henries,
+                    Real series_ohms = 0.0);
+
+  /// Declare a port: current injected into `node`, voltage sensed at
+  /// `node` (ground-referenced). Port order follows declaration order.
+  void add_port(std::size_t node);
+
+  /// Assemble the descriptor system whose transfer function is the
+  /// impedance matrix Z(s) seen at the declared ports.
+  /// \throws std::logic_error if no ports were declared.
+  ss::DescriptorSystem build_impedance_system() const;
+
+  /// Evaluate the port impedance matrix at one frequency by direct nodal
+  /// assembly, optionally with skin-effect conductor loss (see SkinEffect).
+  /// With skin effect the response is **not** the transfer function of any
+  /// finite-order LTI system — exactly like real measured board data, which
+  /// is why the Table-1 substitute data is produced this way.
+  /// \throws std::logic_error if no ports were declared;
+  /// \throws std::invalid_argument for f_hz <= 0.
+  CMat impedance_at(Real f_hz, Real skin_f_hz = 0.0) const;
+
+ private:
+  void check_node(std::size_t n, const char* what) const;
+
+  struct TwoTerminal {
+    std::size_t a;
+    std::size_t b;
+    Real value;
+    Real series;  // inductors only
+  };
+
+  std::size_t num_nodes_;
+  std::vector<TwoTerminal> resistors_;
+  std::vector<TwoTerminal> capacitors_;
+  std::vector<TwoTerminal> inductors_;
+  std::vector<std::size_t> ports_;
+};
+
+/// Convert one impedance matrix to scattering parameters with uniform real
+/// reference impedance `z0`: `S = (Z - z0 I)(Z + z0 I)^{-1}`.
+CMat z_to_s(const CMat& z, Real z0 = 50.0);
+
+/// Inverse conversion: `Z = z0 (I + S)(I - S)^{-1}`.
+CMat s_to_z(const CMat& s, Real z0 = 50.0);
+
+/// Sample the scattering parameters of an impedance-form descriptor system
+/// over a frequency grid (evaluates Z(j 2 pi f), converts each sample).
+sampling::SampleSet sample_s_parameters(const ss::DescriptorSystem& z_sys,
+                                        const std::vector<Real>& freqs_hz,
+                                        Real z0 = 50.0);
+
+/// Sample the scattering parameters of a circuit with skin-effect losses:
+/// every inductive branch's series resistance grows as
+/// `R(f) = R_dc * (1 + sqrt(f / skin_f_hz))`. Pass `skin_f_hz = 0` to
+/// disable (then this agrees with sampling the descriptor system — a
+/// property the tests verify).
+sampling::SampleSet sample_s_parameters(const Circuit& ckt,
+                                        const std::vector<Real>& freqs_hz,
+                                        Real z0 = 50.0, Real skin_f_hz = 0.0);
+
+}  // namespace mfti::netgen

@@ -1,0 +1,63 @@
+#include "netgen/rlc.hpp"
+
+#include <stdexcept>
+
+namespace mfti::netgen {
+
+namespace {
+
+void check_section(const LadderSection& sec) {
+  if (sec.series_r < 0 || sec.series_l <= 0 || sec.shunt_c <= 0 ||
+      sec.shunt_g < 0) {
+    throw std::invalid_argument("rlc ladder: invalid section values");
+  }
+}
+
+Circuit build_ladder_circuit(std::size_t sections, const LadderSection& sec) {
+  if (sections == 0) {
+    throw std::invalid_argument("rlc_ladder: need at least one section");
+  }
+  check_section(sec);
+  // Nodes 0..sections: node 0 is the input, node `sections` the output.
+  Circuit ckt(sections + 1);
+  for (std::size_t k = 0; k < sections; ++k) {
+    ckt.add_inductor(k, k + 1, sec.series_l, sec.series_r);
+    ckt.add_capacitor(k + 1, Circuit::kGround, sec.shunt_c);
+    if (sec.shunt_g > 0.0) {
+      ckt.add_resistor(k + 1, Circuit::kGround, 1.0 / sec.shunt_g);
+    }
+  }
+  // Input shunt capacitance keeps E better conditioned and mirrors the
+  // usual pi-segment discretisation.
+  ckt.add_capacitor(0, Circuit::kGround, 0.5 * sec.shunt_c);
+  return ckt;
+}
+
+}  // namespace
+
+ss::DescriptorSystem rlc_ladder(std::size_t sections,
+                                const LadderSection& sec) {
+  Circuit ckt = build_ladder_circuit(sections, sec);
+  ckt.add_port(0);
+  ckt.add_port(sections);
+  return ckt.build_impedance_system();
+}
+
+ss::DescriptorSystem rlc_multidrop(std::size_t sections, std::size_t taps,
+                                   const LadderSection& sec) {
+  if (taps < 2) {
+    throw std::invalid_argument("rlc_multidrop: need at least 2 taps");
+  }
+  if (taps > sections + 1) {
+    throw std::invalid_argument("rlc_multidrop: more taps than nodes");
+  }
+  Circuit ckt = build_ladder_circuit(sections, sec);
+  for (std::size_t j = 0; j < taps; ++j) {
+    const std::size_t node =
+        (j * sections) / (taps - 1);  // 0 .. sections inclusive
+    ckt.add_port(node);
+  }
+  return ckt.build_impedance_system();
+}
+
+}  // namespace mfti::netgen

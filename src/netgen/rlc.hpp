@@ -1,0 +1,33 @@
+/// \file rlc.hpp
+/// \brief Canonical RLC test networks: lossy transmission-line ladders.
+/// Used by examples (interconnect macromodeling — the paper's motivating
+/// application) and as well-understood fixtures in tests.
+
+#pragma once
+
+#include "netgen/mna.hpp"
+
+namespace mfti::netgen {
+
+/// Parameters of one ladder section (lumped LC approximation of a line
+/// segment): series R-L, shunt C-G.
+struct LadderSection {
+  Real series_r = 0.1;    ///< ohms
+  Real series_l = 1e-9;   ///< henries
+  Real shunt_c = 1e-12;   ///< farads
+  Real shunt_g = 0.0;     ///< siemens (0 disables the shunt resistor)
+};
+
+/// Build a 2-port ladder of `sections` identical sections: port 1 at the
+/// input node, port 2 at the output node. State order = sections * 2 (+1
+/// node). \throws std::invalid_argument for zero sections.
+ss::DescriptorSystem rlc_ladder(std::size_t sections,
+                                const LadderSection& sec = {});
+
+/// A multi-drop bus: a main ladder with `taps` additional ports uniformly
+/// distributed along it (first/last nodes always get ports). Models the
+/// "massive-port" scenario of the paper's introduction on a small scale.
+ss::DescriptorSystem rlc_multidrop(std::size_t sections, std::size_t taps,
+                                   const LadderSection& sec = {});
+
+}  // namespace mfti::netgen

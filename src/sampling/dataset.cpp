@@ -1,0 +1,63 @@
+#include "sampling/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mfti::sampling {
+
+SampleSet::SampleSet(std::vector<FrequencySample> samples)
+    : samples_(std::move(samples)) {
+  if (samples_.empty()) return;
+  const std::size_t p = samples_[0].s.rows();
+  const std::size_t m = samples_[0].s.cols();
+  if (p == 0 || m == 0) {
+    throw std::invalid_argument("SampleSet: empty sample matrices");
+  }
+  for (const auto& smp : samples_) {
+    if (smp.s.rows() != p || smp.s.cols() != m) {
+      throw std::invalid_argument("SampleSet: inconsistent port dimensions");
+    }
+    if (!(smp.f_hz > 0.0)) {
+      throw std::invalid_argument("SampleSet: frequencies must be positive");
+    }
+  }
+  std::sort(samples_.begin(), samples_.end(),
+            [](const FrequencySample& a, const FrequencySample& b) {
+              return a.f_hz < b.f_hz;
+            });
+  for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+    if (samples_[i].f_hz == samples_[i + 1].f_hz) {
+      throw std::invalid_argument("SampleSet: duplicate frequency " +
+                                  std::to_string(samples_[i].f_hz));
+    }
+  }
+}
+
+std::vector<Real> SampleSet::frequencies() const {
+  std::vector<Real> f;
+  f.reserve(samples_.size());
+  for (const auto& smp : samples_) f.push_back(smp.f_hz);
+  return f;
+}
+
+SampleSet SampleSet::subset(const std::vector<std::size_t>& idx) const {
+  std::vector<FrequencySample> out;
+  out.reserve(idx.size());
+  for (std::size_t i : idx) {
+    if (i >= samples_.size()) {
+      throw std::invalid_argument("SampleSet::subset: index out of range");
+    }
+    out.push_back(samples_[i]);
+  }
+  return SampleSet(std::move(out));
+}
+
+SampleSet SampleSet::prefix(std::size_t k) const {
+  if (k > samples_.size()) {
+    throw std::invalid_argument("SampleSet::prefix: too many samples asked");
+  }
+  return SampleSet(std::vector<FrequencySample>(samples_.begin(),
+                                                samples_.begin() + k));
+}
+
+}  // namespace mfti::sampling

@@ -1,0 +1,61 @@
+/// \file dataset.hpp
+/// \brief The container every identification algorithm consumes: a list of
+/// `(f_i, S(f_i))` pairs with consistent port dimensions (eq. (2) of the
+/// paper).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mfti::sampling {
+
+using la::CMat;
+using la::Complex;
+using la::Real;
+
+/// One frequency-domain sample: the full p x m scattering (or admittance)
+/// matrix measured/computed at `f_hz`.
+struct FrequencySample {
+  Real f_hz;
+  CMat s;
+};
+
+/// An ordered collection of frequency samples with uniform dimensions.
+class SampleSet {
+ public:
+  SampleSet() = default;
+
+  /// \throws std::invalid_argument on inconsistent dimensions or
+  /// non-positive/duplicate frequencies.
+  explicit SampleSet(std::vector<FrequencySample> samples);
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  std::size_t num_outputs() const { return empty() ? 0 : samples_[0].s.rows(); }
+  std::size_t num_inputs() const { return empty() ? 0 : samples_[0].s.cols(); }
+
+  const FrequencySample& operator[](std::size_t i) const {
+    return samples_[i];
+  }
+  const std::vector<FrequencySample>& samples() const { return samples_; }
+
+  /// All sampling frequencies (Hz), ascending.
+  std::vector<Real> frequencies() const;
+
+  /// Subset by sample indices (order preserved, duplicates allowed).
+  SampleSet subset(const std::vector<std::size_t>& idx) const;
+
+  /// First `k` samples.
+  SampleSet prefix(std::size_t k) const;
+
+  auto begin() const { return samples_.begin(); }
+  auto end() const { return samples_.end(); }
+
+ private:
+  std::vector<FrequencySample> samples_;
+};
+
+}  // namespace mfti::sampling

@@ -1,0 +1,42 @@
+#include "sampling/directions.hpp"
+
+#include <stdexcept>
+
+namespace mfti::sampling {
+
+namespace {
+
+void check(std::size_t dim, std::size_t t, const char* what) {
+  if (t == 0 || t > dim) {
+    throw std::invalid_argument(std::string(what) +
+                                ": need 1 <= t <= port count");
+  }
+}
+
+}  // namespace
+
+Mat random_right_direction(std::size_t m, std::size_t t, la::Rng& rng) {
+  check(m, t, "random_right_direction");
+  return la::random_orthonormal(m, t, rng);
+}
+
+Mat random_left_direction(std::size_t p, std::size_t t, la::Rng& rng) {
+  check(p, t, "random_left_direction");
+  return la::random_orthonormal(p, t, rng).transpose();
+}
+
+Mat cyclic_right_direction(std::size_t m, std::size_t t, std::size_t offset) {
+  check(m, t, "cyclic_right_direction");
+  Mat r(m, t);
+  for (std::size_t j = 0; j < t; ++j) r((offset + j) % m, j) = 1.0;
+  return r;
+}
+
+Mat cyclic_left_direction(std::size_t p, std::size_t t, std::size_t offset) {
+  check(p, t, "cyclic_left_direction");
+  Mat l(t, p);
+  for (std::size_t i = 0; i < t; ++i) l(i, (offset + i) % p) = 1.0;
+  return l;
+}
+
+}  // namespace mfti::sampling

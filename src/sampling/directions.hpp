@@ -1,0 +1,33 @@
+/// \file directions.hpp
+/// \brief Tangential interpolation directions.
+///
+/// Algorithm 1, step 1 of the paper: "construct orthonormal matrix-format
+/// interpolation direction L_i, R_i". Right directions are m x t with
+/// orthonormal columns, left directions are t x p with orthonormal rows.
+
+#pragma once
+
+#include "linalg/random.hpp"
+
+namespace mfti::sampling {
+
+using la::Mat;
+using la::Real;
+
+/// Random right direction `R_i` (m x t, orthonormal columns).
+/// Requires `1 <= t <= m`.
+Mat random_right_direction(std::size_t m, std::size_t t, la::Rng& rng);
+
+/// Random left direction `L_i` (t x p, orthonormal rows).
+/// Requires `1 <= t <= p`.
+Mat random_left_direction(std::size_t p, std::size_t t, la::Rng& rng);
+
+/// Deterministic right direction: columns are unit vectors
+/// `e_{offset}, e_{offset+1}, ...` (indices mod m). Useful for
+/// reproducible debugging and for the VFTI baseline's classic choice.
+Mat cyclic_right_direction(std::size_t m, std::size_t t, std::size_t offset);
+
+/// Deterministic left direction: rows are unit vectors (indices mod p).
+Mat cyclic_left_direction(std::size_t p, std::size_t t, std::size_t offset);
+
+}  // namespace mfti::sampling

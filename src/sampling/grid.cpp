@@ -1,0 +1,77 @@
+#include "sampling/grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mfti::sampling {
+
+namespace {
+
+void check(Real f_lo, Real f_hi, std::size_t k) {
+  if (k == 0) throw std::invalid_argument("grid: need at least one point");
+  if (!(f_lo < f_hi)) {
+    throw std::invalid_argument("grid: need f_lo < f_hi");
+  }
+}
+
+}  // namespace
+
+std::vector<Real> linear_grid(Real f_lo, Real f_hi, std::size_t k) {
+  check(f_lo, f_hi, k);
+  std::vector<Real> f(k);
+  if (k == 1) {
+    f[0] = 0.5 * (f_lo + f_hi);
+    return f;
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    f[i] = f_lo + (f_hi - f_lo) * static_cast<Real>(i) /
+                      static_cast<Real>(k - 1);
+  }
+  return f;
+}
+
+std::vector<Real> log_grid(Real f_lo, Real f_hi, std::size_t k) {
+  check(f_lo, f_hi, k);
+  if (f_lo <= 0.0) throw std::invalid_argument("log_grid: need f_lo > 0");
+  std::vector<Real> f(k);
+  if (k == 1) {
+    f[0] = std::sqrt(f_lo * f_hi);
+    return f;
+  }
+  const Real llo = std::log(f_lo);
+  const Real lhi = std::log(f_hi);
+  for (std::size_t i = 0; i < k; ++i) {
+    f[i] = std::exp(llo + (lhi - llo) * static_cast<Real>(i) /
+                              static_cast<Real>(k - 1));
+  }
+  return f;
+}
+
+std::vector<Real> clustered_high_grid(Real f_lo, Real f_hi, std::size_t k,
+                                      Real gamma) {
+  check(f_lo, f_hi, k);
+  if (gamma <= 0.0) throw std::invalid_argument("grid: need gamma > 0");
+  std::vector<Real> f(k);
+  if (k == 1) {
+    f[0] = f_hi;
+    return f;
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const Real u =
+        static_cast<Real>(i) / static_cast<Real>(k - 1);  // 0 .. 1
+    f[i] = f_lo + (f_hi - f_lo) * std::pow(u, gamma);
+  }
+  // u = 0 maps to f_lo, every other point is pushed toward f_hi.
+  return f;
+}
+
+std::vector<Real> clustered_low_grid(Real f_lo, Real f_hi, std::size_t k,
+                                     Real gamma) {
+  std::vector<Real> f = clustered_high_grid(f_lo, f_hi, k, gamma);
+  // Mirror: f -> f_lo + f_hi - f, then restore ascending order.
+  std::vector<Real> out(k);
+  for (std::size_t i = 0; i < k; ++i) out[i] = f_lo + f_hi - f[k - 1 - i];
+  return out;
+}
+
+}  // namespace mfti::sampling

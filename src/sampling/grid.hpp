@@ -1,0 +1,34 @@
+/// \file grid.hpp
+/// \brief Frequency grid builders: uniform, logarithmic, and the
+/// deliberately ill-conditioned clustered grids of the paper's Test 2
+/// ("100 poorly distributed samples concentrated in the high-frequency
+/// band").
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mfti::sampling {
+
+using la::Real;
+
+/// `k` equally spaced frequencies on [f_lo, f_hi] (inclusive endpoints).
+std::vector<Real> linear_grid(Real f_lo, Real f_hi, std::size_t k);
+
+/// `k` log-spaced frequencies on [f_lo, f_hi]; requires f_lo > 0.
+std::vector<Real> log_grid(Real f_lo, Real f_hi, std::size_t k);
+
+/// `k` frequencies concentrated near the *high* end of [f_lo, f_hi]:
+/// `f = f_lo + (f_hi - f_lo) * u^gamma` with `u` uniform on [0,1] and
+/// `gamma < 1`. Smaller `gamma` means stronger clustering.
+std::vector<Real> clustered_high_grid(Real f_lo, Real f_hi, std::size_t k,
+                                      Real gamma = 0.15);
+
+/// Mirror image: concentrated near the *low* end.
+std::vector<Real> clustered_low_grid(Real f_lo, Real f_hi, std::size_t k,
+                                     Real gamma = 0.15);
+
+}  // namespace mfti::sampling

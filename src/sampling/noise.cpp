@@ -1,0 +1,36 @@
+#include "sampling/noise.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mfti::sampling {
+
+SampleSet add_noise(const SampleSet& data, Real level, la::Rng& rng,
+                    NoiseReference ref) {
+  if (level < 0.0) throw std::invalid_argument("add_noise: negative level");
+  const Real inv_sqrt2 = 0.7071067811865476;
+  std::vector<FrequencySample> out;
+  out.reserve(data.size());
+  for (const auto& smp : data) {
+    CMat s = smp.s;
+    Real rms = 0.0;
+    if (ref == NoiseReference::PerMatrixRms) {
+      for (std::size_t i = 0; i < s.rows(); ++i)
+        for (std::size_t j = 0; j < s.cols(); ++j) rms += std::norm(s(i, j));
+      rms = std::sqrt(rms / static_cast<Real>(s.rows() * s.cols()));
+    }
+    for (std::size_t i = 0; i < s.rows(); ++i) {
+      for (std::size_t j = 0; j < s.cols(); ++j) {
+        const Real amp = ref == NoiseReference::PerEntry
+                             ? level * std::abs(s(i, j))
+                             : level * rms;
+        s(i, j) += Complex(rng.normal() * inv_sqrt2 * amp,
+                           rng.normal() * inv_sqrt2 * amp);
+      }
+    }
+    out.push_back({smp.f_hz, std::move(s)});
+  }
+  return SampleSet(std::move(out));
+}
+
+}  // namespace mfti::sampling

@@ -1,0 +1,27 @@
+/// \file noise.hpp
+/// \brief Measurement-noise injection for the paper's noisy-data
+/// experiments (Table 1).
+
+#pragma once
+
+#include "linalg/random.hpp"
+#include "sampling/dataset.hpp"
+
+namespace mfti::sampling {
+
+/// How the noise amplitude is referenced.
+enum class NoiseReference {
+  /// Each entry is perturbed by `level * |S_ij|` (multiplicative noise, the
+  /// common model for VNA measurement error).
+  PerEntry,
+  /// Each entry is perturbed by `level * rms(S)` of its own sample matrix
+  /// (additive floor, dominates where |S_ij| is small).
+  PerMatrixRms,
+};
+
+/// Add circular complex Gaussian noise of relative amplitude `level`
+/// (e.g. `level = 0.01` is a -40 dB perturbation).
+SampleSet add_noise(const SampleSet& data, Real level, la::Rng& rng,
+                    NoiseReference ref = NoiseReference::PerEntry);
+
+}  // namespace mfti::sampling

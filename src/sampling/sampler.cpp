@@ -1,0 +1,18 @@
+#include "sampling/sampler.hpp"
+
+#include "statespace/response.hpp"
+
+namespace mfti::sampling {
+
+SampleSet sample_system(const ss::DescriptorSystem& sys,
+                        const std::vector<Real>& freqs_hz) {
+  const std::vector<CMat> h = ss::frequency_response(sys, freqs_hz);
+  std::vector<FrequencySample> out;
+  out.reserve(freqs_hz.size());
+  for (std::size_t i = 0; i < freqs_hz.size(); ++i) {
+    out.push_back({freqs_hz[i], h[i]});
+  }
+  return SampleSet(std::move(out));
+}
+
+}  // namespace mfti::sampling

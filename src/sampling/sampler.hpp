@@ -1,0 +1,19 @@
+/// \file sampler.hpp
+/// \brief Sample the frequency response of a descriptor system into a
+/// SampleSet — the "measurement / EM-simulation" step of the paper's
+/// data-driven macromodeling flow.
+
+#pragma once
+
+#include <vector>
+
+#include "sampling/dataset.hpp"
+#include "statespace/descriptor.hpp"
+
+namespace mfti::sampling {
+
+/// Evaluate `S(f_i) = H(j 2 pi f_i)` for every frequency in `freqs_hz`.
+SampleSet sample_system(const ss::DescriptorSystem& sys,
+                        const std::vector<Real>& freqs_hz);
+
+}  // namespace mfti::sampling

@@ -1,0 +1,57 @@
+#include "statespace/descriptor.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace mfti::ss {
+
+namespace {
+
+template <typename M>
+void validate_impl(const M& e, const M& a, const M& b, const M& c,
+                   const M& d) {
+  const std::size_t n = a.rows();
+  if (!a.is_square()) {
+    throw std::invalid_argument("DescriptorSystem: A must be square");
+  }
+  if (e.rows() != n || e.cols() != n) {
+    throw std::invalid_argument("DescriptorSystem: E must match A (" +
+                                std::to_string(n) + "x" + std::to_string(n) +
+                                ")");
+  }
+  if (b.rows() != n) {
+    throw std::invalid_argument("DescriptorSystem: B must have n rows");
+  }
+  if (c.cols() != n) {
+    throw std::invalid_argument("DescriptorSystem: C must have n columns");
+  }
+  if (d.rows() != c.rows() || d.cols() != b.cols()) {
+    throw std::invalid_argument("DescriptorSystem: D must be p x m");
+  }
+}
+
+}  // namespace
+
+void DescriptorSystem::validate() const { validate_impl(e, a, b, c, d); }
+
+void ComplexDescriptorSystem::validate() const {
+  validate_impl(e, a, b, c, d);
+}
+
+ComplexDescriptorSystem to_complex(const DescriptorSystem& sys) {
+  return {la::to_complex(sys.e), la::to_complex(sys.a), la::to_complex(sys.b),
+          la::to_complex(sys.c), la::to_complex(sys.d)};
+}
+
+DescriptorSystem to_real(const ComplexDescriptorSystem& sys, Real tol) {
+  for (const CMat* m : {&sys.e, &sys.a, &sys.b, &sys.c, &sys.d}) {
+    if (!la::is_effectively_real(*m, tol)) {
+      throw std::invalid_argument(
+          "to_real: system has significantly complex entries");
+    }
+  }
+  return {la::real_part(sys.e), la::real_part(sys.a), la::real_part(sys.b),
+          la::real_part(sys.c), la::real_part(sys.d)};
+}
+
+}  // namespace mfti::ss

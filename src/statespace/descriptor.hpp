@@ -1,0 +1,59 @@
+/// \file descriptor.hpp
+/// \brief Descriptor-form state-space models `E x' = A x + B u,
+/// y = C x + D u` — the model class produced by every identification
+/// algorithm in this library (eq. (1) of the paper).
+
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace mfti::ss {
+
+using la::CMat;
+using la::Complex;
+using la::Mat;
+using la::Real;
+
+/// Real descriptor system. `E` may be singular (true descriptor form); the
+/// Loewner realizations returned by MFTI/VFTI are of this kind.
+struct DescriptorSystem {
+  Mat e;  ///< n x n (possibly singular)
+  Mat a;  ///< n x n
+  Mat b;  ///< n x m
+  Mat c;  ///< p x n
+  Mat d;  ///< p x m
+
+  std::size_t order() const { return a.rows(); }
+  std::size_t num_inputs() const { return b.cols(); }
+  std::size_t num_outputs() const { return c.rows(); }
+
+  /// Validate all dimension couplings; \throws std::invalid_argument.
+  void validate() const;
+};
+
+/// Complex descriptor system — the intermediate form produced by the raw
+/// (untransformed) Loewner realization before Lemma 3.2's real projection.
+struct ComplexDescriptorSystem {
+  CMat e;
+  CMat a;
+  CMat b;
+  CMat c;
+  CMat d;
+
+  std::size_t order() const { return a.rows(); }
+  std::size_t num_inputs() const { return b.cols(); }
+  std::size_t num_outputs() const { return c.rows(); }
+
+  void validate() const;
+};
+
+/// Promote a real system to the complex representation.
+ComplexDescriptorSystem to_complex(const DescriptorSystem& sys);
+
+/// Demote a numerically real complex system; \throws std::invalid_argument
+/// if any entry has a relative imaginary part above `tol`.
+DescriptorSystem to_real(const ComplexDescriptorSystem& sys, Real tol = 1e-8);
+
+}  // namespace mfti::ss

@@ -1,0 +1,45 @@
+/// \file passivity.hpp
+/// \brief Scattering-passivity checking: a model is passive (does not
+/// generate energy) iff `sigma_max(H(j 2 pi f)) <= 1` everywhere.
+///
+/// Loewner/VF macromodels match the data but carry no passivity guarantee;
+/// checking is the standard post-fit step before handing a model to a
+/// circuit simulator (a non-passive model can blow up a transient run).
+/// This is a sampling-based check with local refinement: robust, simple,
+/// and independent of the model's internal structure.
+
+#pragma once
+
+#include <vector>
+
+#include "statespace/descriptor.hpp"
+
+namespace mfti::ss {
+
+/// One contiguous frequency band where `sigma_max > 1 + tol`.
+struct PassivityViolation {
+  Real f_lo_hz;      ///< band start (grid resolution)
+  Real f_hi_hz;      ///< band end
+  Real worst_f_hz;   ///< refined location of the maximum
+  Real worst_norm;   ///< refined sigma_max at worst_f_hz
+};
+
+/// Options for the scan.
+struct PassivityScanOptions {
+  std::size_t grid_points = 400;  ///< coarse log-grid resolution
+  Real tolerance = 1e-6;          ///< violation threshold above 1
+  int refine_iterations = 30;     ///< golden-section steps per violation
+};
+
+/// Scan `[f_lo, f_hi]` for passivity violations.
+/// \throws std::invalid_argument for an invalid band.
+std::vector<PassivityViolation> scattering_passivity_violations(
+    const DescriptorSystem& sys, Real f_lo_hz, Real f_hi_hz,
+    const PassivityScanOptions& opts = {});
+
+/// True when no violation is found in the band.
+bool is_scattering_passive(const DescriptorSystem& sys, Real f_lo_hz,
+                           Real f_hi_hz,
+                           const PassivityScanOptions& opts = {});
+
+}  // namespace mfti::ss

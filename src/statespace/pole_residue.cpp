@@ -1,0 +1,186 @@
+#include "statespace/pole_residue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/eig.hpp"
+#include "linalg/norms.hpp"
+#include "statespace/response.hpp"
+
+namespace mfti::ss {
+
+CMat PoleResidueDecomposition::evaluate(Complex s) const {
+  CMat h = d_infinity;
+  for (std::size_t q = 0; q < poles.size(); ++q) {
+    const Complex g = 1.0 / (s - poles[q]);
+    for (std::size_t i = 0; i < h.rows(); ++i)
+      for (std::size_t j = 0; j < h.cols(); ++j)
+        h(i, j) += residues[q](i, j) * g;
+  }
+  return h;
+}
+
+PoleResidueDecomposition pole_residue_decomposition(
+    const DescriptorSystem& sys, const PoleResidueOptions& opts) {
+  sys.validate();
+  if (sys.order() == 0) {
+    throw std::invalid_argument(
+        "pole_residue_decomposition: order-0 system");
+  }
+  const CMat a = la::to_complex(sys.a);
+  const CMat e = la::to_complex(sys.e);
+  const CMat b = la::to_complex(sys.b);
+  const CMat c = la::to_complex(sys.c);
+
+  PoleResidueDecomposition out;
+  out.poles = la::generalized_eigenvalues(sys.a, sys.e);
+
+  Real pole_scale = 0.0;
+  for (const Complex& p : out.poles)
+    pole_scale = std::max(pole_scale, std::abs(p));
+  if (pole_scale == 0.0) pole_scale = 1.0;
+
+  out.residues.reserve(out.poles.size());
+  for (const Complex& p : out.poles) {
+    const CMat v = la::pencil_eigenvector(a, e, p,
+                                          opts.eigenvector_iterations);
+    const CMat w = la::pencil_left_eigenvector(a, e, p,
+                                               opts.eigenvector_iterations);
+    // R = (C v)(w^* B) / (w^* E v)
+    const CMat cv = c * v;                    // p x 1
+    const CMat wb = w.adjoint() * b;          // 1 x m
+    const CMat wev = w.adjoint() * (e * v);   // 1 x 1
+    const Complex denom = wev(0, 0);
+    if (std::abs(denom) < 1e-300) {
+      throw la::ConvergenceError(
+          "pole_residue_decomposition: degenerate eigentriplet (defective "
+          "or clustered pole?)");
+    }
+    CMat r = cv * wb;
+    r /= denom;
+    out.residues.push_back(std::move(r));
+  }
+
+  // Direct term: evaluate far from all dynamics and subtract the modal sum.
+  const Complex s_far(opts.d_term_factor * pole_scale, 0.0);
+  const CMat h_far = transfer_function(sys, s_far);
+  CMat modal(sys.num_outputs(), sys.num_inputs());
+  for (std::size_t q = 0; q < out.poles.size(); ++q) {
+    const Complex g = 1.0 / (s_far - out.poles[q]);
+    for (std::size_t i = 0; i < modal.rows(); ++i)
+      for (std::size_t j = 0; j < modal.cols(); ++j)
+        modal(i, j) += out.residues[q](i, j) * g;
+  }
+  out.d_infinity = h_far - modal;
+  return out;
+}
+
+DescriptorSystem from_pole_residues(const std::vector<Complex>& poles,
+                                    const std::vector<CMat>& residues,
+                                    const Mat& d) {
+  if (poles.size() != residues.size()) {
+    throw std::invalid_argument(
+        "from_pole_residues: pole/residue count mismatch");
+  }
+  const std::size_t p = d.rows();
+  const std::size_t m = d.cols();
+  for (const CMat& r : residues) {
+    if (r.rows() != p || r.cols() != m) {
+      throw std::invalid_argument(
+          "from_pole_residues: residue dimensions must match D");
+    }
+  }
+  const std::size_t n = poles.size();
+
+  // General residues are full p x m matrices; a faithful real realization
+  // uses one state per pole *per input* (same block form as the vector
+  // fitting realization). Pair up conjugate poles; real poles stand alone.
+  std::vector<bool> used(n, false);
+  std::size_t off = 0;
+  const std::size_t order = n * m;
+  Mat aa(order, order);
+  Mat bb(order, m);
+  Mat cc(p, order);
+  off = 0;
+  for (std::size_t q = 0; q < n; ++q) {
+    if (used[q]) continue;
+    const Complex pole = poles[q];
+    const bool is_real =
+        std::abs(pole.imag()) <= 1e-10 * (std::abs(pole) + 1e-300);
+    if (is_real) {
+      used[q] = true;
+      for (std::size_t col = 0; col < m; ++col) {
+        aa(off + col, off + col) = pole.real();
+        bb(off + col, col) = 1.0;
+        for (std::size_t i = 0; i < p; ++i)
+          cc(i, off + col) = residues[q](i, col).real();
+      }
+      off += m;
+      continue;
+    }
+    // Find the conjugate mate.
+    std::size_t mate = n;
+    for (std::size_t r = q + 1; r < n; ++r) {
+      if (!used[r] &&
+          std::abs(poles[r] - std::conj(pole)) <= 1e-6 * std::abs(pole)) {
+        mate = r;
+        break;
+      }
+    }
+    if (mate == n) {
+      throw std::invalid_argument(
+          "from_pole_residues: pole set is not conjugate-closed");
+    }
+    used[q] = used[mate] = true;
+    const Real alpha = pole.real();
+    const Real beta = std::abs(pole.imag());
+    // Use the +Im member's residue for the (Re, Im) split.
+    const CMat& r_pos = pole.imag() > 0 ? residues[q] : residues[mate];
+    for (std::size_t col = 0; col < m; ++col) {
+      aa(off + col, off + col) = alpha;
+      aa(off + col, off + m + col) = beta;
+      aa(off + m + col, off + col) = -beta;
+      aa(off + m + col, off + m + col) = alpha;
+      bb(off + col, col) = 2.0;
+      for (std::size_t i = 0; i < p; ++i) {
+        cc(i, off + col) = r_pos(i, col).real();
+        cc(i, off + m + col) = r_pos(i, col).imag();
+      }
+    }
+    off += 2 * m;
+  }
+
+  DescriptorSystem sys{Mat::identity(off),
+                       aa.block(0, 0, off, off),
+                       bb.block(0, 0, off, m),
+                       cc.block(0, 0, p, off),
+                       d};
+  sys.validate();
+  return sys;
+}
+
+DescriptorSystem modal_truncation(const DescriptorSystem& sys, Real rel_tol,
+                                  const PoleResidueOptions& opts) {
+  const PoleResidueDecomposition pr = pole_residue_decomposition(sys, opts);
+  // Peak contribution of a mode near its resonance: ||R|| / |Re p|.
+  std::vector<Real> weight(pr.poles.size());
+  Real w_max = 0.0;
+  for (std::size_t q = 0; q < pr.poles.size(); ++q) {
+    const Real damp = std::max(std::abs(pr.poles[q].real()), 1e-300);
+    weight[q] = la::two_norm(pr.residues[q]) / damp;
+    w_max = std::max(w_max, weight[q]);
+  }
+  std::vector<Complex> kept_poles;
+  std::vector<CMat> kept_residues;
+  for (std::size_t q = 0; q < pr.poles.size(); ++q) {
+    if (weight[q] >= rel_tol * w_max) {
+      kept_poles.push_back(pr.poles[q]);
+      kept_residues.push_back(pr.residues[q]);
+    }
+  }
+  return from_pole_residues(kept_poles, kept_residues,
+                            la::real_part(pr.d_infinity));
+}
+
+}  // namespace mfti::ss

@@ -1,0 +1,68 @@
+/// \file pole_residue.hpp
+/// \brief Modal (pole-residue) decomposition of descriptor models:
+/// `H(s) ≈ D_inf + sum_q R_q / (s - p_q)`.
+///
+/// The Loewner realizations returned by MFTI are projected pencils whose
+/// state basis has no physical meaning; the pole-residue form is how one
+/// inspects the identified dynamics (which resonances were captured, with
+/// what coupling) and ports the model to other tools.
+
+#pragma once
+
+#include <vector>
+
+#include "statespace/descriptor.hpp"
+
+namespace mfti::ss {
+
+/// Result of pole_residue_decomposition.
+struct PoleResidueDecomposition {
+  std::vector<Complex> poles;   ///< finite pencil eigenvalues
+  std::vector<CMat> residues;   ///< one p x m residue matrix per pole
+  CMat d_infinity;              ///< direct term (limit of H - sum R/(s-p))
+
+  /// Evaluate the modal form at one point.
+  CMat evaluate(Complex s) const;
+};
+
+/// Options for the decomposition.
+struct PoleResidueOptions {
+  /// Iterations of inverse iteration per eigenvector.
+  int eigenvector_iterations = 8;
+  /// Where the direct term is read off: `s = d_term_factor * max|pole|` on
+  /// the positive real axis (far from all dynamics).
+  Real d_term_factor = 1e3;
+};
+
+/// Compute poles, residue matrices and the direct term of a descriptor
+/// model via pencil eigentriplets:
+/// `R_q = (C v_q)(w_q^* B) / (w_q^* E v_q)`.
+///
+/// Accurate for simple (non-defective, well-separated) poles — which is
+/// what physical macromodels have; clustered poles may mix.
+/// \throws std::invalid_argument for order-0 systems.
+PoleResidueDecomposition pole_residue_decomposition(
+    const DescriptorSystem& sys, const PoleResidueOptions& opts = {});
+
+/// Rebuild a real state-space model from a conjugate-closed modal form
+/// (the inverse of pole_residue_decomposition, up to state coordinates).
+/// Order of the result = number of poles.
+/// \throws std::invalid_argument if the pole set is not conjugate-closed
+/// or dimensions are inconsistent.
+DescriptorSystem from_pole_residues(const std::vector<Complex>& poles,
+                                    const std::vector<CMat>& residues,
+                                    const Mat& d);
+
+/// Modal truncation: keep only the modes whose peak frequency-response
+/// contribution `||R_q||_2 / |Re(p_q)|` exceeds `rel_tol` times the
+/// largest, and rebuild a (smaller) real model. The D term absorbs the
+/// static part of the decomposition.
+///
+/// The standard clean-up after a Loewner/VF fit: drops numerically spurious
+/// weak modes without touching the dominant dynamics.
+/// \throws std::invalid_argument for order-0 systems.
+DescriptorSystem modal_truncation(const DescriptorSystem& sys,
+                                  Real rel_tol = 1e-8,
+                                  const PoleResidueOptions& opts = {});
+
+}  // namespace mfti::ss

@@ -1,0 +1,98 @@
+#include "statespace/random_system.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/qr.hpp"
+
+namespace mfti::ss {
+
+DescriptorSystem random_stable_mimo(const RandomSystemOptions& opts,
+                                    la::Rng& rng) {
+  const std::size_t n = opts.order;
+  const std::size_t p = opts.num_outputs;
+  const std::size_t m = opts.num_inputs;
+  if (n == 0 || p == 0 || m == 0) {
+    throw std::invalid_argument("random_stable_mimo: empty dimensions");
+  }
+  if (opts.f_min_hz <= 0.0 || opts.f_max_hz <= opts.f_min_hz) {
+    throw std::invalid_argument("random_stable_mimo: bad frequency band");
+  }
+  if (opts.min_damping <= 0.0 || opts.max_damping < opts.min_damping) {
+    throw std::invalid_argument("random_stable_mimo: bad damping range");
+  }
+
+  const std::size_t pairs = n / 2;
+  const bool odd = (n % 2) != 0;
+
+  Mat a(n, n);
+  std::vector<Real> block_sigma(n, 0.0);  // |Re(pole)| per state row
+  const Real log_lo = std::log(2.0 * std::numbers::pi * opts.f_min_hz);
+  const Real log_hi = std::log(2.0 * std::numbers::pi * opts.f_max_hz);
+  for (std::size_t k = 0; k < pairs; ++k) {
+    // Log-spread natural frequencies with jitter so no two systems share a
+    // resonance comb.
+    const Real frac =
+        pairs == 1 ? 0.5
+                   : (static_cast<Real>(k) + 0.5 * rng.uniform(0.2, 0.8)) /
+                         static_cast<Real>(pairs);
+    const Real w = std::exp(log_lo + frac * (log_hi - log_lo));
+    const Real zeta = rng.uniform(opts.min_damping, opts.max_damping);
+    const Real sigma = -zeta * w;
+    const std::size_t i = 2 * k;
+    a(i, i) = sigma;
+    a(i, i + 1) = w;
+    a(i + 1, i) = -w;
+    a(i + 1, i + 1) = sigma;
+    block_sigma[i] = -sigma;
+    block_sigma[i + 1] = -sigma;
+  }
+  if (odd) {
+    // One real pole in the middle of the band.
+    const Real w = std::exp(0.5 * (log_lo + log_hi));
+    a(n - 1, n - 1) = -w;
+    block_sigma[n - 1] = w;
+  }
+
+  // Scale B rows so every resonance peak contributes O(1) magnitude:
+  // the peak of r / (s - p) on the jw axis is ~ |r| / |Re p|.
+  Mat b = la::random_matrix(n, m, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real scale = std::sqrt(block_sigma[i]);
+    for (std::size_t j = 0; j < m; ++j) b(i, j) *= scale;
+  }
+  Mat c = la::random_matrix(p, n, rng);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Real scale = std::sqrt(block_sigma[j]) /
+                       std::sqrt(static_cast<Real>(std::max(pairs, 1ul)));
+    for (std::size_t i = 0; i < p; ++i) c(i, j) *= scale;
+  }
+
+  if (opts.mix_state_basis) {
+    const Mat q = la::random_orthonormal(n, n, rng);
+    a = q.transpose() * a * q;
+    b = q.transpose() * b;
+    c = c * q;
+  }
+
+  const std::size_t rank_d = std::min({opts.rank_d, p, m});
+  Mat d(p, m);
+  if (rank_d > 0) {
+    // Well-conditioned by construction: orthonormal factors and singular
+    // values confined to [0.5, 1.5] * d_scale.
+    const Mat q1 = la::random_orthonormal(p, rank_d, rng);
+    const Mat q2 = la::random_orthonormal(m, rank_d, rng);
+    Mat s(rank_d, rank_d);
+    for (std::size_t i = 0; i < rank_d; ++i)
+      s(i, i) = opts.d_scale * rng.uniform(0.5, 1.5);
+    d = q1 * s * q2.transpose();
+  }
+
+  DescriptorSystem sys{Mat::identity(n), std::move(a), std::move(b),
+                       std::move(c), std::move(d)};
+  sys.validate();
+  return sys;
+}
+
+}  // namespace mfti::ss

@@ -1,0 +1,82 @@
+#include "statespace/response.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "linalg/eig.hpp"
+#include "linalg/lu.hpp"
+
+namespace mfti::ss {
+
+namespace {
+
+CMat eval_impl(const CMat& e, const CMat& a, const CMat& b, const CMat& c,
+               const CMat& d, Complex s) {
+  const std::size_t n = a.rows();
+  CMat pencil(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) pencil(i, j) = s * e(i, j) - a(i, j);
+  return c * la::solve(pencil, b) + d;
+}
+
+}  // namespace
+
+CMat transfer_function(const DescriptorSystem& sys, Complex s) {
+  sys.validate();
+  return eval_impl(la::to_complex(sys.e), la::to_complex(sys.a),
+                   la::to_complex(sys.b), la::to_complex(sys.c),
+                   la::to_complex(sys.d), s);
+}
+
+CMat transfer_function(const ComplexDescriptorSystem& sys, Complex s) {
+  sys.validate();
+  return eval_impl(sys.e, sys.a, sys.b, sys.c, sys.d, s);
+}
+
+std::vector<CMat> frequency_response(const DescriptorSystem& sys,
+                                     const std::vector<Real>& freqs_hz) {
+  sys.validate();
+  const ComplexDescriptorSystem c = to_complex(sys);
+  return frequency_response(c, freqs_hz);
+}
+
+std::vector<CMat> frequency_response(const ComplexDescriptorSystem& sys,
+                                     const std::vector<Real>& freqs_hz) {
+  sys.validate();
+  std::vector<CMat> out;
+  out.reserve(freqs_hz.size());
+  for (Real f : freqs_hz) {
+    const Complex s(0.0, 2.0 * std::numbers::pi * f);
+    out.push_back(eval_impl(sys.e, sys.a, sys.b, sys.c, sys.d, s));
+  }
+  return out;
+}
+
+std::vector<Complex> poles(const DescriptorSystem& sys) {
+  sys.validate();
+  if (sys.order() == 0) return {};
+  return la::generalized_eigenvalues(sys.a, sys.e);
+}
+
+bool is_stable(const DescriptorSystem& sys, Real margin) {
+  for (const Complex& p : poles(sys)) {
+    if (p.real() >= -margin) return false;
+  }
+  return true;
+}
+
+std::vector<Real> bode_magnitude(const DescriptorSystem& sys,
+                                 const std::vector<Real>& freqs_hz,
+                                 std::size_t out, std::size_t in) {
+  if (out >= sys.num_outputs() || in >= sys.num_inputs()) {
+    throw std::invalid_argument("bode_magnitude: port index out of range");
+  }
+  std::vector<Real> mag;
+  mag.reserve(freqs_hz.size());
+  for (const CMat& h : frequency_response(sys, freqs_hz)) {
+    mag.push_back(std::abs(h(out, in)));
+  }
+  return mag;
+}
+
+}  // namespace mfti::ss

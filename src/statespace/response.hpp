@@ -1,0 +1,38 @@
+/// \file response.hpp
+/// \brief Frequency-domain evaluation of descriptor systems: transfer
+/// function `H(s) = C (sE - A)^{-1} B + D`, frequency sweeps, poles and
+/// stability.
+
+#pragma once
+
+#include <vector>
+
+#include "statespace/descriptor.hpp"
+
+namespace mfti::ss {
+
+/// Evaluate `H(s)` at one complex frequency point.
+/// \throws la::SingularMatrixError when `s` is (numerically) a pole.
+CMat transfer_function(const DescriptorSystem& sys, Complex s);
+CMat transfer_function(const ComplexDescriptorSystem& sys, Complex s);
+
+/// Evaluate `H(j 2 pi f)` for every frequency (Hz) in `freqs`.
+std::vector<CMat> frequency_response(const DescriptorSystem& sys,
+                                     const std::vector<Real>& freqs_hz);
+std::vector<CMat> frequency_response(const ComplexDescriptorSystem& sys,
+                                     const std::vector<Real>& freqs_hz);
+
+/// Finite poles of the pencil `(A, E)`.
+std::vector<Complex> poles(const DescriptorSystem& sys);
+
+/// True when every finite pole has a strictly negative real part
+/// (within `margin` of the imaginary axis counts as unstable).
+bool is_stable(const DescriptorSystem& sys, Real margin = 0.0);
+
+/// Magnitude of entry (`out`, `in`) of `H(j 2 pi f)` over a frequency sweep
+/// — the quantity plotted in the paper's Fig. 2 Bode diagram.
+std::vector<Real> bode_magnitude(const DescriptorSystem& sys,
+                                 const std::vector<Real>& freqs_hz,
+                                 std::size_t out = 0, std::size_t in = 0);
+
+}  // namespace mfti::ss

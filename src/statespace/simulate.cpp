@@ -1,0 +1,96 @@
+#include "statespace/simulate.hpp"
+
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace mfti::ss {
+
+Simulation simulate(const DescriptorSystem& sys, const InputSignal& input,
+                    Real dt, Real t_end) {
+  sys.validate();
+  if (!(dt > 0.0) || !(t_end > 0.0)) {
+    throw std::invalid_argument("simulate: dt and t_end must be positive");
+  }
+  const std::size_t n = sys.order();
+  const std::size_t m = sys.num_inputs();
+  const std::size_t p = sys.num_outputs();
+
+  // Left and right trapezoidal matrices.
+  Mat lhs = sys.e;
+  Mat rhs = sys.e;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      lhs(i, j) -= 0.5 * dt * sys.a(i, j);
+      rhs(i, j) += 0.5 * dt * sys.a(i, j);
+    }
+  }
+  la::LuDecomposition<Real> lu(std::move(lhs));
+  if (lu.is_singular()) {
+    throw la::SingularMatrixError("simulate: (E - dt/2 A) is singular");
+  }
+
+  auto eval_input = [&](Real t) {
+    std::vector<Real> u = input(t);
+    if (u.size() != m) {
+      throw std::invalid_argument("simulate: input size != num_inputs");
+    }
+    return u;
+  };
+
+  const std::size_t steps = static_cast<std::size_t>(t_end / dt) + 1;
+  Simulation out;
+  out.time.reserve(steps);
+  out.outputs.reserve(steps);
+
+  Mat x(n, 1);
+  std::vector<Real> u_prev = eval_input(0.0);
+  auto emit = [&](Real t, const std::vector<Real>& u) {
+    std::vector<Real> y(p, 0.0);
+    for (std::size_t i = 0; i < p; ++i) {
+      Real acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) acc += sys.c(i, j) * x(j, 0);
+      for (std::size_t j = 0; j < m; ++j) acc += sys.d(i, j) * u[j];
+      y[i] = acc;
+    }
+    out.time.push_back(t);
+    out.outputs.push_back(std::move(y));
+  };
+  emit(0.0, u_prev);
+
+  for (std::size_t k = 1; k < steps; ++k) {
+    const Real t = static_cast<Real>(k) * dt;
+    const std::vector<Real> u_next = eval_input(t);
+    // rhs_vec = (E + dt/2 A) x + dt/2 B (u_k + u_{k+1})
+    Mat rv(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      Real acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) acc += rhs(i, j) * x(j, 0);
+      for (std::size_t j = 0; j < m; ++j)
+        acc += 0.5 * dt * sys.b(i, j) * (u_prev[j] + u_next[j]);
+      rv(i, 0) = acc;
+    }
+    x = lu.solve(rv);
+    emit(t, u_next);
+    u_prev = u_next;
+  }
+  return out;
+}
+
+Simulation step_response(const DescriptorSystem& sys, std::size_t in_port,
+                         Real dt, Real t_end) {
+  if (in_port >= sys.num_inputs()) {
+    throw std::invalid_argument("step_response: input port out of range");
+  }
+  const std::size_t m = sys.num_inputs();
+  return simulate(
+      sys,
+      [m, in_port](Real t) {
+        std::vector<Real> u(m, 0.0);
+        if (t >= 0.0) u[in_port] = 1.0;
+        return u;
+      },
+      dt, t_end);
+}
+
+}  // namespace mfti::ss

@@ -1,0 +1,42 @@
+/// \file simulate.hpp
+/// \brief Time-domain simulation of descriptor models (trapezoidal rule).
+///
+/// The end use of a macromodel is transient simulation — signal integrity,
+/// crosstalk, eye diagrams (the paper's motivating applications). The
+/// trapezoidal rule is A-stable and preserves the descriptor structure:
+/// `(E - dt/2 A) x_{k+1} = (E + dt/2 A) x_k + dt/2 B (u_k + u_{k+1})`,
+/// one LU factorisation reused across all steps.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "statespace/descriptor.hpp"
+
+namespace mfti::ss {
+
+/// Input signal: maps time (s) to an m-vector of port excitations.
+using InputSignal = std::function<std::vector<Real>(Real)>;
+
+/// Trajectory of a simulation: `time[k]` and the p outputs `outputs[k]`.
+struct Simulation {
+  std::vector<Real> time;
+  std::vector<std::vector<Real>> outputs;
+
+  std::size_t steps() const { return time.size(); }
+};
+
+/// Simulate `y(t)` for `t in [0, t_end]` with fixed step `dt` from a zero
+/// initial state.
+/// \throws std::invalid_argument for non-positive dt/t_end or input size
+/// mismatch; \throws la::SingularMatrixError if `(E - dt/2 A)` is singular
+/// (non-solvable pencil or pathological dt).
+Simulation simulate(const DescriptorSystem& sys, const InputSignal& input,
+                    Real dt, Real t_end);
+
+/// Unit step on one input port (zero elsewhere).
+Simulation step_response(const DescriptorSystem& sys, std::size_t in_port,
+                         Real dt, Real t_end);
+
+}  // namespace mfti::ss

@@ -1,0 +1,18 @@
+#include "vfti/vfti.hpp"
+
+namespace mfti::vfti {
+
+VftiResult vfti_fit(const sampling::SampleSet& samples,
+                    const VftiOptions& opts) {
+  loewner::TangentialOptions data_opts;
+  data_opts.uniform_t = 1;  // the defining restriction of VFTI
+  data_opts.directions = opts.directions;
+  data_opts.seed = opts.seed;
+  loewner::TangentialData data =
+      loewner::build_tangential_data(samples, data_opts);
+  loewner::Realization real = loewner::realize(data, opts.realization);
+  return {std::move(real.model), std::move(real.singular_values), real.order,
+          std::move(data)};
+}
+
+}  // namespace mfti::vfti

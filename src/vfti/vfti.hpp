@@ -1,0 +1,45 @@
+/// \file vfti.hpp
+/// \brief Baseline: vector-format tangential interpolation (VFTI) after
+/// Lefteriu–Antoulas [6,7,8] — the method the paper generalizes.
+///
+/// VFTI is exactly the `t_i = 1` special case of the matrix-format data:
+/// each sampled matrix contributes a single right (column) or left (row)
+/// tangential vector, so a k-sample data set yields only a k x k Loewner
+/// matrix regardless of the port count — the reason VFTI needs ~min(m, p)
+/// times more samples than MFTI (Theorem 3.5) and the cause of the missing
+/// singular-value drop in Fig. 1.
+
+#pragma once
+
+#include <cstdint>
+
+#include "loewner/realization.hpp"
+#include "loewner/tangential.hpp"
+#include "sampling/dataset.hpp"
+#include "statespace/descriptor.hpp"
+
+namespace mfti::vfti {
+
+/// Options for vfti_fit.
+struct VftiOptions {
+  /// Classic VFTI cycles unit vectors through the ports; random orthonormal
+  /// single directions are also supported.
+  loewner::DirectionKind directions = loewner::DirectionKind::Cyclic;
+  /// Seed for random directions (unused for Cyclic).
+  std::uint64_t seed = 0x0f71'0001;
+  loewner::RealizationOptions realization;
+};
+
+/// Result of a VFTI fit.
+struct VftiResult {
+  ss::DescriptorSystem model;
+  std::vector<la::Real> singular_values;
+  std::size_t order;
+  loewner::TangentialData data;
+};
+
+/// Fit a real descriptor model from vector-format tangential data.
+VftiResult vfti_fit(const sampling::SampleSet& samples,
+                    const VftiOptions& opts = {});
+
+}  // namespace mfti::vfti

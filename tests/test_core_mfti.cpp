@@ -1,0 +1,158 @@
+// Tests for the MFTI core: Algorithm 1 end-to-end, the minimal sampling
+// theorem (Theorem 3.5), and the MFTI-vs-VFTI sample efficiency claim.
+
+#include <gtest/gtest.h>
+
+#include "core/mfti.hpp"
+#include "core/minimal_sampling.hpp"
+#include "linalg/norms.hpp"
+#include "metrics/error.hpp"
+#include "sampling/grid.hpp"
+#include "sampling/noise.hpp"
+#include "sampling/sampler.hpp"
+#include "statespace/random_system.hpp"
+#include "statespace/response.hpp"
+#include "vfti/vfti.hpp"
+
+namespace la = mfti::la;
+namespace ss = mfti::ss;
+namespace sp = mfti::sampling;
+namespace core = mfti::core;
+using la::Complex;
+
+namespace {
+
+ss::DescriptorSystem make_system(std::size_t order, std::size_t ports,
+                                 std::size_t rank_d, std::uint64_t seed) {
+  la::Rng rng(seed);
+  ss::RandomSystemOptions opts;
+  opts.order = order;
+  opts.num_outputs = ports;
+  opts.num_inputs = ports;
+  opts.rank_d = rank_d;
+  return ss::random_stable_mimo(opts, rng);
+}
+
+sp::SampleSet sample(const ss::DescriptorSystem& sys, std::size_t k) {
+  return sp::sample_system(sys, sp::log_grid(10.0, 1e5, k));
+}
+
+}  // namespace
+
+TEST(MftiFit, RecoversNoiseFreeSystem) {
+  const auto sys = make_system(14, 4, 4, 201);
+  const auto data = sample(sys, 12);
+  const core::MftiResult fit = core::mfti_fit(data);
+  EXPECT_EQ(fit.order, 18u);  // order + rank(D)
+  EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-8);
+  // Generalizes beyond the sampled grid.
+  EXPECT_LT(mfti::metrics::model_error(fit.model, sample(sys, 41)), 1e-6);
+}
+
+TEST(MftiFit, WorksWithUnequalWeights) {
+  const auto sys = make_system(10, 3, 0, 202);
+  const auto data = sample(sys, 8);
+  core::MftiOptions opts;
+  opts.data.t_per_sample = {3, 3, 3, 3, 2, 2, 1, 1};  // decreasing weights
+  const core::MftiResult fit = core::mfti_fit(data, opts);
+  EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-6);
+}
+
+TEST(MftiFit, CyclicDirectionsAlsoRecover) {
+  const auto sys = make_system(8, 2, 1, 203);
+  const auto data = sample(sys, 10);
+  core::MftiOptions opts;
+  opts.data.directions = mfti::loewner::DirectionKind::Cyclic;
+  const core::MftiResult fit = core::mfti_fit(data, opts);
+  EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-7);
+}
+
+TEST(MftiFit, ToleratesModerateNoise) {
+  const auto sys = make_system(10, 3, 2, 204);
+  la::Rng noise_rng(42);
+  const auto data = sp::add_noise(sample(sys, 30), 1e-3, noise_rng);
+  core::MftiOptions opts;
+  opts.realization.selection = mfti::loewner::OrderSelection::Tolerance;
+  opts.realization.rank_tol = 1e-4;
+  const core::MftiResult fit = core::mfti_fit(data, opts);
+  const double err = mfti::metrics::model_error(fit.model, data);
+  EXPECT_LT(err, 5e-3);  // comparable to the injected noise level
+}
+
+TEST(MftiFit, SeedReproducibility) {
+  const auto sys = make_system(8, 2, 0, 205);
+  const auto data = sample(sys, 8);
+  core::MftiOptions opts;
+  opts.data.seed = 777;
+  const auto fit1 = core::mfti_fit(data, opts);
+  const auto fit2 = core::mfti_fit(data, opts);
+  EXPECT_TRUE(la::approx_equal(fit1.model.a, fit2.model.a));
+  EXPECT_TRUE(la::approx_equal(fit1.model.c, fit2.model.c));
+}
+
+// --- Theorem 3.5 -------------------------------------------------------------
+
+TEST(MinimalSampling, BoundsFormula) {
+  // order 150, rank(D) 30, 30 ports: the paper's Example 1 numbers.
+  const auto b = core::minimal_samples(150, 30, 30, 30);
+  EXPECT_EQ(b.lower, 5u);
+  EXPECT_EQ(b.upper, 6u);
+  EXPECT_EQ(b.empirical, 6u);
+  EXPECT_EQ(core::minimal_vfti_samples(150, 30), 180u);
+}
+
+TEST(MinimalSampling, RoundsUp) {
+  const auto b = core::minimal_samples(7, 1, 3, 3);
+  EXPECT_EQ(b.lower, 3u);      // ceil(7/3)
+  EXPECT_EQ(b.empirical, 3u);  // ceil(8/3)
+  const auto b2 = core::minimal_samples(7, 2, 3, 3);
+  EXPECT_EQ(b2.empirical, 3u);  // ceil(9/3)
+  const auto b3 = core::minimal_samples(7, 3, 3, 3);
+  EXPECT_EQ(b3.empirical, 4u);  // ceil(10/3)
+}
+
+TEST(MinimalSampling, RectangularUsesMinPort) {
+  const auto b = core::minimal_samples(12, 0, 6, 2);
+  EXPECT_EQ(b.lower, 6u);  // min(m, p) = 2
+}
+
+TEST(MinimalSampling, InvalidArgumentsThrow) {
+  EXPECT_THROW(core::minimal_samples(0, 0, 2, 2), std::invalid_argument);
+  EXPECT_THROW(core::minimal_samples(4, 0, 0, 2), std::invalid_argument);
+  EXPECT_THROW(core::minimal_samples(4, 0, 2, 2, 2), std::invalid_argument);
+}
+
+TEST(MinimalSampling, EmpiricalCountSufficesInPractice) {
+  // Sample exactly k_min matrices and verify recovery; then remove one
+  // sample and verify failure. This is Theorem 3.5 in executable form.
+  const std::size_t order = 12, ports = 4, rank_d = 4;
+  const auto sys = make_system(order, ports, rank_d, 206);
+  const auto bounds = core::minimal_samples(order, rank_d, ports, ports);
+  ASSERT_EQ(bounds.empirical, 4u);
+
+  const auto enough = sample(sys, bounds.empirical);
+  const core::MftiResult good = core::mfti_fit(enough);
+  EXPECT_LT(mfti::metrics::model_error(good.model, sample(sys, 33)), 1e-6);
+
+  const auto too_few = sample(sys, bounds.empirical - 2);
+  const core::MftiResult bad = core::mfti_fit(too_few);
+  EXPECT_GT(mfti::metrics::model_error(bad.model, sample(sys, 33)), 1e-3);
+}
+
+TEST(MinimalSampling, MftiBeatsVftiAtEqualSampleCount) {
+  // The paper's headline: with the same (small) number of matrix samples,
+  // MFTI recovers the system while VFTI cannot.
+  const std::size_t order = 12, ports = 4, rank_d = 4;
+  const auto sys = make_system(order, ports, rank_d, 207);
+  const auto data = sample(sys, 6);  // k_min = 4 <= 6 << order + rank_d = 16
+
+  const core::MftiResult mfti_fit_res = core::mfti_fit(data);
+  const mfti::vfti::VftiResult vfti_fit_res = mfti::vfti::vfti_fit(data);
+
+  const auto probe = sample(sys, 29);
+  const double mfti_err = mfti::metrics::model_error(mfti_fit_res.model, probe);
+  const double vfti_err = mfti::metrics::model_error(vfti_fit_res.model, probe);
+  EXPECT_LT(mfti_err, 1e-6);
+  EXPECT_GT(vfti_err, 1e-2);
+  EXPECT_GT(vfti_err / std::max(mfti_err, 1e-300), 1e3);
+}

@@ -1,0 +1,149 @@
+// Tests for Touchstone and CSV I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/touchstone.hpp"
+#include "linalg/random.hpp"
+#include "sampling/dataset.hpp"
+
+namespace la = mfti::la;
+namespace sp = mfti::sampling;
+namespace io = mfti::io;
+using la::CMat;
+using la::Complex;
+
+namespace {
+
+sp::SampleSet random_samples(std::size_t ports, std::size_t k,
+                             std::uint64_t seed) {
+  la::Rng rng(seed);
+  std::vector<sp::FrequencySample> raw;
+  for (std::size_t i = 0; i < k; ++i) {
+    raw.push_back({1e6 * static_cast<double>(i + 1),
+                   la::random_complex_matrix(ports, ports, rng)});
+  }
+  return sp::SampleSet(std::move(raw));
+}
+
+}  // namespace
+
+TEST(Touchstone, RoundTripMultiPort) {
+  const sp::SampleSet data = random_samples(4, 5, 1);
+  std::stringstream buf;
+  io::write_touchstone(buf, data, 75.0);
+  const io::TouchstoneData back = io::read_touchstone(buf, 4);
+  EXPECT_NEAR(back.z0, 75.0, 1e-12);
+  ASSERT_EQ(back.samples.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(back.samples[i].f_hz, data[i].f_hz, 1e-3);
+    EXPECT_TRUE(la::approx_equal(back.samples[i].s, data[i].s, 1e-9, 1e-9));
+  }
+}
+
+TEST(Touchstone, RoundTripTwoPortColumnOrder) {
+  // The 2-port column-major quirk must survive a round trip.
+  const sp::SampleSet data = random_samples(2, 3, 2);
+  std::stringstream buf;
+  io::write_touchstone(buf, data);
+  const io::TouchstoneData back = io::read_touchstone(buf, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(la::approx_equal(back.samples[i].s, data[i].s, 1e-9, 1e-9));
+  }
+}
+
+TEST(Touchstone, ParsesMagnitudeAngleFormat) {
+  std::stringstream buf;
+  buf << "! comment line\n"
+      << "# MHZ S MA R 50\n"
+      << "1.0  1.0 0.0   0.5 90.0   0.5 -90.0   1.0 180.0\n";
+  const io::TouchstoneData ts = io::read_touchstone(buf, 2);
+  ASSERT_EQ(ts.samples.size(), 1u);
+  EXPECT_NEAR(ts.samples[0].f_hz, 1e6, 1e-6);
+  const CMat& s = ts.samples[0].s;
+  EXPECT_NEAR(std::abs(s(0, 0) - Complex(1, 0)), 0.0, 1e-12);
+  // MA 0.5 @ 90 deg = 0.5j, stored at S21 for 2-ports.
+  EXPECT_NEAR(std::abs(s(1, 0) - Complex(0, 0.5)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(s(0, 1) - Complex(0, -0.5)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(s(1, 1) - Complex(-1, 0)), 0.0, 1e-12);
+}
+
+TEST(Touchstone, ParsesDbFormatAndGhzDefault) {
+  std::stringstream buf;
+  buf << "# GHZ S DB R 50\n"
+      << "2.0  -6.0205999 0.0\n";  // ~0.5 magnitude
+  const io::TouchstoneData ts = io::read_touchstone(buf, 1);
+  EXPECT_NEAR(ts.samples[0].f_hz, 2e9, 1.0);
+  EXPECT_NEAR(std::abs(ts.samples[0].s(0, 0)), 0.5, 1e-6);
+}
+
+TEST(Touchstone, DefaultOptionLineIsGhzMa) {
+  std::stringstream buf;  // no option line at all
+  buf << "1.0  0.25 0.0\n";
+  const io::TouchstoneData ts = io::read_touchstone(buf, 1);
+  EXPECT_NEAR(ts.samples[0].f_hz, 1e9, 1.0);
+  EXPECT_NEAR(ts.samples[0].s(0, 0).real(), 0.25, 1e-12);
+}
+
+TEST(Touchstone, MalformedInputThrows) {
+  {
+    std::stringstream buf;
+    buf << "# HZ S RI R 50\n1.0 0.1 0.2 0.3\n";  // wrong token count
+    EXPECT_THROW(io::read_touchstone(buf, 2), std::invalid_argument);
+  }
+  {
+    std::stringstream buf;
+    buf << "# HZ Y RI R 50\n";  // Y-parameters unsupported
+    EXPECT_THROW(io::read_touchstone(buf, 1), std::invalid_argument);
+  }
+  {
+    std::stringstream buf;
+    buf << "# HZ S RI R 50\nnot_a_number 0 0\n";
+    EXPECT_THROW(io::read_touchstone(buf, 1), std::invalid_argument);
+  }
+  {
+    std::stringstream buf;
+    EXPECT_THROW(io::read_touchstone(buf, 0), std::invalid_argument);
+  }
+}
+
+TEST(Touchstone, FileRoundTripInfersPortsFromExtension) {
+  const sp::SampleSet data = random_samples(3, 4, 3);
+  const std::string path = "/tmp/mfti_test_roundtrip.s3p";
+  io::write_touchstone_file(path, data);
+  const io::TouchstoneData back = io::read_touchstone_file(path);
+  ASSERT_EQ(back.samples.size(), 4u);
+  EXPECT_EQ(back.samples.num_inputs(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Touchstone, BadExtensionThrows) {
+  EXPECT_THROW(io::read_touchstone_file("/tmp/x.dat"), std::invalid_argument);
+  EXPECT_THROW(io::read_touchstone_file("/tmp/x.sxp"), std::invalid_argument);
+  EXPECT_THROW(io::read_touchstone_file("/tmp/noext"), std::invalid_argument);
+  EXPECT_THROW(io::read_touchstone_file("/tmp/definitely_missing.s2p"),
+               std::invalid_argument);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  io::CsvTable t({"a", "b"});
+  t.add_row({1.0, 2.0});
+  t.add_row({3.5, -4.0});
+  std::stringstream buf;
+  t.write(buf);
+  EXPECT_EQ(buf.str(), "a,b\n1,2\n3.5,-4\n");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(Csv, Validation) {
+  EXPECT_THROW(io::CsvTable({}), std::invalid_argument);
+  io::CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW(t.write_file("/nonexistent_dir/x.csv"),
+               std::invalid_argument);
+}

@@ -1,0 +1,198 @@
+// Tests for the eigensolvers: general complex QR iteration, Hermitian
+// Jacobi, and shift-invert pencil eigenvalues.
+
+#include "linalg/eig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/norms.hpp"
+#include "linalg/random.hpp"
+
+namespace la = mfti::la;
+using la::CMat;
+using la::Complex;
+using la::Mat;
+
+namespace {
+
+// Match two unordered eigenvalue sets greedily; returns the largest pairwise
+// distance after matching.
+double eig_set_distance(std::vector<Complex> a, std::vector<Complex> b) {
+  if (a.size() != b.size()) return 1e300;
+  double worst = 0.0;
+  for (const Complex& x : a) {
+    auto it = std::min_element(b.begin(), b.end(),
+                               [&](const Complex& p, const Complex& q) {
+                                 return std::abs(p - x) < std::abs(q - x);
+                               });
+    worst = std::max(worst, std::abs(*it - x));
+    b.erase(it);
+  }
+  return worst;
+}
+
+}  // namespace
+
+TEST(Eigenvalues, RejectsNonSquare) {
+  EXPECT_THROW(la::eigenvalues(Mat(2, 3)), std::invalid_argument);
+}
+
+TEST(Eigenvalues, EmptyMatrix) { EXPECT_TRUE(la::eigenvalues(Mat()).empty()); }
+
+TEST(Eigenvalues, OneByOne) {
+  auto ev = la::eigenvalues(Mat{{4.2}});
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_NEAR(ev[0].real(), 4.2, 1e-12);
+}
+
+TEST(Eigenvalues, DiagonalMatrix) {
+  auto ev = la::eigenvalues(Mat::diagonal({1.0, -2.0, 3.0}));
+  EXPECT_LT(eig_set_distance(
+                ev, {Complex(1, 0), Complex(-2, 0), Complex(3, 0)}),
+            1e-10);
+}
+
+TEST(Eigenvalues, RotationHasComplexPair) {
+  // [[0,-1],[1,0]] has eigenvalues +-i.
+  auto ev = la::eigenvalues(Mat{{0, -1}, {1, 0}});
+  EXPECT_LT(eig_set_distance(ev, {Complex(0, 1), Complex(0, -1)}), 1e-10);
+}
+
+TEST(Eigenvalues, KnownComplexMatrix) {
+  CMat a{{Complex(2, 1), Complex(0, 0)}, {Complex(0, 0), Complex(-1, 3)}};
+  auto ev = la::eigenvalues(a);
+  EXPECT_LT(eig_set_distance(ev, {Complex(2, 1), Complex(-1, 3)}), 1e-10);
+}
+
+TEST(Eigenvalues, DefectiveJordanBlock) {
+  // Jordan block: both eigenvalues equal 5 (defective matrix).
+  Mat a{{5, 1}, {0, 5}};
+  auto ev = la::eigenvalues(a);
+  EXPECT_LT(eig_set_distance(ev, {Complex(5, 0), Complex(5, 0)}), 1e-5);
+}
+
+TEST(Eigenvalues, UpperTriangularReadsDiagonal) {
+  Mat a{{1, 2, 3}, {0, 4, 5}, {0, 0, 6}};
+  auto ev = la::eigenvalues(a);
+  EXPECT_LT(eig_set_distance(
+                ev, {Complex(1, 0), Complex(4, 0), Complex(6, 0)}),
+            1e-10);
+}
+
+class EigProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigProperty, TraceAndDeterminantInvariants) {
+  const std::size_t n = GetParam();
+  la::Rng rng(50 + n);
+  Mat a = la::random_matrix(n, n, rng);
+  auto ev = la::eigenvalues(a);
+  ASSERT_EQ(ev.size(), n);
+  Complex sum{};
+  for (const auto& x : ev) sum += x;
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += a(i, i);
+  EXPECT_NEAR(sum.real(), trace, 1e-7 * (1.0 + std::abs(trace)));
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-7 * (1.0 + std::abs(trace)));
+}
+
+TEST_P(EigProperty, RealMatrixSpectrumIsConjugateClosed) {
+  const std::size_t n = GetParam();
+  la::Rng rng(150 + n);
+  Mat a = la::random_matrix(n, n, rng);
+  auto ev = la::eigenvalues(a);
+  std::vector<Complex> conj;
+  conj.reserve(ev.size());
+  for (const auto& x : ev) conj.push_back(std::conj(x));
+  EXPECT_LT(eig_set_distance(ev, conj), 1e-6);
+}
+
+TEST_P(EigProperty, SimilarityInvariance) {
+  const std::size_t n = GetParam();
+  la::Rng rng(250 + n);
+  Mat a = la::random_matrix(n, n, rng);
+  Mat q = la::random_orthonormal(n, n, rng);
+  Mat b = q.transpose() * a * q;
+  EXPECT_LT(eig_set_distance(la::eigenvalues(a), la::eigenvalues(b)), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigProperty,
+                         ::testing::Values(2, 3, 5, 8, 13, 25, 50));
+
+TEST(HermitianEig, RealSymmetricKnown) {
+  CMat a = la::to_complex(Mat{{2, 1}, {1, 2}});
+  auto he = la::hermitian_eig(a);
+  ASSERT_EQ(he.w.size(), 2u);
+  EXPECT_NEAR(he.w[0], 1.0, 1e-10);
+  EXPECT_NEAR(he.w[1], 3.0, 1e-10);
+}
+
+TEST(HermitianEig, ReconstructsMatrix) {
+  la::Rng rng(31);
+  CMat g = la::random_complex_matrix(6, 6, rng);
+  CMat a = g + g.adjoint();  // Hermitian
+  auto he = la::hermitian_eig(a);
+  CMat lam = CMat::zeros(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) lam(i, i) = he.w[i];
+  EXPECT_TRUE(la::approx_equal(he.v * lam * he.v.adjoint(), a, 1e-9, 1e-9));
+  EXPECT_TRUE(la::approx_equal(he.v.adjoint() * he.v, CMat::identity(6),
+                               1e-10, 1e-10));
+}
+
+TEST(HermitianEig, EigenvaluesAscending) {
+  la::Rng rng(32);
+  CMat g = la::random_complex_matrix(8, 8, rng);
+  auto he = la::hermitian_eig(g + g.adjoint());
+  for (std::size_t i = 0; i + 1 < he.w.size(); ++i)
+    EXPECT_LE(he.w[i], he.w[i + 1]);
+}
+
+TEST(HermitianEig, RejectsNonSquare) {
+  EXPECT_THROW(la::hermitian_eig(CMat(2, 3)), std::invalid_argument);
+}
+
+TEST(GeneralizedEig, IdentityEReducesToStandard) {
+  la::Rng rng(33);
+  Mat a = la::random_matrix(6, 6, rng);
+  auto standard = la::eigenvalues(a);
+  auto pencil = la::generalized_eigenvalues(a, Mat::identity(6));
+  EXPECT_LT(eig_set_distance(standard, pencil), 1e-6);
+}
+
+TEST(GeneralizedEig, DiagonalPencil) {
+  // s*diag(2,4) - diag(6,8) singular at s = 3 and 2.
+  Mat a = Mat::diagonal({6.0, 8.0});
+  Mat e = Mat::diagonal({2.0, 4.0});
+  auto ev = la::generalized_eigenvalues(a, e);
+  EXPECT_LT(eig_set_distance(ev, {Complex(3, 0), Complex(2, 0)}), 1e-9);
+}
+
+TEST(GeneralizedEig, SingularEDropsInfiniteEigenvalue) {
+  // E = diag(1, 0): one finite eigenvalue (a11), one at infinity.
+  Mat a = Mat::diagonal({5.0, 1.0});
+  Mat e = Mat::diagonal({1.0, 0.0});
+  auto ev = la::generalized_eigenvalues(a, e);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_NEAR(ev[0].real(), 5.0, 1e-9);
+}
+
+TEST(GeneralizedEig, SingularPencilThrows) {
+  // A and E share a common null vector => pencil singular for every s.
+  Mat a = Mat::diagonal({1.0, 0.0});
+  Mat e = Mat::diagonal({1.0, 0.0});
+  EXPECT_THROW(la::generalized_eigenvalues(a, e), la::SingularMatrixError);
+}
+
+TEST(GeneralizedEig, MismatchedSizesThrow) {
+  EXPECT_THROW(la::generalized_eigenvalues(Mat(2, 2), Mat(3, 3)),
+               std::invalid_argument);
+}
+
+TEST(GeneralizedEig, ExplicitShiftIsRespected) {
+  Mat a = Mat::diagonal({6.0, 8.0});
+  Mat e = Mat::identity(2);
+  auto ev = la::generalized_eigenvalues(a, e, Complex(1.0, 1.0));
+  EXPECT_LT(eig_set_distance(ev, {Complex(6, 0), Complex(8, 0)}), 1e-9);
+}

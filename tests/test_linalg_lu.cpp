@@ -1,0 +1,124 @@
+// Unit and property tests for the LU decomposition (real and complex).
+
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/norms.hpp"
+#include "linalg/random.hpp"
+
+namespace la = mfti::la;
+using la::CMat;
+using la::Complex;
+using la::Mat;
+
+TEST(Lu, RejectsNonSquare) {
+  EXPECT_THROW(la::LuDecomposition<double>(Mat(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, SolveKnownSystem) {
+  Mat a{{2, 1}, {1, 3}};
+  Mat b{{3}, {5}};
+  Mat x = la::solve(a, b);
+  EXPECT_NEAR(x(0, 0), 0.8, 1e-12);
+  EXPECT_NEAR(x(1, 0), 1.4, 1e-12);
+}
+
+TEST(Lu, DeterminantKnown) {
+  Mat a{{1, 2}, {3, 4}};
+  EXPECT_NEAR(la::determinant(a), -2.0, 1e-12);
+  // Permutation-sensitive case: swapping rows flips the sign.
+  Mat b{{3, 4}, {1, 2}};
+  EXPECT_NEAR(la::determinant(b), 2.0, 1e-12);
+}
+
+TEST(Lu, DeterminantComplex) {
+  CMat a{{Complex(0, 1), Complex(1, 0)}, {Complex(1, 0), Complex(0, 1)}};
+  const Complex det = la::determinant(a);
+  EXPECT_NEAR(det.real(), -2.0, 1e-12);
+  EXPECT_NEAR(det.imag(), 0.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixDetectedAndSolveThrows) {
+  Mat a{{1, 2}, {2, 4}};
+  la::LuDecomposition<double> lu(a);
+  EXPECT_TRUE(lu.is_singular());
+  EXPECT_EQ(lu.rcond_estimate(), 0.0);
+  EXPECT_THROW(lu.solve(Mat(2, 1)), la::SingularMatrixError);
+  EXPECT_THROW(lu.inverse(), la::SingularMatrixError);
+  EXPECT_EQ(la::determinant(a), 0.0);
+}
+
+TEST(Lu, RhsRowMismatchThrows) {
+  la::LuDecomposition<double> lu(Mat::identity(3));
+  EXPECT_THROW(lu.solve(Mat(2, 1)), std::invalid_argument);
+}
+
+TEST(Lu, ZeroByZeroIsRegular) {
+  la::LuDecomposition<double> lu(Mat(0, 0));
+  EXPECT_FALSE(lu.is_singular());
+  Mat x = lu.solve(Mat(0, 0));
+  EXPECT_TRUE(x.empty());
+  EXPECT_EQ(lu.determinant(), 1.0);
+}
+
+TEST(Lu, IdentityInverse) {
+  EXPECT_TRUE(la::approx_equal(la::inverse(Mat::identity(4)),
+                               Mat::identity(4)));
+}
+
+TEST(Lu, RcondEstimateOrdering) {
+  // A well conditioned matrix should report a larger estimate than a nearly
+  // singular one.
+  Mat good = Mat::identity(3);
+  Mat bad{{1, 0, 0}, {0, 1, 0}, {0, 0, 1e-12}};
+  EXPECT_GT(la::LuDecomposition<double>(good).rcond_estimate(),
+            la::LuDecomposition<double>(bad).rcond_estimate());
+}
+
+// --- property tests over random systems ------------------------------------
+
+class LuProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuProperty, RealSolveResidualSmall) {
+  const std::size_t n = GetParam();
+  la::Rng rng(1000 + n);
+  Mat a = la::random_matrix(n, n, rng);
+  Mat b = la::random_matrix(n, 3, rng);
+  Mat x = la::solve(a, b);
+  EXPECT_LT(la::frobenius_norm(a * x - b),
+            1e-9 * (1.0 + la::frobenius_norm(b)));
+}
+
+TEST_P(LuProperty, ComplexSolveResidualSmall) {
+  const std::size_t n = GetParam();
+  la::Rng rng(2000 + n);
+  CMat a = la::random_complex_matrix(n, n, rng);
+  CMat b = la::random_complex_matrix(n, 2, rng);
+  CMat x = la::solve(a, b);
+  EXPECT_LT(la::frobenius_norm(a * x - b),
+            1e-9 * (1.0 + la::frobenius_norm(b)));
+}
+
+TEST_P(LuProperty, InverseTimesSelfIsIdentity) {
+  const std::size_t n = GetParam();
+  la::Rng rng(3000 + n);
+  Mat a = la::random_matrix(n, n, rng);
+  EXPECT_TRUE(la::approx_equal(la::inverse(a) * a, Mat::identity(n), 1e-8,
+                               1e-8));
+}
+
+TEST_P(LuProperty, DeterminantMatchesEigenProductViaScaling) {
+  // det(c * A) = c^n det(A): a cheap consistency identity that exercises the
+  // pivot bookkeeping without needing an independent determinant.
+  const std::size_t n = GetParam();
+  la::Rng rng(4000 + n);
+  Mat a = la::random_matrix(n, n, rng);
+  const double c = 1.7;
+  const double lhs = la::determinant(a * c);
+  const double rhs = std::pow(c, static_cast<double>(n)) * la::determinant(a);
+  EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, std::abs(rhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 40));

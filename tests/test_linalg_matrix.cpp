@@ -1,0 +1,248 @@
+// Unit tests for the dense matrix container and its block/concat helpers.
+
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+namespace la = mfti::la;
+using la::CMat;
+using la::Complex;
+using la::Mat;
+
+TEST(MatrixBasics, DefaultIsEmpty) {
+  Mat m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.is_square());
+}
+
+TEST(MatrixBasics, SizedConstructorZeroInitialises) {
+  Mat m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(MatrixBasics, FillConstructor) {
+  Mat m(2, 2, 7.5);
+  EXPECT_EQ(m(0, 0), 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(MatrixBasics, InitializerList) {
+  Mat m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 0), 4.0);
+}
+
+TEST(MatrixBasics, RaggedInitializerThrows) {
+  EXPECT_THROW((Mat{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(MatrixBasics, AtChecksBounds) {
+  Mat m(2, 2);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(MatrixBasics, IdentityAndDiagonal) {
+  Mat i3 = Mat::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_EQ(i3(i, j), i == j ? 1.0 : 0.0);
+
+  Mat d = Mat::diagonal({1.0, 2.0, 3.0});
+  EXPECT_EQ(d(1, 1), 2.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixBasics, ColumnAndRowVectorFactories) {
+  Mat c = Mat::column({1.0, 2.0});
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 1u);
+  Mat r = Mat::row_vector({1.0, 2.0, 3.0});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+}
+
+TEST(MatrixArithmetic, AddSubScale) {
+  Mat a{{1, 2}, {3, 4}};
+  Mat b{{4, 3}, {2, 1}};
+  Mat s = a + b;
+  EXPECT_EQ(s(0, 0), 5.0);
+  EXPECT_EQ(s(1, 1), 5.0);
+  Mat d = a - b;
+  EXPECT_EQ(d(0, 0), -3.0);
+  Mat t = a * 2.0;
+  EXPECT_EQ(t(1, 0), 6.0);
+  Mat u = 0.5 * a;
+  EXPECT_EQ(u(0, 1), 1.0);
+  Mat n = -a;
+  EXPECT_EQ(n(0, 0), -1.0);
+  Mat q = a / 2.0;
+  EXPECT_EQ(q(1, 1), 2.0);
+}
+
+TEST(MatrixArithmetic, ShapeMismatchThrows) {
+  Mat a(2, 2);
+  Mat b(2, 3);
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(a - b, std::invalid_argument);
+}
+
+TEST(MatrixArithmetic, MatMul) {
+  Mat a{{1, 2}, {3, 4}};
+  Mat b{{5, 6}, {7, 8}};
+  Mat c = a * b;
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixArithmetic, MatMulInnerDimMismatchThrows) {
+  Mat a(2, 3);
+  Mat b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(MatrixArithmetic, MatMulWithIdentity) {
+  Mat a{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_TRUE(la::approx_equal(a * Mat::identity(3), a));
+  EXPECT_TRUE(la::approx_equal(Mat::identity(2) * a, a));
+}
+
+TEST(MatrixStructure, TransposeAdjointConjugate) {
+  CMat a{{Complex(1, 2), Complex(3, -1)}, {Complex(0, 1), Complex(2, 0)}};
+  CMat at = a.transpose();
+  EXPECT_EQ(at(0, 1), Complex(0, 1));
+  CMat ac = a.conjugate();
+  EXPECT_EQ(ac(0, 0), Complex(1, -2));
+  CMat ah = a.adjoint();
+  EXPECT_EQ(ah(1, 0), Complex(3, 1));
+  EXPECT_EQ(ah(0, 1), Complex(0, -1));
+}
+
+TEST(MatrixStructure, BlockAndSetBlock) {
+  Mat a{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  Mat b = a.block(1, 1, 2, 2);
+  EXPECT_EQ(b(0, 0), 5.0);
+  EXPECT_EQ(b(1, 1), 9.0);
+  EXPECT_THROW(a.block(2, 2, 2, 2), std::invalid_argument);
+
+  Mat z(3, 3);
+  z.set_block(1, 1, Mat{{1, 2}, {3, 4}});
+  EXPECT_EQ(z(1, 1), 1.0);
+  EXPECT_EQ(z(2, 2), 4.0);
+  EXPECT_EQ(z(0, 0), 0.0);
+  EXPECT_THROW(z.set_block(2, 2, Mat(2, 2)), std::invalid_argument);
+}
+
+TEST(MatrixStructure, RowColDiag) {
+  Mat a{{1, 2}, {3, 4}};
+  EXPECT_EQ(a.row(1)(0, 0), 3.0);
+  EXPECT_EQ(a.col(1)(0, 0), 2.0);
+  auto d = a.diag();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], 1.0);
+  EXPECT_EQ(d[1], 4.0);
+}
+
+TEST(MatrixStructure, SelectRowsAndCols) {
+  Mat a{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  Mat r = a.select_rows({2, 0});
+  EXPECT_EQ(r(0, 0), 7.0);
+  EXPECT_EQ(r(1, 2), 3.0);
+  Mat c = a.select_cols({1});
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_EQ(c(2, 0), 8.0);
+  EXPECT_THROW(a.select_rows({5}), std::invalid_argument);
+  EXPECT_THROW(a.select_cols({3}), std::invalid_argument);
+}
+
+TEST(MatrixConcat, HstackVstackBlkdiag) {
+  Mat a{{1, 2}, {3, 4}};
+  Mat b{{5}, {6}};
+  Mat h = la::hstack(a, b);
+  EXPECT_EQ(h.cols(), 3u);
+  EXPECT_EQ(h(1, 2), 6.0);
+
+  Mat v = la::vstack(a, Mat{{7, 8}});
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_EQ(v(2, 1), 8.0);
+
+  Mat d = la::blkdiag(a, Mat{{9}});
+  EXPECT_EQ(d.rows(), 3u);
+  EXPECT_EQ(d.cols(), 3u);
+  EXPECT_EQ(d(2, 2), 9.0);
+  EXPECT_EQ(d(0, 2), 0.0);
+
+  EXPECT_THROW(la::hstack(a, Mat(3, 1)), std::invalid_argument);
+  EXPECT_THROW(la::vstack(a, Mat(1, 3)), std::invalid_argument);
+}
+
+TEST(MatrixConcat, StackWithEmpty) {
+  Mat a{{1, 2}};
+  EXPECT_TRUE(la::approx_equal(la::hstack(a, Mat()), a));
+  EXPECT_TRUE(la::approx_equal(la::vstack(Mat(), a), a));
+}
+
+TEST(MatrixComplexHelpers, ToComplexRealImag) {
+  Mat re{{1, 2}, {3, 4}};
+  Mat im{{5, 6}, {7, 8}};
+  CMat c = la::to_complex(re, im);
+  EXPECT_EQ(c(0, 1), Complex(2, 6));
+  EXPECT_TRUE(la::approx_equal(la::real_part(c), re));
+  EXPECT_TRUE(la::approx_equal(la::imag_part(c), im));
+  CMat p = la::to_complex(re);
+  EXPECT_EQ(p(1, 0), Complex(3, 0));
+  EXPECT_THROW(la::to_complex(re, Mat(1, 1)), std::invalid_argument);
+}
+
+TEST(MatrixComplexHelpers, IsEffectivelyReal) {
+  CMat a{{Complex(1, 0), Complex(2, 1e-15)}};
+  EXPECT_TRUE(la::is_effectively_real(a));
+  CMat b{{Complex(1, 0.5)}};
+  EXPECT_FALSE(la::is_effectively_real(b));
+}
+
+TEST(MatrixMisc, MaxAbsAndEquality) {
+  Mat a{{-3, 2}, {1, 0}};
+  EXPECT_EQ(a.max_abs(), 3.0);
+  Mat b = a;
+  EXPECT_TRUE(a == b);
+  b(0, 0) = 5;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MatrixMisc, ApproxEqualTolerances) {
+  Mat a{{1.0, 2.0}};
+  Mat b{{1.0 + 1e-13, 2.0}};
+  EXPECT_TRUE(la::approx_equal(a, b));
+  Mat c{{1.1, 2.0}};
+  EXPECT_FALSE(la::approx_equal(a, c));
+  EXPECT_FALSE(la::approx_equal(a, Mat{{1.0}, {2.0}}));
+}
+
+TEST(MatrixMisc, ResizeAndSetZero) {
+  Mat a{{1, 2}, {3, 4}};
+  a.resize(3, 1);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.cols(), 1u);
+  EXPECT_EQ(a(0, 0), 0.0);
+  Mat b{{1, 2}};
+  b.set_zero();
+  EXPECT_EQ(b(0, 1), 0.0);
+}
+
+TEST(MatrixMisc, ToStringSmoke) {
+  EXPECT_FALSE(la::to_string(Mat{{1, 2}}).empty());
+  EXPECT_FALSE(la::to_string(CMat{{Complex(1, -1)}}).empty());
+}

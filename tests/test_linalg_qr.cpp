@@ -1,0 +1,140 @@
+// Unit and property tests for Householder QR (real and complex).
+
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/norms.hpp"
+#include "linalg/random.hpp"
+
+namespace la = mfti::la;
+using la::CMat;
+using la::Complex;
+using la::Mat;
+
+TEST(Qr, ReconstructSmall) {
+  Mat a{{1, 2}, {3, 4}, {5, 6}};
+  auto [q, r] = la::thin_qr(a);
+  EXPECT_EQ(q.rows(), 3u);
+  EXPECT_EQ(q.cols(), 2u);
+  EXPECT_EQ(r.rows(), 2u);
+  EXPECT_EQ(r.cols(), 2u);
+  EXPECT_TRUE(la::approx_equal(q * r, a, 1e-12, 1e-12));
+}
+
+TEST(Qr, RIsUpperTriangular) {
+  la::Rng rng(7);
+  Mat a = la::random_matrix(5, 4, rng);
+  Mat r = la::QrDecomposition<double>(a).r_thin();
+  for (std::size_t i = 1; i < r.rows(); ++i)
+    for (std::size_t j = 0; j < i; ++j) EXPECT_EQ(r(i, j), 0.0);
+}
+
+TEST(Qr, FullQIsSquareUnitary) {
+  la::Rng rng(8);
+  Mat a = la::random_matrix(5, 3, rng);
+  Mat q = la::QrDecomposition<double>(a).q_full();
+  EXPECT_EQ(q.rows(), 5u);
+  EXPECT_EQ(q.cols(), 5u);
+  EXPECT_TRUE(la::approx_equal(q.transpose() * q, Mat::identity(5), 1e-11,
+                               1e-11));
+}
+
+TEST(Qr, SolveMatchesExactSolutionOnSquare) {
+  Mat a{{2, 1}, {1, 3}};
+  Mat b{{3}, {5}};
+  Mat x = la::QrDecomposition<double>(a).solve(b);
+  EXPECT_NEAR(x(0, 0), 0.8, 1e-12);
+  EXPECT_NEAR(x(1, 0), 1.4, 1e-12);
+}
+
+TEST(Qr, SolveRejectsUnderdetermined) {
+  EXPECT_THROW(la::QrDecomposition<double>(Mat(2, 3)).solve(Mat(2, 1)),
+               std::invalid_argument);
+}
+
+TEST(Qr, SolveRejectsRankDeficient) {
+  Mat a{{1, 1}, {1, 1}, {1, 1}};
+  EXPECT_THROW(la::QrDecomposition<double>(a).solve(Mat(3, 1)),
+               la::SingularMatrixError);
+}
+
+TEST(Qr, ZeroMatrixGivesZeroR) {
+  la::QrDecomposition<double> qr(Mat(3, 2));
+  EXPECT_TRUE(la::approx_equal(qr.r_thin(), Mat(2, 2)));
+  EXPECT_EQ(qr.rcond_estimate(), 0.0);
+}
+
+TEST(Qr, OrthonormalizeProducesOrthonormalColumns) {
+  la::Rng rng(9);
+  Mat q = la::orthonormalize(la::random_matrix(6, 3, rng));
+  EXPECT_TRUE(la::approx_equal(q.transpose() * q, Mat::identity(3), 1e-11,
+                               1e-11));
+}
+
+TEST(Qr, RandomOrthonormalRejectsWide) {
+  la::Rng rng(10);
+  EXPECT_THROW(la::random_orthonormal(2, 3, rng), std::invalid_argument);
+}
+
+// --- property tests ---------------------------------------------------------
+
+struct QrCase {
+  std::size_t rows;
+  std::size_t cols;
+};
+
+class QrProperty : public ::testing::TestWithParam<QrCase> {};
+
+TEST_P(QrProperty, RealReconstructAndOrthogonality) {
+  const auto [m, n] = GetParam();
+  la::Rng rng(100 + m * 17 + n);
+  Mat a = la::random_matrix(m, n, rng);
+  la::QrDecomposition<double> qr(a);
+  Mat q = qr.q_thin();
+  Mat r = qr.r_thin();
+  EXPECT_TRUE(la::approx_equal(q * r, a, 1e-11, 1e-11));
+  EXPECT_TRUE(la::approx_equal(q.transpose() * q,
+                               Mat::identity(std::min(m, n)), 1e-11, 1e-11));
+}
+
+TEST_P(QrProperty, ComplexReconstructAndOrthogonality) {
+  const auto [m, n] = GetParam();
+  la::Rng rng(200 + m * 17 + n);
+  CMat a = la::random_complex_matrix(m, n, rng);
+  la::QrDecomposition<Complex> qr(a);
+  CMat q = qr.q_thin();
+  CMat r = qr.r_thin();
+  EXPECT_TRUE(la::approx_equal(q * r, a, 1e-11, 1e-11));
+  EXPECT_TRUE(la::approx_equal(q.adjoint() * q,
+                               CMat::identity(std::min(m, n)), 1e-11, 1e-11));
+}
+
+TEST_P(QrProperty, LeastSquaresResidualIsOrthogonalToRange) {
+  const auto [m, n] = GetParam();
+  if (m < n) GTEST_SKIP() << "least squares needs tall systems";
+  la::Rng rng(300 + m * 17 + n);
+  Mat a = la::random_matrix(m, n, rng);
+  Mat b = la::random_matrix(m, 1, rng);
+  Mat x = la::QrDecomposition<double>(a).solve(b);
+  Mat resid = a * x - b;
+  // Normal equations: A^T (Ax - b) = 0.
+  EXPECT_LT(la::frobenius_norm(a.transpose() * resid),
+            1e-9 * (1.0 + la::frobenius_norm(b)));
+}
+
+TEST_P(QrProperty, ApplyQtThenQRoundTrips) {
+  const auto [m, n] = GetParam();
+  la::Rng rng(400 + m * 17 + n);
+  CMat a = la::random_complex_matrix(m, n, rng);
+  la::QrDecomposition<Complex> qr(a);
+  CMat b = la::random_complex_matrix(m, 2, rng);
+  CMat round = qr.apply_q(qr.apply_qt(b));
+  EXPECT_TRUE(la::approx_equal(round, b, 1e-11, 1e-11));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrProperty,
+    ::testing::Values(QrCase{1, 1}, QrCase{2, 2}, QrCase{5, 3}, QrCase{3, 5},
+                      QrCase{8, 8}, QrCase{20, 7}, QrCase{30, 30},
+                      QrCase{7, 20}));

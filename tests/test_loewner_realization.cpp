@@ -1,0 +1,178 @@
+// Focused tests for the realization layer's options and consistency
+// guarantees: pencil choices, order selection, frequency scaling, x0
+// overrides, rectangular data, precomputed-pair overloads.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/norms.hpp"
+#include "linalg/svd.hpp"
+#include "loewner/matrices.hpp"
+#include "loewner/realization.hpp"
+#include "loewner/tangential.hpp"
+#include "metrics/error.hpp"
+#include "sampling/grid.hpp"
+#include "sampling/noise.hpp"
+#include "sampling/sampler.hpp"
+#include "statespace/random_system.hpp"
+#include "statespace/response.hpp"
+
+namespace la = mfti::la;
+namespace ss = mfti::ss;
+namespace sp = mfti::sampling;
+namespace lw = mfti::loewner;
+using la::CMat;
+using la::Complex;
+using la::Mat;
+
+namespace {
+
+ss::DescriptorSystem make_system(std::size_t order, std::size_t ports,
+                                 std::size_t rank_d, std::uint64_t seed) {
+  la::Rng rng(seed);
+  ss::RandomSystemOptions opts;
+  opts.order = order;
+  opts.num_outputs = ports;
+  opts.num_inputs = ports;
+  opts.rank_d = rank_d;
+  return ss::random_stable_mimo(opts, rng);
+}
+
+sp::SampleSet sample(const ss::DescriptorSystem& sys, std::size_t k) {
+  return sp::sample_system(sys, sp::log_grid(10.0, 1e5, k));
+}
+
+}  // namespace
+
+TEST(RealizationOptions, TwoSidedAndShiftedPencilAgreeOnOrder) {
+  const auto sys = make_system(10, 2, 2, 601);
+  const auto data = sample(sys, 10);
+  const lw::TangentialData td = lw::build_tangential_data(data, {});
+  const lw::Realization real = lw::realize(td);
+  lw::RealizationOptions sp_opts;
+  sp_opts.pencil = lw::SvdPencil::ShiftedPencil;
+  const lw::ComplexRealization creal = lw::realize_complex(td, sp_opts);
+  // Both pencils detect order(Gamma) + rank(D) = 12.
+  EXPECT_EQ(real.order, 12u);
+  EXPECT_EQ(creal.order, 12u);
+  // And both models reproduce the data.
+  EXPECT_LT(mfti::metrics::model_error(real.model, data), 1e-7);
+  const auto h = ss::frequency_response(creal.model, data.frequencies());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    worst = std::max(worst, la::two_norm(h[i] - data[i].s) /
+                                la::two_norm(data[i].s));
+  }
+  EXPECT_LT(worst, 1e-6);
+}
+
+TEST(RealizationOptions, PrecomputedPairOverloadMatches) {
+  const auto sys = make_system(8, 2, 1, 602);
+  const auto data = sample(sys, 8);
+  const lw::TangentialData td = lw::build_tangential_data(data, {});
+  const auto [ll, sll] = lw::loewner_pair(td);
+  const lw::Realization a = lw::realize(td);
+  const lw::Realization b = lw::realize(td, ll, sll);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_TRUE(la::approx_equal(a.model.a, b.model.a, 1e-12, 1e-12));
+  EXPECT_TRUE(la::approx_equal(a.model.e, b.model.e, 1e-12, 1e-12));
+}
+
+TEST(RealizationOptions, X0OverrideChangesPencilButNotRecovery) {
+  const auto sys = make_system(8, 2, 2, 603);
+  const auto data = sample(sys, 8);
+  const lw::TangentialData td = lw::build_tangential_data(data, {});
+  lw::RealizationOptions opts;
+  opts.pencil = lw::SvdPencil::ShiftedPencil;
+  opts.x0 = td.lambda.front();  // a right point instead of the default left
+  const lw::ComplexRealization cr = lw::realize_complex(td, opts);
+  EXPECT_EQ(cr.order, 10u);
+  // Interpolation still holds at a spot-checked right pair.
+  const auto [c0, c1] = td.right_pair_cols(0);
+  (void)c1;
+  const CMat h = ss::transfer_function(cr.model, td.lambda[c0]);
+  for (std::size_t i = 0; i < td.num_outputs(); ++i) {
+    Complex acc{};
+    for (std::size_t q = 0; q < td.num_inputs(); ++q)
+      acc += h(i, q) * td.r(q, c0);
+    EXPECT_NEAR(std::abs(acc - td.w(i, c0)), 0.0,
+                1e-6 * (1.0 + std::abs(td.w(i, c0))));
+  }
+}
+
+TEST(RealizationOptions, FrequencyScalingOffStillRecoversCleanData) {
+  const auto sys = make_system(12, 3, 3, 604);
+  const auto data = sample(sys, 10);
+  const lw::TangentialData td = lw::build_tangential_data(data, {});
+  lw::RealizationOptions opts;
+  opts.frequency_scaling = false;
+  const lw::Realization real = lw::realize(td, opts);
+  EXPECT_EQ(real.order, 15u);
+  EXPECT_LT(mfti::metrics::model_error(real.model, data), 1e-7);
+}
+
+TEST(RealizationOptions, PencilSingularValuesMatchRealizeOrder) {
+  const auto sys = make_system(10, 2, 1, 605);
+  const auto data = sample(sys, 10);
+  const lw::TangentialData td = lw::build_tangential_data(data, {});
+  const lw::PencilSingularValues sv = lw::pencil_singular_values(td);
+  const lw::Realization real = lw::realize(td);
+  EXPECT_EQ(la::rank_by_largest_gap(sv.pencil), real.order);
+}
+
+TEST(RealizationOptions, RectangularDataRealizes) {
+  // Odd sample count -> Kl != Kr; the two-sided path must still work.
+  const auto sys = make_system(8, 2, 0, 606);
+  const auto data = sample(sys, 9);
+  const lw::TangentialData td = lw::build_tangential_data(data, {});
+  EXPECT_NE(td.left_height(), td.right_width());
+  const lw::Realization real = lw::realize(td);
+  EXPECT_EQ(real.order, 8u);
+  EXPECT_LT(mfti::metrics::model_error(real.model, data), 1e-7);
+}
+
+TEST(RealizationOptions, MixedTWidthsRealize) {
+  const auto sys = make_system(8, 3, 1, 607);
+  const auto data = sample(sys, 8);
+  lw::TangentialOptions topts;
+  topts.t_per_sample = {3, 1, 2, 3, 1, 2, 3, 1};
+  const lw::TangentialData td = lw::build_tangential_data(data, topts);
+  const lw::Realization real = lw::realize(td);
+  EXPECT_LT(mfti::metrics::model_error(real.model, data), 1e-6);
+}
+
+TEST(RealizationOptions, FixedOrderBeyondRankIsClamped) {
+  const auto sys = make_system(6, 2, 0, 608);
+  const auto data = sample(sys, 6);
+  const lw::TangentialData td = lw::build_tangential_data(data, {});
+  lw::RealizationOptions opts;
+  opts.selection = lw::OrderSelection::Fixed;
+  opts.fixed_order = 10000;
+  const lw::Realization real = lw::realize(td, opts);
+  EXPECT_LE(real.order, std::min(td.left_height(), td.right_width()));
+}
+
+TEST(RealizationOptions, NoisyDataKeepsRealModel) {
+  const auto sys = make_system(10, 3, 2, 609);
+  la::Rng noise(1);
+  const auto data = sp::add_noise(sample(sys, 16), 1e-3, noise);
+  const lw::TangentialData td = lw::build_tangential_data(data, {});
+  lw::RealizationOptions opts;
+  opts.selection = lw::OrderSelection::Tolerance;
+  opts.rank_tol = 1e-2;
+  const lw::Realization real = lw::realize(td, opts);
+  EXPECT_NO_THROW(real.model.validate());  // real matrices by construction
+}
+
+TEST(RealizationOptions, ShiftedPencilSingularValuesFollowLemma33) {
+  // rank(x0 L - sL) <= order + rank(D) for any x0 among the sample points.
+  const auto sys = make_system(9, 3, 2, 610);
+  const auto data = sample(sys, 8);
+  const lw::TangentialData td = lw::build_tangential_data(data, {});
+  for (std::size_t which : {0ul, 1ul}) {
+    const Complex x0 = which == 0 ? td.mu.front() : td.lambda.front();
+    const lw::PencilSingularValues sv = lw::pencil_singular_values(td, x0);
+    EXPECT_LE(la::numerical_rank(sv.pencil, 1e-8), 11u);
+  }
+}

@@ -1,0 +1,72 @@
+// Tests for the paper's error metrics and the stopwatch.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "metrics/error.hpp"
+#include "metrics/stopwatch.hpp"
+#include "sampling/grid.hpp"
+#include "sampling/sampler.hpp"
+#include "statespace/random_system.hpp"
+
+namespace la = mfti::la;
+namespace ss = mfti::ss;
+namespace sp = mfti::sampling;
+namespace mt = mfti::metrics;
+using la::CMat;
+using la::Complex;
+using la::Mat;
+
+TEST(ErrorMetrics, PerfectModelHasZeroError) {
+  la::Rng rng(1);
+  ss::RandomSystemOptions opts;
+  opts.order = 6;
+  opts.num_outputs = 2;
+  opts.num_inputs = 2;
+  const ss::DescriptorSystem sys = ss::random_stable_mimo(opts, rng);
+  const sp::SampleSet data =
+      sp::sample_system(sys, sp::log_grid(10.0, 1e4, 7));
+  EXPECT_LT(mt::model_error(sys, data), 1e-12);
+  EXPECT_LT(mt::max_error(sys, data), 1e-12);
+}
+
+TEST(ErrorMetrics, KnownRelativeError) {
+  // Model H = 0 against data S = I: every per-sample error is exactly 1.
+  ss::DescriptorSystem zero{Mat{{1}}, Mat{{-1}}, Mat{{0}}, Mat{{0}},
+                            Mat{{0}}};
+  std::vector<sp::FrequencySample> raw;
+  for (int i = 1; i <= 4; ++i) {
+    raw.push_back({static_cast<double>(i), CMat(1, 1, Complex(2.0, 0.0))});
+  }
+  const sp::SampleSet data(std::move(raw));
+  const auto errs = mt::per_sample_errors(zero, data);
+  for (double e : errs) EXPECT_NEAR(e, 1.0, 1e-12);
+  EXPECT_NEAR(mt::aggregate_error(errs), 1.0, 1e-12);
+  EXPECT_NEAR(mt::model_error(zero, data), 1.0, 1e-12);
+}
+
+TEST(ErrorMetrics, AggregateIsRmsOfPerSample) {
+  EXPECT_NEAR(mt::aggregate_error({3.0, 4.0}),
+              std::sqrt(25.0 / 2.0), 1e-12);
+  EXPECT_THROW(mt::aggregate_error({}), std::invalid_argument);
+}
+
+TEST(ErrorMetrics, DimensionMismatchThrows) {
+  ss::DescriptorSystem sys{Mat{{1}}, Mat{{-1}}, Mat{{1}}, Mat{{1}}, Mat{{0}}};
+  std::vector<sp::FrequencySample> raw{{1.0, CMat(2, 2, Complex(1, 0))}};
+  const sp::SampleSet data(std::move(raw));
+  EXPECT_THROW(mt::per_sample_errors(sys, data), std::invalid_argument);
+  EXPECT_THROW(mt::per_sample_errors(sys, sp::SampleSet()),
+               std::invalid_argument);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  mt::Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double t1 = sw.seconds();
+  EXPECT_GE(t1, 0.015);
+  EXPECT_LT(t1, 5.0);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), t1);
+}

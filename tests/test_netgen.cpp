@@ -1,0 +1,253 @@
+// Tests for the MNA circuit builder, RLC ladders, the synthetic PDN, and
+// the Z<->S conversions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/norms.hpp"
+#include "netgen/mna.hpp"
+#include "netgen/pdn.hpp"
+#include "netgen/rlc.hpp"
+#include "sampling/grid.hpp"
+#include "statespace/response.hpp"
+
+namespace la = mfti::la;
+namespace ss = mfti::ss;
+namespace ng = mfti::netgen;
+using la::CMat;
+using la::Complex;
+using la::Mat;
+
+TEST(Circuit, ElementValidation) {
+  ng::Circuit ckt(2);
+  EXPECT_THROW(ckt.add_resistor(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add_resistor(0, 5, 1.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add_resistor(1, 1, 1.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add_capacitor(0, 1, -1e-12), std::invalid_argument);
+  EXPECT_THROW(ckt.add_inductor(0, 1, 1e-9, -1.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add_port(ng::Circuit::kGround), std::invalid_argument);
+  EXPECT_THROW(ckt.build_impedance_system(), std::logic_error);
+}
+
+TEST(Circuit, RcLowpassImpedance) {
+  // R parallel C to ground: Z(0) = R, Z(inf) -> 0.
+  ng::Circuit ckt(1);
+  ckt.add_resistor(0, ng::Circuit::kGround, 50.0);
+  ckt.add_capacitor(0, ng::Circuit::kGround, 1e-9);
+  ckt.add_port(0);
+  const ss::DescriptorSystem sys = ckt.build_impedance_system();
+  EXPECT_EQ(sys.order(), 1u);
+  const CMat z_dc = ss::transfer_function(sys, Complex(0.0, 1.0));
+  EXPECT_NEAR(std::abs(z_dc(0, 0)), 50.0, 0.1);
+  // At f = 1/(2 pi R C) the magnitude is R/sqrt(2).
+  const double fc = 1.0 / (2.0 * M_PI * 50.0 * 1e-9);
+  const CMat z_c = ss::transfer_function(sys, Complex(0.0, 2.0 * M_PI * fc));
+  EXPECT_NEAR(std::abs(z_c(0, 0)), 50.0 / std::sqrt(2.0), 0.5);
+}
+
+TEST(Circuit, SeriesRlcResonance) {
+  // Port -> C to internal node -> L+R to ground: series RLC, |Z| minimal
+  // (= R) at the resonance frequency.
+  ng::Circuit ckt(2);
+  ckt.add_capacitor(0, 1, 1e-9);
+  ckt.add_inductor(1, ng::Circuit::kGround, 1e-9, 0.5);
+  // A large bleed resistor keeps the DC point well-defined.
+  ckt.add_resistor(0, ng::Circuit::kGround, 1e6);
+  ckt.add_port(0);
+  const ss::DescriptorSystem sys = ckt.build_impedance_system();
+  const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(1e-9 * 1e-9));
+  const CMat z0 = ss::transfer_function(sys, Complex(0.0, 2.0 * M_PI * f0));
+  EXPECT_NEAR(std::abs(z0(0, 0)), 0.5, 0.05);
+}
+
+TEST(Circuit, ImpedanceMatrixIsReciprocal) {
+  // Passive RLC networks are reciprocal: Z = Z^T at every frequency.
+  const ss::DescriptorSystem sys = ng::rlc_multidrop(12, 4);
+  const auto z = ss::frequency_response(sys, {1e6, 1e8, 1e9});
+  for (const CMat& zm : z) {
+    EXPECT_TRUE(la::approx_equal(zm, zm.transpose(), 1e-8, 1e-10));
+  }
+}
+
+TEST(RlcLadder, DimensionsAndValidation) {
+  const ss::DescriptorSystem sys = ng::rlc_ladder(10);
+  EXPECT_EQ(sys.num_inputs(), 2u);
+  EXPECT_EQ(sys.num_outputs(), 2u);
+  // states: 11 nodes + 10 inductors.
+  EXPECT_EQ(sys.order(), 21u);
+  EXPECT_THROW(ng::rlc_ladder(0), std::invalid_argument);
+  EXPECT_THROW(ng::rlc_multidrop(4, 1), std::invalid_argument);
+  EXPECT_THROW(ng::rlc_multidrop(4, 9), std::invalid_argument);
+}
+
+TEST(RlcLadder, LowFrequencyThroughConnection) {
+  // At low frequency the inductors are nearly shorts, so Z12 ~ Z11 (both
+  // ports see the same node cluster through small series impedance).
+  ng::LadderSection sec;
+  sec.shunt_g = 1e-4;  // add losses so Z(0) is finite
+  const ss::DescriptorSystem sys = ng::rlc_ladder(5, sec);
+  const CMat z = ss::transfer_function(sys, Complex(0.0, 2.0 * M_PI * 10.0));
+  EXPECT_NEAR(std::abs(z(0, 1)) / std::abs(z(0, 0)), 1.0, 0.05);
+}
+
+TEST(ZSConversions, RoundTrip) {
+  la::Rng rng(17);
+  const CMat z = la::random_complex_matrix(4, 4, rng) * Complex(30.0, 0.0);
+  const CMat s = ng::z_to_s(z, 50.0);
+  const CMat back = ng::s_to_z(s, 50.0);
+  EXPECT_TRUE(la::approx_equal(back, z, 1e-9, 1e-9));
+}
+
+TEST(ZSConversions, MatchedLoadGivesZeroReflection) {
+  const CMat z = CMat::identity(3) * Complex(50.0, 0.0);
+  const CMat s = ng::z_to_s(z, 50.0);
+  EXPECT_LT(s.max_abs(), 1e-12);
+}
+
+TEST(ZSConversions, OpenAndShortLimits) {
+  // Z -> 0 gives S = -I (short); large Z gives S ~ +1.
+  const CMat s_short = ng::z_to_s(CMat(1, 1), 50.0);
+  EXPECT_NEAR(std::abs(s_short(0, 0) + Complex(1, 0)), 0.0, 1e-12);
+  const CMat s_open = ng::z_to_s(CMat(1, 1, Complex(1e9, 0.0)), 50.0);
+  EXPECT_NEAR(std::abs(s_open(0, 0) - Complex(1, 0)), 0.0, 1e-6);
+}
+
+TEST(ZSConversions, InvalidArgumentsThrow) {
+  EXPECT_THROW(ng::z_to_s(CMat(2, 3)), std::invalid_argument);
+  EXPECT_THROW(ng::z_to_s(CMat(2, 2), -50.0), std::invalid_argument);
+  EXPECT_THROW(ng::s_to_z(CMat(2, 3)), std::invalid_argument);
+}
+
+TEST(Pdn, DimensionsAndStability) {
+  la::Rng rng(19);
+  ng::PdnOptions opts;  // 6x6 grid, 6 decaps, 14 ports
+  const ss::DescriptorSystem sys = ng::make_pdn(opts, rng);
+  EXPECT_EQ(sys.num_inputs(), 14u);
+  EXPECT_EQ(sys.num_outputs(), 14u);
+  // order = grid nodes + decap internal nodes + inductors
+  //       = 36 + 6 + (60 + 6) = 108.
+  EXPECT_EQ(sys.order(), 108u);
+  EXPECT_TRUE(ss::is_stable(sys));
+}
+
+TEST(Pdn, SParametersArePassive) {
+  la::Rng rng(20);
+  ng::PdnOptions opts;
+  const ss::DescriptorSystem sys = ng::make_pdn(opts, rng);
+  const auto data = ng::sample_s_parameters(
+      sys, mfti::sampling::log_grid(1e6, 1e9, 12), 50.0);
+  for (const auto& smp : data) {
+    // Passive network: ||S||_2 <= 1.
+    EXPECT_LE(la::two_norm(smp.s), 1.0 + 1e-9);
+  }
+}
+
+TEST(Pdn, ResonantStructureInBand) {
+  // The PDN impedance seen at port 0 must vary by orders of magnitude over
+  // the band (plane resonances) — flat responses would make Example 2
+  // trivial.
+  la::Rng rng(21);
+  ng::PdnOptions opts;
+  const ss::DescriptorSystem sys = ng::make_pdn(opts, rng);
+  const auto mags =
+      ss::bode_magnitude(sys, mfti::sampling::log_grid(1e6, 1e9, 60), 0, 0);
+  const double lo = *std::min_element(mags.begin(), mags.end());
+  const double hi = *std::max_element(mags.begin(), mags.end());
+  EXPECT_GT(hi / lo, 50.0);
+}
+
+TEST(Pdn, OptionValidation) {
+  la::Rng rng(22);
+  ng::PdnOptions opts;
+  opts.grid_nx = 1;
+  EXPECT_THROW(ng::make_pdn(opts, rng), std::invalid_argument);
+  opts.grid_nx = 4;
+  opts.grid_ny = 4;
+  opts.num_ports = 17;
+  EXPECT_THROW(ng::make_pdn(opts, rng), std::invalid_argument);
+  opts.num_ports = 4;
+  opts.value_jitter = 1.5;
+  EXPECT_THROW(ng::make_pdn(opts, rng), std::invalid_argument);
+}
+
+TEST(FrequencyDomainMna, MatchesDescriptorSystemWithoutSkin) {
+  // Direct nodal evaluation and the descriptor-system transfer function
+  // are two independent code paths; they must agree exactly when skin
+  // effect is off.
+  la::Rng rng(25);
+  ng::PdnOptions opts;
+  opts.grid_nx = 3;
+  opts.grid_ny = 3;
+  opts.num_ports = 4;
+  opts.num_decaps = 2;
+  const ng::Circuit ckt = ng::make_pdn_circuit(opts, rng);
+  const ss::DescriptorSystem sys = ckt.build_impedance_system();
+  for (double f : {1e6, 3e7, 5e8}) {
+    const CMat direct = ckt.impedance_at(f);
+    const CMat via_ss =
+        ss::transfer_function(sys, Complex(0.0, 2.0 * M_PI * f));
+    EXPECT_TRUE(la::approx_equal(direct, via_ss, 1e-8, 1e-10));
+  }
+}
+
+TEST(FrequencyDomainMna, SkinEffectIncreasesLoss) {
+  // With skin effect the impedance at a plane resonance peak must drop
+  // (lower Q), and the response must deviate from the rational model at
+  // high frequency while agreeing at low frequency.
+  la::Rng rng(26);
+  ng::PdnOptions opts;
+  const ng::Circuit ckt = ng::make_pdn_circuit(opts, rng);
+  const double f_hi = 5e8;
+  const CMat z_no = ckt.impedance_at(f_hi, 0.0);
+  const CMat z_skin = ckt.impedance_at(f_hi, 1e7);
+  EXPECT_FALSE(la::approx_equal(z_no, z_skin, 1e-3, 1e-6));
+  // Far below the onset the extra loss is negligible.
+  const double f_lo = 1e5;
+  EXPECT_TRUE(la::approx_equal(ckt.impedance_at(f_lo, 0.0),
+                               ckt.impedance_at(f_lo, 1e7), 0.05, 1e-9));
+}
+
+TEST(FrequencyDomainMna, CircuitSamplerMatchesSystemSampler) {
+  la::Rng rng(27);
+  ng::PdnOptions opts;
+  opts.grid_nx = 3;
+  opts.grid_ny = 3;
+  opts.num_ports = 3;
+  opts.num_decaps = 1;
+  const ng::Circuit ckt = ng::make_pdn_circuit(opts, rng);
+  const auto freqs = mfti::sampling::log_grid(1e6, 1e9, 7);
+  const auto a = ng::sample_s_parameters(ckt, freqs, 50.0, 0.0);
+  const auto b =
+      ng::sample_s_parameters(ckt.build_impedance_system(), freqs, 50.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(la::approx_equal(a[i].s, b[i].s, 1e-8, 1e-10));
+  }
+}
+
+TEST(FrequencyDomainMna, InvalidArgumentsThrow) {
+  ng::Circuit empty(2);
+  EXPECT_THROW(empty.impedance_at(1e6), std::logic_error);
+  la::Rng rng(28);
+  ng::PdnOptions opts;
+  opts.grid_nx = 2;
+  opts.grid_ny = 2;
+  opts.num_ports = 2;
+  opts.num_decaps = 0;
+  const ng::Circuit ckt = ng::make_pdn_circuit(opts, rng);
+  EXPECT_THROW(ckt.impedance_at(0.0), std::invalid_argument);
+  EXPECT_THROW(ckt.impedance_at(-1.0), std::invalid_argument);
+}
+
+TEST(Pdn, JitterDecorrelatesInstances) {
+  la::Rng rng1(23), rng2(24);
+  ng::PdnOptions opts;
+  opts.grid_nx = 3;
+  opts.grid_ny = 3;
+  opts.num_ports = 4;
+  opts.num_decaps = 2;
+  const auto s1 = ng::make_pdn(opts, rng1);
+  const auto s2 = ng::make_pdn(opts, rng2);
+  EXPECT_FALSE(la::approx_equal(s1.a, s2.a, 1e-6, 1e-6));
+}

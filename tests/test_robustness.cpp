@@ -1,0 +1,146 @@
+// Numerical robustness tests: conditions real data throws at the library —
+// tightly clustered frequencies (small Loewner denominators), extreme
+// dynamic range in the band, very small/large magnitudes, and near-minimal
+// sampling — must degrade gracefully, not explode.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mfti.hpp"
+#include "linalg/norms.hpp"
+#include "loewner/matrices.hpp"
+#include "metrics/error.hpp"
+#include "sampling/grid.hpp"
+#include "sampling/sampler.hpp"
+#include "statespace/random_system.hpp"
+#include "statespace/response.hpp"
+
+namespace la = mfti::la;
+namespace ss = mfti::ss;
+namespace sp = mfti::sampling;
+namespace lw = mfti::loewner;
+using la::Complex;
+using la::Mat;
+
+namespace {
+
+ss::DescriptorSystem make_system(std::size_t order, std::size_t ports,
+                                 double f_lo, double f_hi,
+                                 std::uint64_t seed) {
+  la::Rng rng(seed);
+  ss::RandomSystemOptions opts;
+  opts.order = order;
+  opts.num_outputs = ports;
+  opts.num_inputs = ports;
+  opts.rank_d = ports;
+  opts.f_min_hz = f_lo;
+  opts.f_max_hz = f_hi;
+  return ss::random_stable_mimo(opts, rng);
+}
+
+}  // namespace
+
+TEST(Robustness, TightlyClusteredFrequencies) {
+  // All samples within a 0.1% band: Loewner denominators are tiny but the
+  // construction must stay finite and the Sylvester identities must hold.
+  const auto sys = make_system(6, 2, 900.0, 1100.0, 31);
+  std::vector<double> freqs;
+  for (int i = 0; i < 8; ++i) freqs.push_back(1000.0 + 0.1 * i);
+  const sp::SampleSet data = sp::sample_system(sys, freqs);
+  const lw::TangentialData td = lw::build_tangential_data(data, {});
+  const auto [ll, sll] = lw::loewner_pair(td);
+  EXPECT_TRUE(std::isfinite(la::frobenius_norm(ll)));
+  const auto [r1, r2] = lw::sylvester_residuals(td, ll, sll);
+  EXPECT_LT(r1, 1e-8);
+  EXPECT_LT(r2, 1e-8);
+}
+
+TEST(Robustness, SixDecadeBand) {
+  // Frequencies spanning 1 Hz .. 1 MHz: the frequency-scaled realization
+  // must still recover the system.
+  const auto sys = make_system(10, 2, 1.0, 1e6, 32);
+  const sp::SampleSet data =
+      sp::sample_system(sys, sp::log_grid(1.0, 1e6, 12));
+  const auto fit = mfti::core::mfti_fit(data);
+  EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-6);
+}
+
+TEST(Robustness, TinySignalMagnitudes) {
+  // Scale the system response down to ~1e-9: relative accuracy must hold
+  // (everything in the pipeline is scale-equivariant).
+  auto sys = make_system(8, 2, 10.0, 1e4, 33);
+  sys.c *= 1e-9;
+  const sp::SampleSet data =
+      sp::sample_system(sys, sp::log_grid(10.0, 1e4, 10));
+  const auto fit = mfti::core::mfti_fit(data);
+  EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-6);
+}
+
+TEST(Robustness, HugeSignalMagnitudes) {
+  auto sys = make_system(8, 2, 10.0, 1e4, 34);
+  sys.c *= 1e9;
+  const sp::SampleSet data =
+      sp::sample_system(sys, sp::log_grid(10.0, 1e4, 10));
+  const auto fit = mfti::core::mfti_fit(data);
+  EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-6);
+}
+
+TEST(Robustness, ExactMinimalSamplingBoundary) {
+  // k = k_min exactly, several seeds: recovery must be reliable, not
+  // seed-lucky.
+  for (std::uint64_t seed : {41ull, 42ull, 43ull, 44ull}) {
+    const auto sys = make_system(12, 4, 10.0, 1e5, seed);
+    // k_min = (12 + 4) / 4 = 4
+    const sp::SampleSet data =
+        sp::sample_system(sys, sp::log_grid(10.0, 1e5, 4));
+    const auto fit = mfti::core::mfti_fit(data);
+    const sp::SampleSet probe =
+        sp::sample_system(sys, sp::log_grid(10.0, 1e5, 21));
+    EXPECT_LT(mfti::metrics::model_error(fit.model, probe), 1e-5)
+        << "seed " << seed;
+  }
+}
+
+TEST(Robustness, NonSquarePortCounts) {
+  // p != m exercises every rectangular code path (directions, Loewner
+  // blocks, realization, metrics).
+  la::Rng rng(35);
+  ss::RandomSystemOptions opts;
+  opts.order = 9;
+  opts.num_outputs = 4;
+  opts.num_inputs = 2;
+  opts.rank_d = 2;
+  const ss::DescriptorSystem sys = ss::random_stable_mimo(opts, rng);
+  const sp::SampleSet data =
+      sp::sample_system(sys, sp::log_grid(10.0, 1e5, 12));
+  const auto fit = mfti::core::mfti_fit(data);  // t = min(m, p) = 2
+  EXPECT_EQ(fit.model.num_outputs(), 4u);
+  EXPECT_EQ(fit.model.num_inputs(), 2u);
+  EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-6);
+}
+
+TEST(Robustness, SingleResonanceSystem) {
+  // order 2 (one conjugate pair) — the smallest nontrivial case.
+  const auto sys = make_system(2, 2, 100.0, 1e3, 36);
+  const sp::SampleSet data =
+      sp::sample_system(sys, sp::log_grid(50.0, 2e3, 4));
+  const auto fit = mfti::core::mfti_fit(data);
+  EXPECT_EQ(fit.order, 4u);  // order + rank(D) = 2 + 2
+  EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-8);
+}
+
+TEST(Robustness, ModelStaysFiniteOffBand) {
+  // Evaluating a fitted model far outside the fitted band must not blow up
+  // (no spurious poles parked just off the sampled interval).
+  const auto sys = make_system(8, 2, 100.0, 1e4, 37);
+  const sp::SampleSet data =
+      sp::sample_system(sys, sp::log_grid(100.0, 1e4, 10));
+  const auto fit = mfti::core::mfti_fit(data);
+  for (double f : {1e-2, 1e8}) {
+    const auto h =
+        ss::transfer_function(fit.model, Complex(0.0, 2.0 * M_PI * f));
+    EXPECT_TRUE(std::isfinite(h.max_abs()));
+    EXPECT_LT(h.max_abs(), 1e6);
+  }
+}

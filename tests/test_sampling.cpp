@@ -1,0 +1,198 @@
+// Tests for frequency grids, the sample-set container, system sampling,
+// noise injection and tangential direction generation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/norms.hpp"
+#include "sampling/directions.hpp"
+#include "sampling/grid.hpp"
+#include "sampling/noise.hpp"
+#include "sampling/sampler.hpp"
+#include "statespace/random_system.hpp"
+#include "statespace/response.hpp"
+
+namespace la = mfti::la;
+namespace ss = mfti::ss;
+namespace sp = mfti::sampling;
+using la::CMat;
+using la::Complex;
+using la::Mat;
+
+TEST(Grid, LinearEndpointsAndSpacing) {
+  auto f = sp::linear_grid(10.0, 20.0, 6);
+  ASSERT_EQ(f.size(), 6u);
+  EXPECT_NEAR(f.front(), 10.0, 1e-12);
+  EXPECT_NEAR(f.back(), 20.0, 1e-12);
+  EXPECT_NEAR(f[1] - f[0], 2.0, 1e-12);
+}
+
+TEST(Grid, LogEndpointsAndRatio) {
+  auto f = sp::log_grid(1.0, 1000.0, 4);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_NEAR(f.front(), 1.0, 1e-12);
+  EXPECT_NEAR(f.back(), 1000.0, 1e-9);
+  EXPECT_NEAR(f[1] / f[0], 10.0, 1e-9);
+}
+
+TEST(Grid, SinglePointGrids) {
+  EXPECT_NEAR(sp::linear_grid(2.0, 4.0, 1)[0], 3.0, 1e-12);
+  EXPECT_NEAR(sp::log_grid(1.0, 100.0, 1)[0], 10.0, 1e-9);
+}
+
+TEST(Grid, ClusteredHighConcentratesNearTop) {
+  auto f = sp::clustered_high_grid(0.0, 1.0, 101, 0.15);
+  // Median point should be far above the midpoint.
+  EXPECT_GT(f[50], 0.85);
+  EXPECT_NEAR(f.front(), 0.0, 1e-12);
+  EXPECT_NEAR(f.back(), 1.0, 1e-12);
+  for (std::size_t i = 0; i + 1 < f.size(); ++i) EXPECT_LT(f[i], f[i + 1]);
+}
+
+TEST(Grid, ClusteredLowMirrorsHigh) {
+  auto f = sp::clustered_low_grid(0.0, 1.0, 101, 0.15);
+  EXPECT_LT(f[50], 0.15);
+  for (std::size_t i = 0; i + 1 < f.size(); ++i) EXPECT_LT(f[i], f[i + 1]);
+}
+
+TEST(Grid, InvalidArgumentsThrow) {
+  EXPECT_THROW(sp::linear_grid(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(sp::linear_grid(1.0, 2.0, 0), std::invalid_argument);
+  EXPECT_THROW(sp::log_grid(0.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(sp::clustered_high_grid(1.0, 2.0, 4, 0.0),
+               std::invalid_argument);
+}
+
+TEST(SampleSet, SortsAndValidates) {
+  CMat s1(2, 2, Complex(1, 0));
+  CMat s2(2, 2, Complex(2, 0));
+  sp::SampleSet set(std::vector<sp::FrequencySample>{{200.0, s2}, {100.0, s1}});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0].f_hz, 100.0);
+  EXPECT_EQ(set[1].f_hz, 200.0);
+  EXPECT_EQ(set.num_outputs(), 2u);
+  EXPECT_EQ(set.num_inputs(), 2u);
+}
+
+TEST(SampleSet, RejectsBadData) {
+  CMat a(2, 2);
+  CMat b(3, 2);
+  EXPECT_THROW(
+      sp::SampleSet(std::vector<sp::FrequencySample>{{1.0, a}, {2.0, b}}),
+      std::invalid_argument);
+  EXPECT_THROW(sp::SampleSet(std::vector<sp::FrequencySample>{{0.0, a}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      sp::SampleSet(std::vector<sp::FrequencySample>{{1.0, a}, {1.0, a}}),
+      std::invalid_argument);
+  EXPECT_THROW(sp::SampleSet(std::vector<sp::FrequencySample>{{1.0, CMat()}}),
+               std::invalid_argument);
+}
+
+TEST(SampleSet, SubsetAndPrefix) {
+  CMat s(1, 1, Complex(1, 0));
+  sp::SampleSet set(std::vector<sp::FrequencySample>{
+      {1.0, s}, {2.0, s}, {3.0, s}, {4.0, s}});
+  auto sub = set.subset({0, 2});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub[1].f_hz, 3.0);
+  auto pre = set.prefix(3);
+  EXPECT_EQ(pre.size(), 3u);
+  EXPECT_THROW(set.subset({9}), std::invalid_argument);
+  EXPECT_THROW(set.prefix(9), std::invalid_argument);
+}
+
+TEST(Sampler, MatchesTransferFunction) {
+  la::Rng rng(7);
+  ss::RandomSystemOptions opts;
+  opts.order = 6;
+  opts.num_outputs = 2;
+  opts.num_inputs = 2;
+  const ss::DescriptorSystem sys = ss::random_stable_mimo(opts, rng);
+  const auto freqs = sp::log_grid(10.0, 1e4, 5);
+  const sp::SampleSet data = sp::sample_system(sys, freqs);
+  ASSERT_EQ(data.size(), 5u);
+  const auto resp = ss::frequency_response(sys, freqs);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(la::approx_equal(data[i].s, resp[i], 1e-12, 1e-12));
+  }
+}
+
+TEST(Noise, ZeroLevelIsIdentity) {
+  la::Rng rng(8);
+  CMat s(2, 2, Complex(1, 1));
+  sp::SampleSet set(std::vector<sp::FrequencySample>{{1.0, s}});
+  const sp::SampleSet noisy = sp::add_noise(set, 0.0, rng);
+  EXPECT_TRUE(la::approx_equal(noisy[0].s, s));
+}
+
+TEST(Noise, NegativeLevelThrows) {
+  la::Rng rng(9);
+  CMat s(1, 1, Complex(1, 0));
+  sp::SampleSet set(std::vector<sp::FrequencySample>{{1.0, s}});
+  EXPECT_THROW(sp::add_noise(set, -0.1, rng), std::invalid_argument);
+}
+
+TEST(Noise, PerEntryLevelIsStatisticallyCorrect) {
+  la::Rng rng(10);
+  // 1000 unit entries perturbed at 1% relative: mean square perturbation
+  // should be ~1e-4.
+  std::vector<sp::FrequencySample> raw;
+  for (int i = 0; i < 10; ++i) {
+    raw.push_back({static_cast<double>(i + 1), CMat(10, 10, Complex(1, 0))});
+  }
+  sp::SampleSet set(std::move(raw));
+  const sp::SampleSet noisy = sp::add_noise(set, 0.01, rng);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < noisy.size(); ++k)
+    for (std::size_t i = 0; i < 10; ++i)
+      for (std::size_t j = 0; j < 10; ++j)
+        acc += std::norm(noisy[k].s(i, j) - set[k].s(i, j));
+  acc /= 1000.0;
+  EXPECT_NEAR(acc, 1e-4, 3e-5);
+}
+
+TEST(Noise, PerMatrixRmsReferencesMatrixScale) {
+  la::Rng rng(11);
+  // One huge entry dominates the rms; small entries then receive noise far
+  // larger than their own magnitude.
+  CMat s(2, 2, Complex(1e-6, 0));
+  s(0, 0) = Complex(100.0, 0.0);
+  sp::SampleSet set(std::vector<sp::FrequencySample>{{1.0, s}});
+  const sp::SampleSet noisy =
+      sp::add_noise(set, 0.01, rng, sp::NoiseReference::PerMatrixRms);
+  // rms ~ 50; noise amplitude ~ 0.5 per entry >> 1e-6.
+  EXPECT_GT(std::abs(noisy[0].s(1, 1) - s(1, 1)), 1e-4);
+}
+
+TEST(Directions, RandomOnesAreOrthonormal) {
+  la::Rng rng(12);
+  const Mat r = sp::random_right_direction(6, 3, rng);
+  EXPECT_EQ(r.rows(), 6u);
+  EXPECT_EQ(r.cols(), 3u);
+  EXPECT_TRUE(la::approx_equal(r.transpose() * r, Mat::identity(3), 1e-10,
+                               1e-10));
+  const Mat l = sp::random_left_direction(5, 2, rng);
+  EXPECT_EQ(l.rows(), 2u);
+  EXPECT_EQ(l.cols(), 5u);
+  EXPECT_TRUE(la::approx_equal(l * l.transpose(), Mat::identity(2), 1e-10,
+                               1e-10));
+}
+
+TEST(Directions, CyclicCoverAllPorts) {
+  const Mat r = sp::cyclic_right_direction(3, 2, 2);
+  // Columns are e_2, e_0 (offset 2, wrapping).
+  EXPECT_EQ(r(2, 0), 1.0);
+  EXPECT_EQ(r(0, 1), 1.0);
+  const Mat l = sp::cyclic_left_direction(3, 2, 1);
+  EXPECT_EQ(l(0, 1), 1.0);
+  EXPECT_EQ(l(1, 2), 1.0);
+}
+
+TEST(Directions, InvalidTThrows) {
+  la::Rng rng(13);
+  EXPECT_THROW(sp::random_right_direction(3, 0, rng), std::invalid_argument);
+  EXPECT_THROW(sp::random_right_direction(3, 4, rng), std::invalid_argument);
+  EXPECT_THROW(sp::cyclic_left_direction(3, 4, 0), std::invalid_argument);
+}

@@ -1,0 +1,230 @@
+// Tests for descriptor systems, transfer-function evaluation, poles,
+// stability, and the random stable MIMO generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "linalg/norms.hpp"
+#include "linalg/svd.hpp"
+#include "statespace/descriptor.hpp"
+#include "statespace/random_system.hpp"
+#include "statespace/response.hpp"
+
+namespace la = mfti::la;
+namespace ss = mfti::ss;
+using la::CMat;
+using la::Complex;
+using la::Mat;
+
+namespace {
+
+// First-order low-pass H(s) = 1 / (s + 1).
+ss::DescriptorSystem lowpass() {
+  return {Mat{{1}}, Mat{{-1}}, Mat{{1}}, Mat{{1}}, Mat{{0}}};
+}
+
+}  // namespace
+
+TEST(Descriptor, ValidateAcceptsConsistent) {
+  EXPECT_NO_THROW(lowpass().validate());
+}
+
+TEST(Descriptor, ValidateRejectsBadShapes) {
+  ss::DescriptorSystem bad = lowpass();
+  bad.e = Mat(2, 2);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = lowpass();
+  bad.b = Mat(2, 1);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = lowpass();
+  bad.c = Mat(1, 2);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = lowpass();
+  bad.d = Mat(2, 2);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = lowpass();
+  bad.a = Mat(1, 2);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Descriptor, RoundTripComplexConversion) {
+  ss::DescriptorSystem sys = lowpass();
+  ss::ComplexDescriptorSystem c = ss::to_complex(sys);
+  ss::DescriptorSystem back = ss::to_real(c);
+  EXPECT_TRUE(la::approx_equal(back.a, sys.a));
+  EXPECT_TRUE(la::approx_equal(back.e, sys.e));
+}
+
+TEST(Descriptor, ToRealRejectsTrulyComplex) {
+  ss::ComplexDescriptorSystem c = ss::to_complex(lowpass());
+  c.a(0, 0) = Complex(0.0, 1.0);
+  EXPECT_THROW(ss::to_real(c), std::invalid_argument);
+}
+
+TEST(Response, LowpassDcGainAndRolloff) {
+  ss::DescriptorSystem sys = lowpass();
+  const CMat h0 = ss::transfer_function(sys, Complex(0.0, 0.0));
+  EXPECT_NEAR(h0(0, 0).real(), 1.0, 1e-12);
+  // |H(j)| = 1/sqrt(2) at the corner (w = 1).
+  const CMat h1 = ss::transfer_function(sys, Complex(0.0, 1.0));
+  EXPECT_NEAR(std::abs(h1(0, 0)), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Response, EvaluationAtPoleThrows) {
+  ss::DescriptorSystem sys = lowpass();
+  EXPECT_THROW(ss::transfer_function(sys, Complex(-1.0, 0.0)),
+               la::SingularMatrixError);
+}
+
+TEST(Response, ConjugateSymmetryOfRealSystem) {
+  la::Rng rng(5);
+  ss::RandomSystemOptions opts;
+  opts.order = 12;
+  opts.num_outputs = 3;
+  opts.num_inputs = 3;
+  const ss::DescriptorSystem sys = ss::random_stable_mimo(opts, rng);
+  const Complex s(0.0, 2.0 * std::numbers::pi * 123.0);
+  const CMat hp = ss::transfer_function(sys, s);
+  const CMat hm = ss::transfer_function(sys, std::conj(s));
+  EXPECT_TRUE(la::approx_equal(hm, hp.conjugate(), 1e-10, 1e-10));
+}
+
+TEST(Response, FrequencyResponseMatchesPointEvaluation) {
+  la::Rng rng(6);
+  ss::RandomSystemOptions opts;
+  opts.order = 8;
+  opts.num_outputs = 2;
+  opts.num_inputs = 2;
+  const ss::DescriptorSystem sys = ss::random_stable_mimo(opts, rng);
+  const std::vector<double> freqs{10.0, 100.0, 1000.0};
+  const auto resp = ss::frequency_response(sys, freqs);
+  ASSERT_EQ(resp.size(), 3u);
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    const Complex s(0.0, 2.0 * std::numbers::pi * freqs[i]);
+    EXPECT_TRUE(la::approx_equal(resp[i], ss::transfer_function(sys, s),
+                                 1e-10, 1e-10));
+  }
+}
+
+TEST(Response, PolesOfKnownSystem) {
+  // diag system with poles -1, -3.
+  ss::DescriptorSystem sys{Mat::identity(2), Mat::diagonal({-1.0, -3.0}),
+                           Mat{{1}, {1}}, Mat{{1, 1}}, Mat{{0}}};
+  auto p = ss::poles(sys);
+  ASSERT_EQ(p.size(), 2u);
+  const double re0 = std::min(p[0].real(), p[1].real());
+  const double re1 = std::max(p[0].real(), p[1].real());
+  EXPECT_NEAR(re0, -3.0, 1e-9);
+  EXPECT_NEAR(re1, -1.0, 1e-9);
+}
+
+TEST(Response, SingularEGivesFewerFinitePoles) {
+  // E = diag(1, 0): one finite pole only.
+  ss::DescriptorSystem sys{Mat::diagonal({1.0, 0.0}),
+                           Mat::diagonal({-2.0, 1.0}), Mat{{1}, {0}},
+                           Mat{{1, 0}}, Mat{{0}}};
+  auto p = ss::poles(sys);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NEAR(p[0].real(), -2.0, 1e-9);
+}
+
+TEST(Response, StabilityCheck) {
+  EXPECT_TRUE(ss::is_stable(lowpass()));
+  ss::DescriptorSystem unstable{Mat{{1}}, Mat{{0.5}}, Mat{{1}}, Mat{{1}},
+                                Mat{{0}}};
+  EXPECT_FALSE(ss::is_stable(unstable));
+}
+
+TEST(Response, BodeMagnitudeMatchesAbs) {
+  ss::DescriptorSystem sys = lowpass();
+  const std::vector<double> freqs{0.01, 0.1, 1.0};
+  const auto mag = ss::bode_magnitude(sys, freqs, 0, 0);
+  ASSERT_EQ(mag.size(), 3u);
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    const Complex s(0.0, 2.0 * std::numbers::pi * freqs[i]);
+    EXPECT_NEAR(mag[i], std::abs(ss::transfer_function(sys, s)(0, 0)),
+                1e-12);
+  }
+  EXPECT_THROW(ss::bode_magnitude(sys, freqs, 1, 0), std::invalid_argument);
+}
+
+// --- random system generator ------------------------------------------------
+
+class RandomSystem : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomSystem, IsStableWithRequestedDimensions) {
+  la::Rng rng(40 + GetParam());
+  ss::RandomSystemOptions opts;
+  opts.order = GetParam();
+  opts.num_outputs = 4;
+  opts.num_inputs = 3;
+  opts.rank_d = 2;
+  const ss::DescriptorSystem sys = ss::random_stable_mimo(opts, rng);
+  EXPECT_EQ(sys.order(), opts.order);
+  EXPECT_EQ(sys.num_outputs(), 4u);
+  EXPECT_EQ(sys.num_inputs(), 3u);
+  EXPECT_TRUE(ss::is_stable(sys));
+}
+
+TEST_P(RandomSystem, PolesLieInRequestedBand) {
+  la::Rng rng(80 + GetParam());
+  ss::RandomSystemOptions opts;
+  opts.order = GetParam();
+  opts.num_outputs = 2;
+  opts.num_inputs = 2;
+  opts.f_min_hz = 100.0;
+  opts.f_max_hz = 1e4;
+  const ss::DescriptorSystem sys = ss::random_stable_mimo(opts, rng);
+  for (const Complex& p : ss::poles(sys)) {
+    const double wmag = std::abs(p);
+    EXPECT_GE(wmag, 2.0 * std::numbers::pi * opts.f_min_hz * 0.5);
+    EXPECT_LE(wmag, 2.0 * std::numbers::pi * opts.f_max_hz * 2.0);
+    EXPECT_LT(p.real(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, RandomSystem,
+                         ::testing::Values(2, 3, 7, 16, 31));
+
+TEST(RandomSystemD, RankControl) {
+  la::Rng rng(90);
+  ss::RandomSystemOptions opts;
+  opts.order = 10;
+  opts.num_outputs = 5;
+  opts.num_inputs = 5;
+  opts.rank_d = 3;
+  const ss::DescriptorSystem sys = ss::random_stable_mimo(opts, rng);
+  const auto s = la::singular_values(sys.d);
+  EXPECT_EQ(la::numerical_rank(s, 1e-10), 3u);
+}
+
+TEST(RandomSystemD, ZeroRankGivesStrictlyProper) {
+  la::Rng rng(91);
+  ss::RandomSystemOptions opts;
+  opts.order = 6;
+  opts.num_outputs = 2;
+  opts.num_inputs = 2;
+  opts.rank_d = 0;
+  const ss::DescriptorSystem sys = ss::random_stable_mimo(opts, rng);
+  EXPECT_EQ(sys.d.max_abs(), 0.0);
+}
+
+TEST(RandomSystemD, InvalidOptionsThrow) {
+  la::Rng rng(92);
+  ss::RandomSystemOptions opts;
+  opts.order = 0;
+  EXPECT_THROW(ss::random_stable_mimo(opts, rng), std::invalid_argument);
+  opts.order = 4;
+  opts.f_max_hz = opts.f_min_hz;
+  EXPECT_THROW(ss::random_stable_mimo(opts, rng), std::invalid_argument);
+  opts.f_max_hz = 1e5;
+  opts.min_damping = -1.0;
+  EXPECT_THROW(ss::random_stable_mimo(opts, rng), std::invalid_argument);
+}

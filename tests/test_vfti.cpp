@@ -1,0 +1,93 @@
+// Tests for the VFTI baseline (vector-format tangential interpolation).
+
+#include <gtest/gtest.h>
+
+#include "linalg/norms.hpp"
+#include "linalg/svd.hpp"
+#include "metrics/error.hpp"
+#include "sampling/grid.hpp"
+#include "sampling/sampler.hpp"
+#include "statespace/random_system.hpp"
+#include "vfti/vfti.hpp"
+
+namespace la = mfti::la;
+namespace ss = mfti::ss;
+namespace sp = mfti::sampling;
+
+namespace {
+
+ss::DescriptorSystem make_system(std::size_t order, std::size_t ports,
+                                 std::size_t rank_d, std::uint64_t seed) {
+  la::Rng rng(seed);
+  ss::RandomSystemOptions opts;
+  opts.order = order;
+  opts.num_outputs = ports;
+  opts.num_inputs = ports;
+  opts.rank_d = rank_d;
+  return ss::random_stable_mimo(opts, rng);
+}
+
+sp::SampleSet sample(const ss::DescriptorSystem& sys, std::size_t k) {
+  return sp::sample_system(sys, sp::log_grid(10.0, 1e5, k));
+}
+
+}  // namespace
+
+TEST(Vfti, DataIsVectorFormat) {
+  const auto sys = make_system(6, 4, 0, 401);
+  const auto data = sample(sys, 8);
+  const mfti::vfti::VftiResult fit = mfti::vfti::vfti_fit(data);
+  for (std::size_t t : fit.data.right_t) EXPECT_EQ(t, 1u);
+  for (std::size_t t : fit.data.left_t) EXPECT_EQ(t, 1u);
+  // Loewner size k x k regardless of the 4 ports.
+  EXPECT_EQ(fit.data.right_width(), 8u);
+  EXPECT_EQ(fit.data.left_height(), 8u);
+}
+
+TEST(Vfti, RecoversWithEnoughSamples) {
+  // VFTI needs ~ order + rank(D) tangential rows; give it plenty.
+  const std::size_t order = 8, rank_d = 2;
+  const auto sys = make_system(order, 2, rank_d, 402);
+  const auto data = sample(sys, 3 * (order + rank_d));
+  const mfti::vfti::VftiResult fit = mfti::vfti::vfti_fit(data);
+  EXPECT_EQ(fit.order, order + rank_d);
+  EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-7);
+}
+
+TEST(Vfti, RandomDirectionsAlsoWork) {
+  const auto sys = make_system(6, 3, 1, 403);
+  const auto data = sample(sys, 24);
+  mfti::vfti::VftiOptions opts;
+  opts.directions = mfti::loewner::DirectionKind::RandomOrthonormal;
+  const mfti::vfti::VftiResult fit = mfti::vfti::vfti_fit(data, opts);
+  EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-7);
+}
+
+TEST(Vfti, FailsWhenUndersampled) {
+  // k < order + rank(D): the Loewner matrix cannot reach the system rank.
+  const std::size_t order = 16, rank_d = 2;
+  const auto sys = make_system(order, 4, rank_d, 404);
+  const auto data = sample(sys, 8);
+  const mfti::vfti::VftiResult fit = mfti::vfti::vfti_fit(data);
+  const auto probe = sample(sys, 31);
+  EXPECT_GT(mfti::metrics::model_error(fit.model, probe), 1e-2);
+}
+
+TEST(Vfti, SingularValuesHaveNoDropWhenUndersampled) {
+  // The Fig. 1 contrast: at 8 samples of a high-order system the VFTI
+  // Loewner spectrum shows no rank gap.
+  const auto sys = make_system(24, 4, 4, 405);
+  const auto data = sample(sys, 8);
+  const mfti::vfti::VftiResult fit = mfti::vfti::vfti_fit(data);
+  EXPECT_EQ(la::rank_by_largest_gap(fit.singular_values, 1e3),
+            fit.singular_values.size());
+}
+
+TEST(Vfti, ModelIsRealValued) {
+  const auto sys = make_system(8, 2, 0, 406);
+  const auto data = sample(sys, 20);
+  const mfti::vfti::VftiResult fit = mfti::vfti::vfti_fit(data);
+  EXPECT_NO_THROW(fit.model.validate());
+  EXPECT_EQ(fit.model.num_inputs(), 2u);
+  EXPECT_EQ(fit.model.num_outputs(), 2u);
+}
