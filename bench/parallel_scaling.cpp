@@ -1,0 +1,151 @@
+// Scaling bench for the parallel execution layer: times the two MFTI hot
+// paths — block Loewner pencil assembly and batch frequency-response sweeps
+// — under the serial policy and under thread counts 2/4/max, and verifies
+// that every parallel result matches the serial one element-wise within
+// 1e-12. On a >= 4-core host the parallel columns should show >= 2x speedup;
+// on fewer cores the bench still validates correctness and reports honestly.
+//
+// Usage: bench_parallel_scaling [repeats]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "io/csv.hpp"
+#include "loewner/matrices.hpp"
+#include "loewner/tangential.hpp"
+#include "metrics/stopwatch.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sampling/grid.hpp"
+#include "sampling/sampler.hpp"
+#include "statespace/response.hpp"
+
+namespace la = mfti::la;
+namespace lw = mfti::loewner;
+namespace par = mfti::parallel;
+namespace sp = mfti::sampling;
+namespace ss = mfti::ss;
+namespace bench = mfti::bench;
+
+namespace {
+
+template <typename F>
+double best_seconds(int repeats, F&& body) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    mfti::metrics::Stopwatch sw;
+    body();
+    best = std::min(best, sw.seconds());
+  }
+  return best;
+}
+
+double max_cdiff(const la::CMat& a, const la::CMat& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+  return m;
+}
+
+struct Row {
+  std::string kernel;
+  std::size_t threads;
+  double seconds;
+  double speedup;
+  double max_diff;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int repeats = std::max(1, argc > 1 ? std::atoi(argv[1]) : 3);
+  const std::size_t hw = par::hardware_threads();
+  std::printf("parallel_scaling: %zu hardware thread(s), best of %d runs\n\n",
+              hw, repeats);
+
+  // Fixture: the paper's Example-1 class of problem (order 150, 30 ports)
+  // sampled densely enough that the pencil is a few hundred rows/columns.
+  const ss::DescriptorSystem sys = bench::example1_system();
+  const auto samples = sp::sample_system(
+      sys, sp::log_grid(bench::kExample1FMin, bench::kExample1FMax, 40));
+  const lw::TangentialData data = lw::build_tangential_data(samples);
+  std::printf("Loewner pencil: %zu x %zu (30-port, t = 30 blocks)\n",
+              data.left_height(), data.right_width());
+
+  const std::vector<double> sweep_freqs =
+      sp::log_grid(bench::kExample1FMin, bench::kExample1FMax, 256);
+  std::printf("frequency sweep: %zu points, order-%zu model\n\n",
+              sweep_freqs.size(), sys.order());
+
+  std::vector<std::size_t> thread_counts = {1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+
+  std::vector<Row> rows;
+
+  // --- Loewner pencil assembly ---------------------------------------------
+  const auto [ll_ref, sll_ref] = lw::loewner_pair(data);
+  double serial_loewner = 0.0;
+  for (std::size_t t : thread_counts) {
+    const auto exec = t == 1 ? par::ExecutionPolicy::serial()
+                             : par::ExecutionPolicy::with_threads(t);
+    la::CMat ll, sll;
+    const double s = best_seconds(repeats, [&] {
+      auto pair = lw::loewner_pair(data, exec);
+      ll = std::move(pair.first);
+      sll = std::move(pair.second);
+    });
+    if (t == 1) serial_loewner = s;
+    rows.push_back({"loewner_pair", t, s, serial_loewner / s,
+                    std::max(max_cdiff(ll, ll_ref), max_cdiff(sll, sll_ref))});
+  }
+
+  // --- batch frequency sweep -----------------------------------------------
+  const ss::BatchEvaluator eval(sys);
+  const auto sweep_ref = eval.sweep(sweep_freqs);
+  double serial_sweep = 0.0;
+  for (std::size_t t : thread_counts) {
+    const auto exec = t == 1 ? par::ExecutionPolicy::serial()
+                             : par::ExecutionPolicy::with_threads(t);
+    std::vector<la::CMat> h;
+    const double s =
+        best_seconds(repeats, [&] { h = eval.sweep(sweep_freqs, exec); });
+    if (t == 1) serial_sweep = s;
+    double diff = 0.0;
+    for (std::size_t i = 0; i < h.size(); ++i)
+      diff = std::max(diff, max_cdiff(h[i], sweep_ref[i]));
+    rows.push_back({"batch_sweep", t, s, serial_sweep / s, diff});
+  }
+
+  // --- report ---------------------------------------------------------------
+  std::printf("%-14s %8s %12s %9s %12s\n", "kernel", "threads", "seconds",
+              "speedup", "max |diff|");
+  bool ok = true;
+  for (const Row& r : rows) {
+    std::printf("%-14s %8zu %12.4f %8.2fx %12.3e\n", r.kernel.c_str(),
+                r.threads, r.seconds, r.speedup, r.max_diff);
+    ok = ok && r.max_diff <= 1e-12;
+  }
+  std::printf("\ncorrectness (all parallel == serial within 1e-12): %s\n",
+              ok ? "PASS" : "FAIL");
+  if (hw < 4) {
+    std::printf(
+        "note: only %zu hardware thread(s) available — speedups are not "
+        "meaningful on this host (need >= 4 cores for the 2x target)\n",
+        hw);
+  }
+
+  // CSV: kernel encoded as 0 = loewner_pair, 1 = batch_sweep.
+  mfti::io::CsvTable csv({"kernel", "threads", "seconds", "speedup",
+                          "max_diff"});
+  for (const Row& r : rows) {
+    csv.add_row({r.kernel == "loewner_pair" ? 0.0 : 1.0,
+                 static_cast<double>(r.threads), r.seconds, r.speedup,
+                 r.max_diff});
+  }
+  bench::write_csv(csv, "parallel_scaling.csv");
+  return ok ? 0 : 1;
+}

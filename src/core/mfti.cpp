@@ -5,8 +5,12 @@ namespace mfti::core {
 MftiResult mfti_fit(const sampling::SampleSet& samples,
                     const MftiOptions& opts) {
   loewner::TangentialData data =
-      loewner::build_tangential_data(samples, opts.data);
-  loewner::Realization real = loewner::realize(data, opts.realization);
+      loewner::build_tangential_data(samples, opts.data, opts.exec);
+  loewner::RealizationOptions ropts = opts.realization;
+  // The more specific knob wins: a user-set realization.exec is respected,
+  // otherwise the fit-wide policy propagates down.
+  if (ropts.exec.is_serial()) ropts.exec = opts.exec;
+  loewner::Realization real = loewner::realize(data, ropts);
   return {std::move(real.model), std::move(real.singular_values), real.order,
           std::move(data)};
 }

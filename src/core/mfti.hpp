@@ -8,6 +8,7 @@
 
 #include "loewner/realization.hpp"
 #include "loewner/tangential.hpp"
+#include "parallel/execution.hpp"
 #include "sampling/dataset.hpp"
 #include "statespace/descriptor.hpp"
 
@@ -20,6 +21,12 @@ namespace mfti::core {
 struct MftiOptions {
   loewner::TangentialOptions data;
   loewner::RealizationOptions realization;
+  /// Execution policy for the whole fit: tangential data assembly, Loewner
+  /// pencil construction and the truncating SVDs. Serial by default; a
+  /// parallel policy produces the same model to tight tolerance (the hot
+  /// paths are element-wise identical). Propagated to `realization.exec`
+  /// unless that is already non-serial (the more specific knob wins).
+  parallel::ExecutionPolicy exec;
 };
 
 /// Result of an MFTI fit.

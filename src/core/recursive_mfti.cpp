@@ -8,6 +8,7 @@
 
 #include "core/incremental.hpp"
 #include "linalg/norms.hpp"
+#include "parallel/parallel_for.hpp"
 #include "statespace/response.hpp"
 
 namespace mfti::core {
@@ -19,14 +20,14 @@ namespace {
 // optionally normalised by ||W_u||_F + ||V_u||_F. Only the non-conjugate
 // half of each pair is evaluated (the conjugate half carries the same
 // information for a real model).
-la::Real unit_error(const ss::ComplexDescriptorSystem& model,
+la::Real unit_error(const ss::BatchEvaluator& model,
                     const loewner::TangentialData& full, std::size_t u,
                     bool relative) {
   const std::size_t t_r = full.right_t[u];
   const auto [rc0, rc1] = full.right_pair_cols(u);
   (void)rc1;
   const Complex lambda(0.0, 2.0 * std::numbers::pi * full.right_freq_hz[u]);
-  const CMat h_r = ss::transfer_function(model, lambda);
+  const CMat h_r = model.evaluate(lambda);
   CMat rdir(full.num_inputs(), t_r);
   CMat wdat(full.num_outputs(), t_r);
   for (std::size_t c = 0; c < t_r; ++c) {
@@ -41,7 +42,7 @@ la::Real unit_error(const ss::ComplexDescriptorSystem& model,
   const auto [lr0, lr1] = full.left_pair_rows(u);
   (void)lr1;
   const Complex mu(0.0, 2.0 * std::numbers::pi * full.left_freq_hz[u]);
-  const CMat h_l = ss::transfer_function(model, mu);
+  const CMat h_l = model.evaluate(mu);
   CMat ldir(t_l, full.num_outputs());
   CMat vdat(t_l, full.num_inputs());
   for (std::size_t r = 0; r < t_l; ++r) {
@@ -68,7 +69,7 @@ RecursiveMftiResult recursive_mfti_fit(const sampling::SampleSet& samples,
     throw std::invalid_argument("recursive_mfti_fit: k0 must be positive");
   }
   const loewner::TangentialData full =
-      loewner::build_tangential_data(samples, opts.data);
+      loewner::build_tangential_data(samples, opts.data, opts.exec);
   IncrementalLoewner inc(full);
   const std::size_t num_units = inc.num_units();
   if (num_units < 2) {
@@ -95,16 +96,20 @@ RecursiveMftiResult recursive_mfti_fit(const sampling::SampleSet& samples,
     remaining.erase(remaining.begin(),
                     remaining.begin() + static_cast<std::ptrdiff_t>(take));
 
-    real = loewner::realize(inc.data(), inc.loewner(), inc.shifted(),
-                            opts.realization);
+    loewner::RealizationOptions ropts = opts.realization;
+    // The more specific knob wins (see mfti_fit).
+    if (ropts.exec.is_serial()) ropts.exec = opts.exec;
+    real = loewner::realize(inc.data(), inc.loewner(), inc.shifted(), ropts);
 
     if (remaining.empty()) break;  // Step 7: iI exhausted
 
-    // Errors of the current model on every remaining unit.
-    const ss::ComplexDescriptorSystem cmodel = ss::to_complex(real.model);
+    // Errors of the current model on every remaining unit — one independent
+    // pencil factorisation pair per unit, fanned out under opts.exec.
+    const ss::BatchEvaluator cmodel(real.model);
     std::vector<la::Real> err(remaining.size());
-    for (std::size_t i = 0; i < remaining.size(); ++i)
+    parallel::parallel_for(remaining.size(), opts.exec, [&](std::size_t i) {
       err[i] = unit_error(cmodel, full, remaining[i], opts.relative_error);
+    });
     const la::Real mean =
         std::accumulate(err.begin(), err.end(), 0.0) /
         static_cast<la::Real>(err.size());

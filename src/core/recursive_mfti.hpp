@@ -18,6 +18,7 @@
 
 #include "loewner/realization.hpp"
 #include "loewner/tangential.hpp"
+#include "parallel/execution.hpp"
 #include "sampling/dataset.hpp"
 #include "statespace/descriptor.hpp"
 
@@ -52,6 +53,12 @@ struct RecursiveMftiOptions {
   bool relative_error = false;
   std::size_t max_iterations = std::numeric_limits<std::size_t>::max();
   SelectionRule selection = SelectionRule::BestFirst;
+  /// Execution policy for the heavy steps: tangential data assembly, the
+  /// per-iteration realization, and the remaining-sample error sweep (one
+  /// independent transfer-function evaluation pair per unit). Serial by
+  /// default. Propagated to `realization.exec` unless that is already
+  /// non-serial (the more specific knob wins).
+  parallel::ExecutionPolicy exec;
 };
 
 /// Result of a recursive fit.

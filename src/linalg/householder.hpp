@@ -1,0 +1,80 @@
+/// \file householder.hpp
+/// \brief Shared Householder reflector application kernel used by the QR
+/// factorisation and the Golub–Kahan bidiagonalization/accumulation.
+///
+/// The reflector is stored packed: scaled essential part below the diagonal
+/// of column `k` of `pack` (`v_k = 1` implicit), scaling `beta`
+/// (0 => identity reflector). One kernel serves both the serial sweep and
+/// the column-chunked parallel fan-out; per-column arithmetic order is
+/// identical either way, which is what keeps parallel factorisations
+/// bitwise equal to serial ones.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace mfti::la::detail {
+
+/// Apply the reflector in column `k` of `pack` to the column panel
+/// `[j0, j1)` of `b`, touching rows k..m-1. Row-major friendly: one forward
+/// sweep accumulates `w = v^* B`, one forward sweep applies `B -= v w`.
+/// `w` is caller-provided scratch (reused across reflectors).
+template <typename T>
+void apply_reflector_panel(const Matrix<T>& pack, std::size_t k, Real beta,
+                           Matrix<T>& b, std::size_t j0, std::size_t j1,
+                           std::vector<T>& w) {
+  const std::size_t m = b.rows();
+  w.assign(j1 - j0, T{});
+  {
+    const T* brow = &b(k, 0);
+    for (std::size_t j = j0; j < j1; ++j) w[j - j0] = brow[j];
+  }
+  for (std::size_t i = k + 1; i < m; ++i) {
+    const T vi = detail::conj_if_complex(pack(i, k));
+    if (vi == T{}) continue;
+    const T* brow = &b(i, 0);
+    for (std::size_t j = j0; j < j1; ++j) w[j - j0] += vi * brow[j];
+  }
+  const T scale = static_cast<T>(beta);
+  for (auto& x : w) x *= scale;
+  {
+    T* brow = &b(k, 0);
+    for (std::size_t j = j0; j < j1; ++j) brow[j] -= w[j - j0];
+  }
+  for (std::size_t i = k + 1; i < m; ++i) {
+    const T vi = pack(i, k);
+    if (vi == T{}) continue;
+    T* brow = &b(i, 0);
+    for (std::size_t j = j0; j < j1; ++j) brow[j] -= vi * w[j - j0];
+  }
+}
+
+/// Reflector update over columns `[col_begin, cols)`: serial in one panel,
+/// or fanned out over disjoint column panels under `exec`. Tiny trailing
+/// panels stay serial (grained) so batch overhead never dominates.
+template <typename T>
+void apply_reflector(const Matrix<T>& pack, std::size_t k, Real beta,
+                     Matrix<T>& b, std::size_t col_begin, std::vector<T>& w,
+                     const parallel::ExecutionPolicy& exec) {
+  if (beta == 0.0) return;
+  const std::size_t nc = b.cols();
+  if (col_begin >= nc) return;
+  const std::size_t span = nc - col_begin;
+  const auto pol = parallel::grained(exec, span * (b.rows() - k));
+  if (pol.is_serial()) {
+    apply_reflector_panel(pack, k, beta, b, col_begin, nc, w);
+    return;
+  }
+  parallel::parallel_for_chunks(
+      span, pol, [&](std::size_t c0, std::size_t c1) {
+        std::vector<T> local;
+        apply_reflector_panel(pack, k, beta, b, col_begin + c0,
+                              col_begin + c1, local);
+      });
+}
+
+}  // namespace mfti::la::detail

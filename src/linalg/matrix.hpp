@@ -40,6 +40,9 @@ class ConvergenceError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+template <typename T>
+class Matrix;
+
 namespace detail {
 
 inline Real conj_if_complex(Real x) { return x; }
@@ -47,6 +50,14 @@ inline Complex conj_if_complex(const Complex& x) { return std::conj(x); }
 
 inline Real abs_value(Real x) { return std::abs(x); }
 inline Real abs_value(const Complex& x) { return std::abs(x); }
+
+// The one i-k-j product kernel: accumulate rows [begin, end) of `a * b`
+// into the zero-initialised `c`. Shared by `operator*` (whole range) and
+// the row-parallel `multiply` (one chunk per thread), which is what keeps
+// the parallel product bitwise identical to the serial one.
+template <typename T>
+void multiply_rows(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
+                   std::size_t begin, std::size_t end);
 
 }  // namespace detail
 
@@ -282,15 +293,7 @@ class Matrix {
           std::to_string(a.cols_) + " vs " + std::to_string(b.rows_) + ")");
     }
     Matrix c(a.rows_, b.cols_);
-    for (std::size_t i = 0; i < a.rows_; ++i) {
-      for (std::size_t k = 0; k < a.cols_; ++k) {
-        const T aik = a(i, k);
-        if (aik == T{}) continue;
-        const T* brow = &b.data_[k * b.cols_];
-        T* crow = &c.data_[i * c.cols_];
-        for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
-      }
-    }
+    detail::multiply_rows(a, b, c, 0, a.rows_);
     return c;
   }
 
@@ -329,6 +332,26 @@ class Matrix {
 
 using Mat = Matrix<Real>;
 using CMat = Matrix<Complex>;
+
+namespace detail {
+
+template <typename T>
+void multiply_rows(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
+                   std::size_t begin, std::size_t end) {
+  const std::size_t nc = b.cols();
+  if (nc == 0 || a.cols() == 0) return;  // degenerate: nothing to accumulate
+  for (std::size_t i = begin; i < end; ++i) {
+    T* crow = &c(i, 0);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const T aik = a(i, k);
+      if (aik == T{}) continue;
+      const T* brow = &b(k, 0);
+      for (std::size_t j = 0; j < nc; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+}  // namespace detail
 
 // --- free functions --------------------------------------------------------
 

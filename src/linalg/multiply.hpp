@@ -1,0 +1,38 @@
+/// \file multiply.hpp
+/// \brief Execution-policy-aware matrix product. Kept out of matrix.hpp so
+/// the base container header does not drag the threading stack into every
+/// translation unit.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace mfti::la {
+
+/// `a * b` with the output rows fanned out under `exec`. Each chunk runs
+/// the same `detail::multiply_rows` kernel as `operator*` on its row range,
+/// so the result is bitwise identical to the serial product; serial
+/// policies and small products take `operator*` directly.
+template <typename T>
+Matrix<T> multiply(const Matrix<T>& a, const Matrix<T>& b,
+                   const parallel::ExecutionPolicy& exec) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument(
+        "la::multiply: inner dimensions differ (" + std::to_string(a.cols()) +
+        " vs " + std::to_string(b.rows()) + ")");
+  }
+  const auto pol = parallel::grained(exec, a.rows() * a.cols() * b.cols());
+  if (pol.is_serial()) return a * b;
+  Matrix<T> c(a.rows(), b.cols());
+  parallel::parallel_for_chunks(
+      a.rows(), pol, [&](std::size_t begin, std::size_t end) {
+        detail::multiply_rows(a, b, c, begin, end);
+      });
+  return c;
+}
+
+}  // namespace mfti::la

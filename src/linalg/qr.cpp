@@ -4,7 +4,11 @@
 #include <limits>
 #include <vector>
 
+#include "linalg/householder.hpp"
+
 namespace mfti::la {
+
+using detail::apply_reflector;
 
 namespace {
 
@@ -20,49 +24,12 @@ Complex householder_alpha(const Complex& x0, Real normx) {
   return -(x0 / a) * normx;
 }
 
-// Apply the Householder reflector stored in column k of `pack` (scaled
-// essential part below the diagonal, v_k = 1 implicit) to the column block
-// [col_begin, cols) of `b`, touching rows k..m-1. Row-major friendly: one
-// forward sweep accumulates w = v^* B, one forward sweep applies the
-// update B -= v w.
-template <typename T>
-void apply_reflector(const Matrix<T>& pack, std::size_t k, Real beta,
-                     Matrix<T>& b, std::size_t col_begin,
-                     std::vector<T>& w) {
-  if (beta == 0.0) return;
-  const std::size_t m = b.rows();
-  const std::size_t nc = b.cols();
-  w.assign(nc - col_begin, T{});
-  {
-    const T* brow = &b(k, 0);
-    for (std::size_t j = col_begin; j < nc; ++j) w[j - col_begin] = brow[j];
-  }
-  for (std::size_t i = k + 1; i < m; ++i) {
-    const T vi = detail::conj_if_complex(pack(i, k));
-    if (vi == T{}) continue;
-    const T* brow = &b(i, 0);
-    for (std::size_t j = col_begin; j < nc; ++j)
-      w[j - col_begin] += vi * brow[j];
-  }
-  const T scale = static_cast<T>(beta);
-  for (auto& x : w) x *= scale;
-  {
-    T* brow = &b(k, 0);
-    for (std::size_t j = col_begin; j < nc; ++j) brow[j] -= w[j - col_begin];
-  }
-  for (std::size_t i = k + 1; i < m; ++i) {
-    const T vi = pack(i, k);
-    if (vi == T{}) continue;
-    T* brow = &b(i, 0);
-    for (std::size_t j = col_begin; j < nc; ++j)
-      brow[j] -= vi * w[j - col_begin];
-  }
-}
-
 }  // namespace
 
 template <typename T>
-QrDecomposition<T>::QrDecomposition(Matrix<T> a) : qr_(std::move(a)) {
+QrDecomposition<T>::QrDecomposition(Matrix<T> a,
+                                    const parallel::ExecutionPolicy& exec)
+    : qr_(std::move(a)), exec_(exec) {
   const std::size_t m = qr_.rows();
   const std::size_t n = qr_.cols();
   const std::size_t r = std::min(m, n);
@@ -91,7 +58,7 @@ QrDecomposition<T>::QrDecomposition(Matrix<T> a) : qr_(std::move(a)) {
     beta_[k] = 2.0 * v0abs * v0abs / vtv;
     for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) = qr_(i, k) / v0;
     qr_(k, k) = alpha;
-    apply_reflector(qr_, k, beta_[k], qr_, k + 1, w);
+    apply_reflector(qr_, k, beta_[k], qr_, k + 1, w, exec_);
   }
 }
 
@@ -103,7 +70,7 @@ Matrix<T> QrDecomposition<T>::apply_qt(Matrix<T> b) const {
   }
   std::vector<T> w;
   for (std::size_t k = 0; k < beta_.size(); ++k) {
-    apply_reflector(qr_, k, beta_[k], b, 0, w);
+    apply_reflector(qr_, k, beta_[k], b, 0, w, exec_);
   }
   return b;
 }
@@ -122,7 +89,7 @@ Matrix<T> QrDecomposition<T>::apply_q(Matrix<T> b) const {
   }
   std::vector<T> w;
   for (std::size_t k = r; k-- > 0;) {
-    apply_reflector(qr_, k, beta_[k], b, 0, w);
+    apply_reflector(qr_, k, beta_[k], b, 0, w, exec_);
   }
   return b;
 }

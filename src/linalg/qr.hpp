@@ -5,6 +5,10 @@
 /// QR is used to orthonormalise random tangential directions (Algorithm 1,
 /// step 1 of the paper asks for *orthonormal* matrix-format directions) and
 /// to solve the dense least-squares systems inside vector fitting.
+///
+/// Under a parallel `ExecutionPolicy` the trailing-panel reflector updates
+/// fan out over column blocks; each column's arithmetic order is unchanged,
+/// so the factorisation is bitwise identical to the serial one.
 
 #pragma once
 
@@ -12,6 +16,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "parallel/execution.hpp"
 
 namespace mfti::la {
 
@@ -23,7 +28,8 @@ namespace mfti::la {
 template <typename T>
 class QrDecomposition {
  public:
-  explicit QrDecomposition(Matrix<T> a);
+  explicit QrDecomposition(Matrix<T> a,
+                           const parallel::ExecutionPolicy& exec = {});
 
   std::size_t rows() const { return qr_.rows(); }
   std::size_t cols() const { return qr_.cols(); }
@@ -55,6 +61,7 @@ class QrDecomposition {
  private:
   Matrix<T> qr_;         // packed reflectors + R
   std::vector<Real> beta_;  // reflector scalings (0 => identity reflector)
+  parallel::ExecutionPolicy exec_;  // used by factorisation and Q applies
 };
 
 /// Convenience: thin QR as a pair {Q, R}.

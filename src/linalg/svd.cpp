@@ -5,11 +5,16 @@
 #include <limits>
 #include <numeric>
 
+#include "linalg/householder.hpp"
+#include "parallel/parallel_for.hpp"
+
 namespace mfti::la {
 
 namespace {
 
 constexpr Real kEps = std::numeric_limits<Real>::epsilon();
+
+using parallel::grained;
 
 // ---------------------------------------------------------------------------
 // One-sided Jacobi (high relative accuracy; O(n^3) per sweep). Kept both as
@@ -240,14 +245,19 @@ T phase_of(const T& x) {
 }
 
 // Full Golub–Kahan SVD of a tall matrix (m >= n). When `want_uv` is false
-// only the singular values are produced (u/v left empty).
+// only the singular values are produced (u/v left empty). The Householder
+// panel updates and the U/V accumulation fan out over columns/rows under a
+// parallel `exec` (per-column arithmetic unchanged -> bitwise identical);
+// the bidiagonal QR iteration is inherently sequential and stays serial.
 template <typename T>
-Svd<T> svd_golub_kahan_tall(const Matrix<T>& a, bool want_uv) {
+Svd<T> svd_golub_kahan_tall(const Matrix<T>& a, bool want_uv,
+                            const parallel::ExecutionPolicy& exec) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
   Matrix<T> g = a;
   std::vector<Real> beta_left(n, 0.0);
   std::vector<Real> beta_right(n, 0.0);
+  std::vector<T> scratch;
 
   // --- Householder bidiagonalization --------------------------------------
   for (std::size_t k = 0; k < n; ++k) {
@@ -271,14 +281,8 @@ Svd<T> svd_golub_kahan_tall(const Matrix<T>& a, bool want_uv) {
           beta_left[k] = 2.0 * v0abs * v0abs / vtv;
           for (std::size_t i = k + 1; i < m; ++i) g(i, k) = g(i, k) / v0;
           g(k, k) = alpha;
-          for (std::size_t j = k + 1; j < n; ++j) {
-            T w = g(k, j);
-            for (std::size_t i = k + 1; i < m; ++i)
-              w += detail::conj_if_complex(g(i, k)) * g(i, j);
-            w *= static_cast<T>(beta_left[k]);
-            g(k, j) -= w;
-            for (std::size_t i = k + 1; i < m; ++i) g(i, j) -= g(i, k) * w;
-          }
+          detail::apply_reflector(g, k, beta_left[k], g, k + 1, scratch,
+                                  exec);
         }
       }
     }
@@ -309,15 +313,21 @@ Svd<T> svd_golub_kahan_tall(const Matrix<T>& a, bool want_uv) {
           g(k, k + 1) = detail::conj_if_complex(alpha);
           // Apply from the right to rows k+1..m-1:
           // row <- row - beta (row . v) v^*   with v_j = conj(g(k, j)).
-          for (std::size_t i = k + 1; i < m; ++i) {
-            T w = g(i, k + 1);  // v_{k+1} = 1
-            for (std::size_t j = k + 2; j < n; ++j)
-              w += g(i, j) * detail::conj_if_complex(g(k, j));
-            w *= static_cast<T>(beta_right[k]);
-            g(i, k + 1) -= w;
-            for (std::size_t j = k + 2; j < n; ++j)
-              g(i, j) -= w * g(k, j);
-          }
+          // Row i only reads the (frozen) reflector in row k and writes row
+          // i -> independent across i.
+          const auto pol = grained(exec, (m - k - 1) * (n - k - 1));
+          parallel::parallel_for_chunks(
+              m - (k + 1), pol, [&](std::size_t r0, std::size_t r1) {
+                for (std::size_t i = k + 1 + r0; i < k + 1 + r1; ++i) {
+                  T w = g(i, k + 1);  // v_{k+1} = 1
+                  for (std::size_t j = k + 2; j < n; ++j)
+                    w += g(i, j) * detail::conj_if_complex(g(k, j));
+                  w *= static_cast<T>(beta_right[k]);
+                  g(i, k + 1) -= w;
+                  for (std::size_t j = k + 2; j < n; ++j)
+                    g(i, j) -= w * g(k, j);
+                }
+              });
         }
       }
     }
@@ -331,29 +341,25 @@ Svd<T> svd_golub_kahan_tall(const Matrix<T>& a, bool want_uv) {
     u_mat = Matrix<T>(m, n);
     for (std::size_t i = 0; i < n; ++i) u_mat(i, i) = T{1};
     for (std::size_t k = n; k-- > 0;) {
-      if (beta_left[k] == 0.0) continue;
-      for (std::size_t j = 0; j < n; ++j) {
-        T w = u_mat(k, j);
-        for (std::size_t i = k + 1; i < m; ++i)
-          w += detail::conj_if_complex(g(i, k)) * u_mat(i, j);
-        w *= static_cast<T>(beta_left[k]);
-        u_mat(k, j) -= w;
-        for (std::size_t i = k + 1; i < m; ++i) u_mat(i, j) -= g(i, k) * w;
-      }
+      detail::apply_reflector(g, k, beta_left[k], u_mat, 0, scratch, exec);
     }
     v_mat = Matrix<T>::identity(n);
     for (std::size_t k = (n >= 2 ? n - 2 : 0); k-- > 0;) {
       if (beta_right[k] == 0.0) continue;
       // P = I - beta v v^* with v_j = conj(g(k, j)) for j >= k+2, v_{k+1}=1.
-      for (std::size_t j = 0; j < n; ++j) {
-        T w = v_mat(k + 1, j);
-        for (std::size_t i = k + 2; i < n; ++i)
-          w += g(k, i) * v_mat(i, j);  // conj(v_i) = g(k, i)
-        w *= static_cast<T>(beta_right[k]);
-        v_mat(k + 1, j) -= w;
-        for (std::size_t i = k + 2; i < n; ++i)
-          v_mat(i, j) -= detail::conj_if_complex(g(k, i)) * w;
-      }
+      const auto pol = grained(exec, (n - k) * n);
+      parallel::parallel_for_chunks(
+          n, pol, [&](std::size_t j0, std::size_t j1) {
+            for (std::size_t j = j0; j < j1; ++j) {
+              T w = v_mat(k + 1, j);
+              for (std::size_t i = k + 2; i < n; ++i)
+                w += g(k, i) * v_mat(i, j);  // conj(v_i) = g(k, i)
+              w *= static_cast<T>(beta_right[k]);
+              v_mat(k + 1, j) -= w;
+              for (std::size_t i = k + 2; i < n; ++i)
+                v_mat(i, j) -= detail::conj_if_complex(g(k, i)) * w;
+            }
+          });
     }
     u = &u_mat;
     v = &v_mat;
@@ -468,12 +474,12 @@ Svd<T> svd_tall(const Matrix<T>& a, const SvdOptions& opts, bool want_uv) {
     case SvdAlgorithm::Jacobi:
       return svd_jacobi_tall(a, opts);
     case SvdAlgorithm::GolubKahan:
-      return svd_golub_kahan_tall(a, want_uv);
+      return svd_golub_kahan_tall(a, want_uv, opts.exec);
     case SvdAlgorithm::Auto:
       break;
   }
   if (a.cols() <= 32) return svd_jacobi_tall(a, opts);
-  return svd_golub_kahan_tall(a, want_uv);
+  return svd_golub_kahan_tall(a, want_uv, opts.exec);
 }
 
 template <typename T>

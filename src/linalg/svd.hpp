@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "parallel/execution.hpp"
 
 namespace mfti::la {
 
@@ -55,6 +56,11 @@ struct SvdOptions {
   /// Jacobi: two columns count as orthogonal when
   /// `|g_i^* g_j| <= tol * ||g_i|| * ||g_j||`.
   Real tol = 1e-14;
+  /// Golub–Kahan: fan the Householder panel updates and the U/V
+  /// accumulation out over threads. Per-column arithmetic order is
+  /// unchanged, so the decomposition is bitwise identical to serial.
+  /// (The Jacobi path and the bidiagonal QR iteration stay serial.)
+  parallel::ExecutionPolicy exec;
 };
 
 /// Compute the thin SVD of `a`.

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/multiply.hpp"
 #include "linalg/norms.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace mfti::loewner {
 
@@ -16,8 +18,9 @@ struct Kernels {
   CMat lw;  // Kl x Kr
 };
 
-Kernels inner_products(const TangentialData& d) {
-  return {d.v * d.r, d.l * d.w};
+Kernels inner_products(const TangentialData& d,
+                       const parallel::ExecutionPolicy& exec) {
+  return {la::multiply(d.v, d.r, exec), la::multiply(d.l, d.w, exec)};
 }
 
 void check_disjoint(const Complex& mu, const Complex& lambda) {
@@ -30,59 +33,65 @@ void check_disjoint(const Complex& mu, const Complex& lambda) {
 
 }  // namespace
 
-CMat loewner_matrix(const TangentialData& d) {
+CMat loewner_matrix(const TangentialData& d,
+                    const parallel::ExecutionPolicy& exec) {
   d.validate();
-  const Kernels k = inner_products(d);
+  const Kernels k = inner_products(d, exec);
   const std::size_t kl = d.left_height();
   const std::size_t kr = d.right_width();
   CMat out(kl, kr);
-  for (std::size_t i = 0; i < kl; ++i) {
+  parallel::parallel_for(kl, parallel::grained(exec, kl * kr),
+                         [&](std::size_t i) {
     for (std::size_t j = 0; j < kr; ++j) {
       check_disjoint(d.mu[i], d.lambda[j]);
       out(i, j) = (k.vr(i, j) - k.lw(i, j)) / (d.mu[i] - d.lambda[j]);
     }
-  }
+  });
   return out;
 }
 
-CMat shifted_loewner_matrix(const TangentialData& d) {
+CMat shifted_loewner_matrix(const TangentialData& d,
+                            const parallel::ExecutionPolicy& exec) {
   d.validate();
-  const Kernels k = inner_products(d);
+  const Kernels k = inner_products(d, exec);
   const std::size_t kl = d.left_height();
   const std::size_t kr = d.right_width();
   CMat out(kl, kr);
-  for (std::size_t i = 0; i < kl; ++i) {
+  parallel::parallel_for(kl, parallel::grained(exec, kl * kr),
+                         [&](std::size_t i) {
     for (std::size_t j = 0; j < kr; ++j) {
       check_disjoint(d.mu[i], d.lambda[j]);
       out(i, j) = (d.mu[i] * k.vr(i, j) - d.lambda[j] * k.lw(i, j)) /
                   (d.mu[i] - d.lambda[j]);
     }
-  }
+  });
   return out;
 }
 
-std::pair<CMat, CMat> loewner_pair(const TangentialData& d) {
+std::pair<CMat, CMat> loewner_pair(const TangentialData& d,
+                                   const parallel::ExecutionPolicy& exec) {
   d.validate();
-  const Kernels k = inner_products(d);
+  const Kernels k = inner_products(d, exec);
   const std::size_t kl = d.left_height();
   const std::size_t kr = d.right_width();
   CMat ll(kl, kr);
   CMat sll(kl, kr);
-  for (std::size_t i = 0; i < kl; ++i) {
+  parallel::parallel_for(kl, parallel::grained(exec, kl * kr),
+                         [&](std::size_t i) {
     for (std::size_t j = 0; j < kr; ++j) {
       check_disjoint(d.mu[i], d.lambda[j]);
       const Complex denom = d.mu[i] - d.lambda[j];
       ll(i, j) = (k.vr(i, j) - k.lw(i, j)) / denom;
       sll(i, j) = (d.mu[i] * k.vr(i, j) - d.lambda[j] * k.lw(i, j)) / denom;
     }
-  }
+  });
   return {std::move(ll), std::move(sll)};
 }
 
 std::pair<Real, Real> sylvester_residuals(const TangentialData& d,
                                           const CMat& loewner,
                                           const CMat& shifted) {
-  const Kernels k = inner_products(d);
+  const Kernels k = inner_products(d, parallel::ExecutionPolicy::serial());
   const std::size_t kl = d.left_height();
   const std::size_t kr = d.right_width();
   // LL * Lam - M * LL  vs  L W - V R   (note: LW - VR = -(VR - LW))

@@ -1,12 +1,19 @@
 /// \file matrices.hpp
 /// \brief Block-format Loewner and shifted Loewner matrices (eqs. (11)-(12)
 /// of the paper) and the Sylvester identities (13) they satisfy.
+///
+/// Assembly is embarrassingly parallel over the (mu_r, lambda_c) sample
+/// pairs: every entry depends only on its own row/column data. All entry
+/// points accept an `ExecutionPolicy`; the default is serial, and the
+/// parallel path performs the identical per-entry arithmetic (rows are
+/// partitioned across threads), so results are bitwise equal.
 
 #pragma once
 
 #include <utility>
 
 #include "loewner/tangential.hpp"
+#include "parallel/execution.hpp"
 
 namespace mfti::loewner {
 
@@ -15,15 +22,18 @@ namespace mfti::loewner {
 /// The block layout of eq. (11) emerges from the stacked data ordering.
 /// \throws std::invalid_argument if some `mu_r == lambda_c` (left and right
 /// point sets must be disjoint).
-CMat loewner_matrix(const TangentialData& d);
+CMat loewner_matrix(const TangentialData& d,
+                    const parallel::ExecutionPolicy& exec = {});
 
 /// Shifted Loewner matrix (Kl x Kr):
 /// `sLL(r, c) = (mu_r V(r,:) R(:,c) - lambda_c L(r,:) W(:,c)) / (mu_r -
 /// lambda_c)`.
-CMat shifted_loewner_matrix(const TangentialData& d);
+CMat shifted_loewner_matrix(const TangentialData& d,
+                            const parallel::ExecutionPolicy& exec = {});
 
 /// Both matrices in one pass (shares the two inner products).
-std::pair<CMat, CMat> loewner_pair(const TangentialData& d);
+std::pair<CMat, CMat> loewner_pair(const TangentialData& d,
+                                   const parallel::ExecutionPolicy& exec = {});
 
 /// Residuals of the Sylvester equations (13):
 /// `|| LL Lam - M LL - (L W - V R) ||_F` and

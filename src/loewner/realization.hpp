@@ -50,6 +50,11 @@ struct RealizationOptions {
   /// the stacked SVDs). Order selection and projection bases change; the
   /// realization formulas are scale-invariant.
   bool frequency_scaling = true;
+  /// Execution policy for the heavy steps (Loewner pencil assembly and the
+  /// truncating SVDs). Serial by default; `mfti_fit` and
+  /// `recursive_mfti_fit` propagate their own `exec` knob into this field
+  /// when it is left serial (a non-serial value set here wins).
+  parallel::ExecutionPolicy exec;
 };
 
 /// A truncated real realization (Lemma 3.2 + Lemma 3.4, TwoSided pencil).

@@ -4,6 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "parallel/parallel_for.hpp"
 #include "sampling/directions.hpp"
 
 namespace mfti::loewner {
@@ -99,7 +100,8 @@ void TangentialData::validate() const {
 }
 
 TangentialData build_tangential_data(const sampling::SampleSet& samples,
-                                     const TangentialOptions& opts) {
+                                     const TangentialOptions& opts,
+                                     const parallel::ExecutionPolicy& exec) {
   if (samples.size() < 2) {
     throw std::invalid_argument(
         "build_tangential_data: need at least 2 samples (one right + one "
@@ -146,65 +148,87 @@ TangentialData build_tangential_data(const sampling::SampleSet& samples,
   out.lambda.resize(kr);
   out.mu.resize(kl);
 
+  // Pass 1 (serial): stacked offsets, pair bookkeeping, and the direction
+  // draws. Directions must be drawn in sample order — the RNG stream is part
+  // of the reproducible contract — and they are cheap (small orthonormal
+  // blocks), so this pass is never the bottleneck. Separate cyclic offsets
+  // per side: using the global sample index would alias with the even/odd
+  // right-left split (e.g. for 2 ports every right sample would probe port 0
+  // only) and make the data rank-deficient.
+  std::vector<std::size_t> offset(k);   // column (right) or row (left) start
+  std::vector<CMat> direction(k);       // R_i (m x t) or L_i (t x p)
   std::size_t col = 0;
   std::size_t row = 0;
-  // Separate cyclic offsets per side: using the global sample index would
-  // alias with the even/odd right-left split (e.g. for 2 ports every right
-  // sample would probe port 0 only) and make the data rank-deficient.
   std::size_t right_count = 0;
   std::size_t left_count = 0;
   for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t ti = t[i];
+    if (i % 2 == 0) {
+      const Mat ri =
+          opts.directions == DirectionKind::RandomOrthonormal
+              ? sampling::random_right_direction(m, ti, rng)
+              : sampling::cyclic_right_direction(m, ti, right_count++);
+      direction[i] = la::to_complex(ri);
+      offset[i] = col;
+      col += 2 * ti;
+      out.right_t.push_back(ti);
+      out.right_freq_hz.push_back(samples[i].f_hz);
+    } else {
+      const Mat li =
+          opts.directions == DirectionKind::RandomOrthonormal
+              ? sampling::random_left_direction(p, ti, rng)
+              : sampling::cyclic_left_direction(p, ti, left_count++);
+      direction[i] = la::to_complex(li);
+      offset[i] = row;
+      row += 2 * ti;
+      out.left_t.push_back(ti);
+      out.left_freq_hz.push_back(samples[i].f_hz);
+    }
+  }
+
+  // Pass 2 (parallel over samples): the tangential products and the stacked
+  // block writes. Each sample owns a disjoint column/row range, so the fan-
+  // out is race-free and entry-wise identical to the serial sweep.
+  parallel::parallel_for(k, exec, [&](std::size_t i) {
     const Real f = samples[i].f_hz;
     const Complex jw(0.0, 2.0 * std::numbers::pi * f);
     const std::size_t ti = t[i];
     if (i % 2 == 0) {
       // Right pair: direction R_i (m x t), data W_i = S(f_i) R_i.
-      const Mat ri =
-          opts.directions == DirectionKind::RandomOrthonormal
-              ? sampling::random_right_direction(m, ti, rng)
-              : sampling::cyclic_right_direction(m, ti, right_count++);
-      const CMat rc = la::to_complex(ri);
+      const CMat& rc = direction[i];
       const CMat wi = samples[i].s * rc;
+      const std::size_t c0 = offset[i];
       for (std::size_t c = 0; c < ti; ++c) {
-        out.lambda[col + c] = jw;
-        out.lambda[col + ti + c] = std::conj(jw);
+        out.lambda[c0 + c] = jw;
+        out.lambda[c0 + ti + c] = std::conj(jw);
         for (std::size_t q = 0; q < m; ++q) {
-          out.r(q, col + c) = rc(q, c);
-          out.r(q, col + ti + c) = rc(q, c);  // real directions: R = conj(R)
+          out.r(q, c0 + c) = rc(q, c);
+          out.r(q, c0 + ti + c) = rc(q, c);  // real directions: R = conj(R)
         }
         for (std::size_t q = 0; q < p; ++q) {
-          out.w(q, col + c) = wi(q, c);
-          out.w(q, col + ti + c) = std::conj(wi(q, c));
+          out.w(q, c0 + c) = wi(q, c);
+          out.w(q, c0 + ti + c) = std::conj(wi(q, c));
         }
       }
-      col += 2 * ti;
-      out.right_t.push_back(ti);
-      out.right_freq_hz.push_back(f);
     } else {
       // Left pair: direction L_i (t x p), data V_i = L_i S(f_i).
-      const Mat li =
-          opts.directions == DirectionKind::RandomOrthonormal
-              ? sampling::random_left_direction(p, ti, rng)
-              : sampling::cyclic_left_direction(p, ti, left_count++);
-      const CMat lc = la::to_complex(li);
+      const CMat& lc = direction[i];
       const CMat vi = lc * samples[i].s;
+      const std::size_t r0 = offset[i];
       for (std::size_t rr = 0; rr < ti; ++rr) {
-        out.mu[row + rr] = jw;
-        out.mu[row + ti + rr] = std::conj(jw);
+        out.mu[r0 + rr] = jw;
+        out.mu[r0 + ti + rr] = std::conj(jw);
         for (std::size_t q = 0; q < p; ++q) {
-          out.l(row + rr, q) = lc(rr, q);
-          out.l(row + ti + rr, q) = lc(rr, q);
+          out.l(r0 + rr, q) = lc(rr, q);
+          out.l(r0 + ti + rr, q) = lc(rr, q);
         }
         for (std::size_t q = 0; q < m; ++q) {
-          out.v(row + rr, q) = vi(rr, q);
-          out.v(row + ti + rr, q) = std::conj(vi(rr, q));
+          out.v(r0 + rr, q) = vi(rr, q);
+          out.v(r0 + ti + rr, q) = std::conj(vi(rr, q));
         }
       }
-      row += 2 * ti;
-      out.left_t.push_back(ti);
-      out.left_freq_hz.push_back(f);
     }
-  }
+  });
 
   out.validate();
   return out;

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "parallel/execution.hpp"
 #include "sampling/dataset.hpp"
 
 namespace mfti::loewner {
@@ -94,9 +95,16 @@ struct TangentialOptions {
 /// Build stacked tangential data from frequency samples per eqs. (6)-(9).
 /// Samples at even positions (0-based) become right pairs, odd positions
 /// left pairs; each contributes its conjugate partner too.
+///
+/// Directions are always drawn serially in sample order (the RNG stream is
+/// part of the reproducible contract); with a parallel `exec` only the
+/// per-sample products `W_i = S R_i` / `V_i = L_i S` and the stacked block
+/// writes fan out over samples, so the result is bitwise identical to the
+/// serial path.
 /// \throws std::invalid_argument for empty data, fewer than 2 samples
 /// (no left data), or invalid `t`.
 TangentialData build_tangential_data(const sampling::SampleSet& samples,
-                                     const TangentialOptions& opts = {});
+                                     const TangentialOptions& opts = {},
+                                     const parallel::ExecutionPolicy& exec = {});
 
 }  // namespace mfti::loewner

@@ -1,0 +1,67 @@
+/// \file execution.hpp
+/// \brief Execution policy for the parallel primitives: a small value type
+/// that callers thread through the hot paths to choose between strictly
+/// serial execution and the shared thread pool.
+///
+/// The default-constructed policy is **serial** so that every existing call
+/// site keeps its exact (bitwise) seed behaviour; parallelism is always an
+/// explicit opt-in via `ExecutionPolicy::with_threads()`. The parallel
+/// kernels are written so that per-element arithmetic order is identical to
+/// the serial sweep, which keeps parallel results element-wise equal to the
+/// serial ones (reductions may differ only by floating-point reassociation
+/// across chunk boundaries, bounded well below 1e-12 for the matrix sizes of
+/// this library).
+
+#pragma once
+
+#include <cstddef>
+
+namespace mfti::parallel {
+
+/// How a parallel primitive executes its iterations.
+enum class ExecutionMode {
+  /// Run everything on the calling thread, in index order.
+  Serial,
+  /// Split the index range into chunks executed on the shared thread pool
+  /// (the caller participates too).
+  Threads,
+};
+
+/// Execution knob plumbed through `MftiOptions`, `RecursiveMftiOptions`,
+/// `SvdOptions` and the Loewner/response entry points.
+struct ExecutionPolicy {
+  ExecutionMode mode = ExecutionMode::Serial;
+  /// Worker cap in `Threads` mode; 0 means "all hardware threads".
+  std::size_t threads = 0;
+
+  /// Strictly serial policy (the default).
+  static constexpr ExecutionPolicy serial() {
+    return {ExecutionMode::Serial, 1};
+  }
+
+  /// Parallel policy using up to `n` threads (0 = hardware concurrency).
+  static constexpr ExecutionPolicy with_threads(std::size_t n = 0) {
+    return {ExecutionMode::Threads, n};
+  }
+
+  /// Number of workers this policy may use for `items` units of work
+  /// (always >= 1; 1 means serial).
+  std::size_t max_workers(std::size_t items) const;
+
+  /// True when the policy degenerates to serial execution.
+  bool is_serial() const { return mode == ExecutionMode::Serial; }
+};
+
+/// Grain gate shared by the panel-parallel kernels (QR/SVD/GEMM): returns
+/// `exec` when the update is big enough to amortise a pool batch, the
+/// serial policy otherwise. `work` is the number of scalar updates.
+inline ExecutionPolicy grained(const ExecutionPolicy& exec, std::size_t work,
+                               std::size_t min_work = 8192) {
+  if (exec.is_serial() || work < min_work) return ExecutionPolicy::serial();
+  return exec;
+}
+
+/// Number of hardware threads (>= 1 even when the runtime reports 0).
+std::size_t hardware_threads();
+
+}  // namespace mfti::parallel

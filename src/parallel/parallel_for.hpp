@@ -1,0 +1,95 @@
+/// \file parallel_for.hpp
+/// \brief Loop primitives on top of the shared thread pool: `parallel_for`
+/// over indices, `parallel_for_chunks` over contiguous ranges, and a
+/// deterministic `parallel_reduce`.
+///
+/// Chunking is static and depends only on the policy and the trip count —
+/// never on timing — so a given (policy, n) pair always performs the same
+/// arithmetic in the same per-chunk order. With a serial policy the
+/// primitives degenerate to plain loops with zero overhead beyond the call.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "parallel/execution.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mfti::parallel {
+
+namespace detail {
+
+/// Split `[0, n)` into `chunks` near-equal ranges; chunk `c` is
+/// `[bounds(c), bounds(c+1))`.
+inline std::size_t chunk_begin(std::size_t n, std::size_t chunks,
+                               std::size_t c) {
+  return (n * c) / chunks;
+}
+
+}  // namespace detail
+
+/// Execute `body(begin, end)` over a static partition of `[0, n)`.
+/// Serial policy: a single call `body(0, n)` on the calling thread.
+template <typename Body>
+void parallel_for_chunks(std::size_t n, const ExecutionPolicy& exec,
+                         Body&& body) {
+  if (n == 0) return;
+  const std::size_t workers = exec.max_workers(n);
+  if (workers <= 1) {
+    body(std::size_t{0}, n);
+    return;
+  }
+  // A few chunks per worker so an uneven chunk cannot serialise the batch.
+  const std::size_t chunks = std::min(n, workers * 4);
+  ThreadPool::global().run_batch(
+      chunks, workers, [&](std::size_t c) {
+        body(detail::chunk_begin(n, chunks, c),
+             detail::chunk_begin(n, chunks, c + 1));
+      });
+}
+
+/// Execute `body(i)` for every `i` in `[0, n)`.
+template <typename Body>
+void parallel_for(std::size_t n, const ExecutionPolicy& exec, Body&& body) {
+  parallel_for_chunks(n, exec, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+/// Map-reduce over `[0, n)`: each chunk folds `map(i)` into a local
+/// accumulator with `combine`, then the chunk results are folded **in chunk
+/// order** on the calling thread — the only nondeterminism versus a serial
+/// loop is floating-point reassociation at the (static) chunk boundaries.
+/// `init` must be an identity element of `combine` (it seeds every chunk
+/// accumulator as well as the final fold).
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t n, T init, const ExecutionPolicy& exec,
+                  Map&& map, Combine&& combine) {
+  if (n == 0) return init;
+  const std::size_t workers = exec.max_workers(n);
+  if (workers <= 1) {
+    T acc = std::move(init);
+    for (std::size_t i = 0; i < n; ++i) acc = combine(std::move(acc), map(i));
+    return acc;
+  }
+  const std::size_t chunks = std::min(n, workers * 4);
+  std::vector<T> partial(chunks, init);
+  ThreadPool::global().run_batch(chunks, workers, [&](std::size_t c) {
+    T acc = init;
+    const std::size_t end = detail::chunk_begin(n, chunks, c + 1);
+    for (std::size_t i = detail::chunk_begin(n, chunks, c); i < end; ++i) {
+      acc = combine(std::move(acc), map(i));
+    }
+    partial[c] = std::move(acc);
+  });
+  T acc = std::move(init);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partial[c]));
+  }
+  return acc;
+}
+
+}  // namespace mfti::parallel

@@ -1,0 +1,141 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "parallel/execution.hpp"
+
+namespace mfti::parallel {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+}  // namespace
+
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t ExecutionPolicy::max_workers(std::size_t items) const {
+  if (mode == ExecutionMode::Serial || items <= 1) return 1;
+  const std::size_t cap = threads == 0 ? hardware_threads() : threads;
+  return std::max<std::size_t>(1, std::min(cap, items));
+}
+
+/// Shared state of one run_batch call. Workers and the caller claim indices
+/// from `next` until exhausted; `remaining` counts unfinished iterations so
+/// the caller knows when the batch (including iterations executing on other
+/// threads) is fully done.
+struct ThreadPool::Batch {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining;
+  std::size_t num_tasks;
+  const std::function<void(std::size_t)>* task;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  explicit Batch(std::size_t n, const std::function<void(std::size_t)>* t)
+      : remaining(n), num_tasks(n), task(t) {}
+
+  // Claim-and-run loop shared by the caller and the pool workers.
+  void drain() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_tasks) break;
+      try {
+        (*task)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock,
+                 [this] { return remaining.load(std::memory_order_acquire) ==
+                                 0; });
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::run_batch(std::size_t num_tasks, std::size_t max_concurrency,
+                           const std::function<void(std::size_t)>& task) {
+  if (num_tasks == 0) return;
+  // Serial fast path; also taken from inside a worker thread so nested
+  // batches cannot deadlock waiting on a fully occupied pool.
+  if (num_tasks == 1 || max_concurrency <= 1 || workers_.empty() ||
+      on_worker_thread()) {
+    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>(num_tasks, &task);
+  // The caller is one executor; enlist at most (max_concurrency - 1)
+  // workers, and never more than there are tasks to claim.
+  const std::size_t helpers =
+      std::min({workers_.size(), max_concurrency - 1, num_tasks - 1});
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      queue_.emplace_back([batch] { batch->drain(); });
+    }
+  }
+  wake_.notify_all();
+
+  batch->drain();
+  batch->wait();
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(hardware_threads() - 1);
+  return pool;
+}
+
+}  // namespace mfti::parallel

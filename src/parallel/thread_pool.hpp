@@ -1,0 +1,74 @@
+/// \file thread_pool.hpp
+/// \brief A small reusable thread pool shared by every parallel primitive in
+/// the library.
+///
+/// The pool is created lazily on first parallel use and keeps
+/// `hardware_threads() - 1` workers alive for the lifetime of the process
+/// (the calling thread always participates in a batch, so the pool never
+/// needs more). Batches are the unit of work: `run_batch(n, f)` executes
+/// `f(0) ... f(n-1)` across the workers plus the caller and returns when all
+/// iterations finished, rethrowing the first exception any iteration threw.
+///
+/// Nested parallelism is intentionally flattened: a `run_batch` issued from
+/// inside a worker executes serially on that worker. This keeps the pool
+/// deadlock-free without work-stealing machinery and matches how the library
+/// nests (e.g. a parallel error sweep whose per-unit solves are themselves
+/// potential parallel call sites).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mfti::parallel {
+
+class ThreadPool {
+ public:
+  /// Pool with `workers` background threads (0 is allowed: every batch then
+  /// runs entirely on the calling thread).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Joins all workers; pending jobs are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Execute `task(i)` for every `i` in `[0, num_tasks)` using up to
+  /// `max_concurrency` concurrent executors (background workers plus the
+  /// calling thread). Blocks until every iteration completed; rethrows the
+  /// first exception thrown by any iteration. Iterations are claimed
+  /// atomically, so `task` must be safe to call concurrently for distinct
+  /// indices.
+  void run_batch(std::size_t num_tasks, std::size_t max_concurrency,
+                 const std::function<void(std::size_t)>& task);
+
+  /// True when the calling thread is one of this pool's workers (used to
+  /// flatten nested parallelism).
+  static bool on_worker_thread();
+
+  /// The process-wide pool (created on first use with
+  /// `hardware_threads() - 1` workers).
+  static ThreadPool& global();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+}  // namespace mfti::parallel

@@ -2,14 +2,19 @@
 
 #include <cmath>
 #include <numbers>
+#include <utility>
 
 #include "linalg/eig.hpp"
 #include "linalg/lu.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace mfti::ss {
 
 namespace {
 
+// One evaluation point: assemble the pencil, factor it once (inside
+// la::solve's LU) and solve every port column of `b` against that single
+// factorisation.
 CMat eval_impl(const CMat& e, const CMat& a, const CMat& b, const CMat& c,
                const CMat& d, Complex s) {
   const std::size_t n = a.rows();
@@ -17,6 +22,25 @@ CMat eval_impl(const CMat& e, const CMat& a, const CMat& b, const CMat& c,
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < n; ++j) pencil(i, j) = s * e(i, j) - a(i, j);
   return c * la::solve(pencil, b) + d;
+}
+
+std::vector<Complex> to_jomega(const std::vector<Real>& freqs_hz) {
+  std::vector<Complex> s;
+  s.reserve(freqs_hz.size());
+  for (Real f : freqs_hz) s.emplace_back(0.0, 2.0 * std::numbers::pi * f);
+  return s;
+}
+
+// The one batch-sweep loop shared by BatchEvaluator and the free
+// frequency_response overloads: independent points fan out under `exec`.
+std::vector<CMat> sweep_impl(const ComplexDescriptorSystem& sys,
+                             const std::vector<Complex>& points,
+                             const parallel::ExecutionPolicy& exec) {
+  std::vector<CMat> out(points.size());
+  parallel::parallel_for(points.size(), exec, [&](std::size_t i) {
+    out[i] = eval_impl(sys.e, sys.a, sys.b, sys.c, sys.d, points[i]);
+  });
+  return out;
 }
 
 }  // namespace
@@ -33,23 +57,45 @@ CMat transfer_function(const ComplexDescriptorSystem& sys, Complex s) {
   return eval_impl(sys.e, sys.a, sys.b, sys.c, sys.d, s);
 }
 
+BatchEvaluator::BatchEvaluator(const DescriptorSystem& sys)
+    : sys_(to_complex(sys)) {
+  sys_.validate();
+}
+
+BatchEvaluator::BatchEvaluator(ComplexDescriptorSystem sys)
+    : sys_(std::move(sys)) {
+  sys_.validate();
+}
+
+CMat BatchEvaluator::evaluate(Complex s) const {
+  return eval_impl(sys_.e, sys_.a, sys_.b, sys_.c, sys_.d, s);
+}
+
+std::vector<CMat> BatchEvaluator::evaluate(
+    const std::vector<Complex>& points,
+    const parallel::ExecutionPolicy& exec) const {
+  return sweep_impl(sys_, points, exec);
+}
+
+std::vector<CMat> BatchEvaluator::sweep(
+    const std::vector<Real>& freqs_hz,
+    const parallel::ExecutionPolicy& exec) const {
+  return evaluate(to_jomega(freqs_hz), exec);
+}
+
 std::vector<CMat> frequency_response(const DescriptorSystem& sys,
-                                     const std::vector<Real>& freqs_hz) {
-  sys.validate();
-  const ComplexDescriptorSystem c = to_complex(sys);
-  return frequency_response(c, freqs_hz);
+                                     const std::vector<Real>& freqs_hz,
+                                     const parallel::ExecutionPolicy& exec) {
+  return BatchEvaluator(sys).sweep(freqs_hz, exec);
 }
 
 std::vector<CMat> frequency_response(const ComplexDescriptorSystem& sys,
-                                     const std::vector<Real>& freqs_hz) {
+                                     const std::vector<Real>& freqs_hz,
+                                     const parallel::ExecutionPolicy& exec) {
+  // Evaluate in place — constructing a BatchEvaluator would deep-copy the
+  // system, which callers doing many short sweeps would pay repeatedly.
   sys.validate();
-  std::vector<CMat> out;
-  out.reserve(freqs_hz.size());
-  for (Real f : freqs_hz) {
-    const Complex s(0.0, 2.0 * std::numbers::pi * f);
-    out.push_back(eval_impl(sys.e, sys.a, sys.b, sys.c, sys.d, s));
-  }
-  return out;
+  return sweep_impl(sys, to_jomega(freqs_hz), exec);
 }
 
 std::vector<Complex> poles(const DescriptorSystem& sys) {
@@ -67,13 +113,14 @@ bool is_stable(const DescriptorSystem& sys, Real margin) {
 
 std::vector<Real> bode_magnitude(const DescriptorSystem& sys,
                                  const std::vector<Real>& freqs_hz,
-                                 std::size_t out, std::size_t in) {
+                                 std::size_t out, std::size_t in,
+                                 const parallel::ExecutionPolicy& exec) {
   if (out >= sys.num_outputs() || in >= sys.num_inputs()) {
     throw std::invalid_argument("bode_magnitude: port index out of range");
   }
   std::vector<Real> mag;
   mag.reserve(freqs_hz.size());
-  for (const CMat& h : frequency_response(sys, freqs_hz)) {
+  for (const CMat& h : frequency_response(sys, freqs_hz, exec)) {
     mag.push_back(std::abs(h(out, in)));
   }
   return mag;
