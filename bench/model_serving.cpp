@@ -1,0 +1,138 @@
+// Serving-path benchmark for api::ModelHandle: repeated frequency queries
+// against a fitted macromodel, comparing
+//
+//   naive      - ss::transfer_function per query (promote + factor each time)
+//   evaluator  - a persistent ss::BatchEvaluator (promote once, factor each
+//                query)
+//   handle     - api::ModelHandle (promote once, factor once per *distinct*
+//                frequency, LRU-cached)
+//
+// The workload models a service answering response queries that keep
+// hitting the same frequency grid. Correctness is asserted, not assumed:
+// every served matrix must match ss::transfer_function within 1e-12, and
+// the cached path must beat the naive one outright (it performs 1/rounds of
+// the factorization work). Exits non-zero on any violation, so CI can run
+// this as a smoke test.
+
+#include <algorithm>
+#include <cstdio>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "metrics/stopwatch.hpp"
+#include "sampling/grid.hpp"
+#include "sampling/sampler.hpp"
+#include "statespace/random_system.hpp"
+#include "statespace/response.hpp"
+
+namespace api = mfti::api;
+namespace la = mfti::la;
+namespace sp = mfti::sampling;
+namespace ss = mfti::ss;
+
+namespace {
+
+double max_abs_diff(const la::CMat& a, const la::CMat& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t rounds = argc > 1 ? std::stoul(argv[1]) : 25;
+
+  // A realistic serving model: fit a 16-port order-64 system with the
+  // unified API, then serve its response.
+  la::Rng rng(2026);
+  ss::RandomSystemOptions sys_opts;
+  sys_opts.order = 64;
+  sys_opts.num_outputs = 16;
+  sys_opts.num_inputs = 16;
+  sys_opts.rank_d = 16;
+  const ss::DescriptorSystem truth = ss::random_stable_mimo(sys_opts, rng);
+  const sp::SampleSet data =
+      sp::sample_system(truth, sp::log_grid(10.0, 1e5, 12));
+
+  const auto report = api::Fitter().fit(data);
+  if (!report) {
+    std::printf("FIT FAILED: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("model: order %zu, %zu ports, fitted in %.3f s\n",
+              report->order, report->model.num_inputs(), report->seconds);
+
+  const auto freqs = sp::log_grid(10.0, 1e5, 32);
+  const std::size_t queries = rounds * freqs.size();
+
+  // Reference + naive timing in one pass.
+  std::vector<la::CMat> reference;
+  reference.reserve(freqs.size());
+  for (double f : freqs) {
+    reference.push_back(ss::transfer_function(
+        report->model, la::Complex(0.0, 2.0 * std::numbers::pi * f)));
+  }
+  mfti::metrics::Stopwatch sw;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (double f : freqs) {
+      ss::transfer_function(report->model,
+                            la::Complex(0.0, 2.0 * std::numbers::pi * f));
+    }
+  }
+  const double t_naive = sw.seconds();
+
+  const ss::BatchEvaluator evaluator(report->model);
+  sw.reset();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (double f : freqs) {
+      evaluator.evaluate(la::Complex(0.0, 2.0 * std::numbers::pi * f));
+    }
+  }
+  const double t_eval = sw.seconds();
+
+  const api::ModelHandle handle(*report);
+  double worst = 0.0;
+  sw.reset();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+      worst = std::max(worst,
+                       max_abs_diff(handle.response_at(freqs[i]),
+                                    reference[i]));
+    }
+  }
+  const double t_handle = sw.seconds();
+  const auto stats = handle.cache_stats();
+
+  std::printf("\n%zu queries (%zu distinct frequencies x %zu rounds):\n",
+              queries, freqs.size(), rounds);
+  std::printf("  naive transfer_function : %8.3f ms\n", 1e3 * t_naive);
+  std::printf("  persistent BatchEvaluator: %7.3f ms  (%.2fx)\n",
+              1e3 * t_eval, t_naive / t_eval);
+  std::printf("  ModelHandle (LRU cache) : %8.3f ms  (%.2fx)\n",
+              1e3 * t_handle, t_naive / t_handle);
+  std::printf("  cache: %zu hits, %zu misses, %zu entries\n", stats.hits,
+              stats.misses, stats.entries);
+  std::printf("  worst |H_handle - H_naive| = %.2e\n", worst);
+
+  bool ok = true;
+  if (worst > 1e-12) {
+    std::printf("FAIL: served response deviates from transfer_function\n");
+    ok = false;
+  }
+  if (stats.misses != freqs.size() ||
+      stats.hits != queries - freqs.size()) {
+    std::printf("FAIL: unexpected cache behaviour\n");
+    ok = false;
+  }
+  if (t_handle >= t_naive) {
+    std::printf("FAIL: cached serving not faster than naive re-evaluation\n");
+    ok = false;
+  }
+  std::printf(ok ? "OK\n" : "NOT OK\n");
+  return ok ? 0 : 1;
+}

@@ -3,7 +3,7 @@
 // is required"):
 //
 //   1. a 4-port multi-drop bus is sampled in the frequency domain,
-//   2. MFTI builds a compact macromodel from those samples,
+//   2. api::Fitter builds a compact macromodel from those samples,
 //   3. the macromodel (checked for scattering passivity first) is driven
 //      with a fast edge in the *time* domain,
 //   4. near-end / far-end crosstalk waveforms from the macromodel are
@@ -12,7 +12,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/mfti.hpp"
+#include "api/api.hpp"
 #include "io/csv.hpp"
 #include "metrics/error.hpp"
 #include "netgen/rlc.hpp"
@@ -31,15 +31,19 @@ int main() {
 
   const sampling::SampleSet data =
       sampling::sample_system(bus, sampling::log_grid(1e7, 2e10, 40));
-  const core::MftiResult fit = core::mfti_fit(data);
+  const auto fit = api::Fitter().fit(data);
+  if (!fit) {
+    std::printf("fit failed: %s\n", fit.status().to_string().c_str());
+    return 1;
+  }
   std::printf("MFTI macromodel: order %zu, frequency-domain ERR %.2e\n",
-              fit.order, metrics::model_error(fit.model, data));
+              fit->order, metrics::model_error(fit->model, data));
 
   // --- sanity: passivity of the fitted model over the band -------------------
   // (The bus is an impedance-form network, so this checks the model's gain
   // stays bounded rather than |S|<=1 — blow-ups would still be caught.)
   const auto violations =
-      ss::scattering_passivity_violations(fit.model, 1e7, 2e10);
+      ss::scattering_passivity_violations(fit->model, 1e7, 2e10);
   std::printf("gain-bound scan: %zu band(s) with ||H|| > 1 (impedance "
               "models routinely exceed 1; transient stability is what "
               "matters)\n",
@@ -54,7 +58,7 @@ int main() {
   };
   const double dt = 2e-12, t_end = 4e-9;
   const ss::Simulation ref = ss::simulate(bus, edge, dt, t_end);
-  const ss::Simulation mac = ss::simulate(fit.model, edge, dt, t_end);
+  const ss::Simulation mac = ss::simulate(fit->model, edge, dt, t_end);
 
   // --- compare ---------------------------------------------------------------
   double worst = 0.0, scale = 0.0;

@@ -1,24 +1,24 @@
 // Power-distribution-network macromodeling — the paper's Example 2 scenario
-// end-to-end:
+// end-to-end, on the unified API:
 //   * build a 14-port board-level PDN (plane grid + decaps),
 //   * "measure" noisy S-parameters with skin-effect losses (non-rational,
 //     like real VNA data),
-//   * fit with plain MFTI (Algorithm 1) and recursive MFTI (Algorithm 2),
-//   * compare accuracy, model size and run time,
-//   * export the measurement as Touchstone and the fit comparison as CSV.
+//   * fit with plain MFTI (Algorithm 1) and recursive MFTI (Algorithm 2) by
+//     swapping the strategy tag on the same request — with per-iteration
+//     progress reporting from Algorithm 2,
+//   * compare accuracy, model size and run time (FitReport.seconds),
+//   * export the measurement as Touchstone and the fit comparison as CSV,
+//     serving the models' responses through api::ModelHandle.
 
 #include <cstdio>
 
-#include "core/mfti.hpp"
-#include "core/recursive_mfti.hpp"
+#include "api/api.hpp"
 #include "io/csv.hpp"
 #include "io/touchstone.hpp"
 #include "metrics/error.hpp"
-#include "metrics/stopwatch.hpp"
 #include "netgen/pdn.hpp"
 #include "sampling/grid.hpp"
 #include "sampling/noise.hpp"
-#include "statespace/response.hpp"
 
 int main() {
   using namespace mfti;
@@ -40,17 +40,21 @@ int main() {
   std::printf("wrote pdn_measured.s14p (%zu samples, -60 dB noise)\n",
               measured.size());
 
+  const api::Fitter fitter;
+
   // --- Algorithm 1: plain MFTI ----------------------------------------------
   core::MftiOptions opts1;
   opts1.data.uniform_t = 3;
   opts1.realization.selection = loewner::OrderSelection::Tolerance;
   opts1.realization.rank_tol = 1e-2;  // truncate at the noise knee
-  metrics::Stopwatch sw;
-  const core::MftiResult fit1 = core::mfti_fit(measured, opts1);
-  const double t1 = sw.seconds();
-  const double err1 = metrics::model_error(fit1.model, measured);
+  const auto fit1 = fitter.fit(measured, api::MftiStrategy{opts1});
+  if (!fit1) {
+    std::printf("MFTI-1 failed: %s\n", fit1.status().to_string().c_str());
+    return 1;
+  }
+  const double err1 = metrics::model_error(fit1->model, measured);
   std::printf("MFTI-1 (t=3):      order %3zu, ERR %.2e, %.2f s\n",
-              fit1.order, err1, t1);
+              fit1->order, err1, fit1->seconds);
 
   // --- Algorithm 2: recursive MFTI -------------------------------------------
   core::RecursiveMftiOptions opts2;
@@ -60,20 +64,33 @@ int main() {
   opts2.selection = core::SelectionRule::WorstFirst;
   opts2.threshold = 0.02;
   opts2.realization = opts1.realization;
-  sw.reset();
-  const core::RecursiveMftiResult fit2 =
-      core::recursive_mfti_fit(measured, opts2);
-  const double t2 = sw.seconds();
-  const double err2 = metrics::model_error(fit2.model, measured);
+
+  api::FitRequest request;
+  request.samples = measured;
+  request.strategy = api::RecursiveMftiStrategy{opts2};
+  request.progress = [](const api::FitProgress& p) {
+    if (p.stage == "iteration") {
+      std::printf("  [iter %2zu] mean remaining error %.3e\n", p.iteration,
+                  p.detail);
+    }
+  };
+  const auto fit2 = fitter.fit(request);
+  if (!fit2) {
+    std::printf("MFTI-2 failed: %s\n", fit2.status().to_string().c_str());
+    return 1;
+  }
+  const auto& diag = *fit2->recursive;
+  const double err2 = metrics::model_error(fit2->model, measured);
   std::printf("MFTI-2 (recursive): order %3zu, ERR %.2e, %.2f s "
               "(%zu/%zu units, converged: %s)\n",
-              fit2.order, err2, t2, fit2.used_units.size(),
-              measured.size() / 2, fit2.converged ? "yes" : "no");
+              fit2->order, err2, fit2->seconds, diag.used_units.size(),
+              measured.size() / 2, diag.converged ? "yes" : "no");
 
   // --- compare the port-1 input reflection over frequency ---------------------
   io::CsvTable csv({"freq_hz", "S11_measured", "S11_mfti1", "S11_mfti2"});
-  const auto h1 = ss::frequency_response(fit1.model, freqs);
-  const auto h2 = ss::frequency_response(fit2.model, freqs);
+  const api::ModelHandle handle1(*fit1), handle2(*fit2);
+  const auto h1 = handle1.sweep(freqs);
+  const auto h2 = handle2.sweep(freqs);
   for (std::size_t i = 0; i < freqs.size(); ++i) {
     csv.add_row({freqs[i], std::abs(measured[i].s(0, 0)),
                  std::abs(h1[i](0, 0)), std::abs(h2[i](0, 0))});

@@ -1,17 +1,19 @@
-// Quickstart: macromodel a multi-port system from frequency samples in
-// ~20 lines of library calls.
+// Quickstart: macromodel a multi-port system from frequency samples with
+// the unified API in ~20 lines of library calls.
 //
 //   1. get frequency-domain samples (here: synthesised from a random
 //      stable system — in practice they come from a VNA or an EM solver),
-//   2. call mfti::core::mfti_fit,
-//   3. use the returned real descriptor model: evaluate it, check its
-//      poles, measure its error.
+//   2. run api::Fitter::fit with a strategy (MFTI here; swap the tag to
+//      run recursive MFTI, VFTI or vector fitting on the same request),
+//   3. check the Expected<FitReport> instead of catching exceptions,
+//   4. serve the model through api::ModelHandle: repeated frequency
+//      queries reuse cached factorizations of (sE - A).
 //
 // Build & run:  ./examples/quickstart
 
 #include <cstdio>
 
-#include "core/mfti.hpp"
+#include "api/api.hpp"
 #include "metrics/error.hpp"
 #include "sampling/grid.hpp"
 #include "sampling/sampler.hpp"
@@ -38,28 +40,42 @@ int main() {
               data.num_outputs(), data.num_inputs());
 
   // --- 2. fit ---------------------------------------------------------------
-  const core::MftiResult fit = core::mfti_fit(data);
+  const api::Fitter fitter;
+  const auto report = fitter.fit(data, api::MftiStrategy{});
+  if (!report) {  // bad input / cancellation / numerical breakdown
+    std::printf("fit failed: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
 
-  // --- 3. use the model ------------------------------------------------------
-  std::printf("recovered model order: %zu\n", fit.order);
+  // --- 3. inspect the report -------------------------------------------------
+  std::printf("recovered model order: %zu (fitted in %.3f s)\n",
+              report->order, report->seconds);
   std::printf("fit error on the samples (paper's ERR): %.2e\n",
-              metrics::model_error(fit.model, data));
+              metrics::model_error(report->model, data));
 
   // The model generalizes beyond the sampled frequencies:
   const sampling::SampleSet dense =
       sampling::sample_system(black_box, sampling::log_grid(10.0, 1e5, 200));
   std::printf("error on a 200-point validation sweep:  %.2e\n",
-              metrics::model_error(fit.model, dense));
+              metrics::model_error(report->model, dense));
 
   // Inspect the recovered dynamics.
-  const auto poles = ss::poles(fit.model);
+  const auto poles = ss::poles(report->model);
   std::size_t stable = 0;
   for (const auto& p : poles) stable += p.real() < 0.0 ? 1 : 0;
   std::printf("model has %zu finite poles (%zu stable)\n", poles.size(),
               stable);
 
-  // Evaluate the transfer function anywhere in the s-plane.
-  const la::CMat h = ss::transfer_function(fit.model, {0.0, 2.0e4});
+  // --- 4. serve the model ----------------------------------------------------
+  // ModelHandle answers response queries from any thread; re-queried
+  // frequencies skip the (sE - A) refactorization via its LRU cache.
+  const api::ModelHandle handle(*report);
+  const la::Complex s(0.0, 2.0e4);
+  const la::CMat h = handle.evaluate(s);
   std::printf("|H(j2e4)| entry (0,0): %.4f\n", std::abs(h(0, 0)));
+  handle.evaluate(s);  // served from the cache
+  const auto stats = handle.cache_stats();
+  std::printf("cache after 2 queries: %zu hit(s), %zu miss(es)\n",
+              stats.hits, stats.misses);
   return 0;
 }

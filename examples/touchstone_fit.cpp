@@ -4,19 +4,20 @@
 //   1. a 4-port multi-drop interconnect is synthesised and written to
 //      bus.s4p (stand-in for "the file your VNA or EM tool produced"),
 //   2. the file is read back,
-//   3. MFTI fits a descriptor model,
-//   4. the model's response is written out as a Touchstone file again so
-//      any RF tool can overlay fit vs data.
+//   3. api::Fitter fits a descriptor model (errors come back as a Status,
+//      so a malformed file cannot crash the pipeline),
+//   4. the model's response is served through api::ModelHandle and written
+//      out as a Touchstone file again so any RF tool can overlay fit vs
+//      data.
 
 #include <cstdio>
 
-#include "core/mfti.hpp"
+#include "api/api.hpp"
 #include "io/touchstone.hpp"
 #include "metrics/error.hpp"
 #include "netgen/rlc.hpp"
 #include "sampling/grid.hpp"
 #include "sampling/sampler.hpp"
-#include "statespace/response.hpp"
 
 int main() {
   using namespace mfti;
@@ -36,14 +37,32 @@ int main() {
               loaded.samples.num_inputs(), loaded.z0, loaded.samples.size());
 
   // --- 3. fit ----------------------------------------------------------------
-  const core::MftiResult fit = core::mfti_fit(loaded.samples);
-  std::printf("MFTI model: order %zu, ERR on the file's samples %.2e\n",
-              fit.order, metrics::model_error(fit.model, loaded.samples));
+  const auto report = api::Fitter().fit(loaded.samples);
+  if (!report) {
+    std::printf("fit failed: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("MFTI model: order %zu, ERR on the file's samples %.2e "
+              "(%.3f s)\n",
+              report->order,
+              metrics::model_error(report->model, loaded.samples),
+              report->seconds);
 
   // --- 4. export the model's response ----------------------------------------
-  const sampling::SampleSet model_resp =
-      sampling::sample_system(fit.model, freqs);
-  io::write_touchstone_file("bus_model.s4p", model_resp, loaded.z0);
+  const api::ModelHandle handle(*report);
+  const auto response = handle.sweep(freqs);
+  std::vector<sampling::FrequencySample> rows;
+  rows.reserve(freqs.size());
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    rows.push_back({freqs[i], response[i]});
+  }
+  const auto model_resp = sampling::SampleSet::create(std::move(rows));
+  if (!model_resp) {
+    std::printf("model response invalid: %s\n",
+                model_resp.status().to_string().c_str());
+    return 1;
+  }
+  io::write_touchstone_file("bus_model.s4p", *model_resp, loaded.z0);
   std::printf("wrote bus_model.s4p (overlay with bus.s4p in any RF tool)\n");
   return 0;
 }

@@ -5,18 +5,18 @@
 //
 // Here: a 30-port, order-150 interconnect model, sampled at just 6
 // frequencies (the Theorem-3.5 minimum). MFTI recovers it to ~1e-8; VFTI,
-// given the same 6 matrices, cannot.
+// given the same 6 matrices, cannot. With the unified API the comparison
+// is literally a strategy swap on the same samples.
 
 #include <cstdio>
 
-#include "core/mfti.hpp"
+#include "api/api.hpp"
 #include "core/minimal_sampling.hpp"
 #include "linalg/svd.hpp"
 #include "metrics/error.hpp"
 #include "sampling/grid.hpp"
 #include "sampling/sampler.hpp"
 #include "statespace/random_system.hpp"
-#include "vfti/vfti.hpp"
 
 int main() {
   using namespace mfti;
@@ -40,21 +40,35 @@ int main() {
   const sampling::SampleSet probe =
       sampling::sample_system(truth, sampling::log_grid(10.0, 1e5, 101));
 
+  const api::Fitter fitter;
+
   // MFTI: full-matrix tangential data.
-  const core::MftiResult mfti = core::mfti_fit(scarce);
+  const auto mfti_report = fitter.fit(scarce, api::MftiStrategy{});
+  if (!mfti_report) {
+    std::printf("MFTI failed: %s\n",
+                mfti_report.status().to_string().c_str());
+    return 1;
+  }
   std::printf("MFTI from %zu samples: order %zu, validation ERR %.2e\n",
-              scarce.size(), mfti.order,
-              metrics::model_error(mfti.model, probe));
+              scarce.size(), mfti_report->order,
+              metrics::model_error(mfti_report->model, probe));
 
   // The singular-value drop that makes the order detection work (Fig. 1).
-  const std::size_t drop = la::rank_by_largest_gap(mfti.singular_values);
+  const std::size_t drop =
+      la::rank_by_largest_gap(mfti_report->singular_values);
   std::printf("  singular-value drop at index %zu (= order + rank D)\n",
               drop);
 
-  // VFTI with the same budget: the Loewner matrix is only k x k.
-  const vfti::VftiResult vfti = vfti::vfti_fit(scarce);
+  // VFTI with the same budget: swap the strategy tag, keep the samples.
+  const auto vfti_report = fitter.fit(scarce, api::VftiStrategy{});
+  if (!vfti_report) {
+    std::printf("VFTI failed: %s\n",
+                vfti_report.status().to_string().c_str());
+    return 1;
+  }
   std::printf("VFTI from the same samples: order %zu, validation ERR %.2e\n",
-              vfti.order, metrics::model_error(vfti.model, probe));
+              vfti_report->order,
+              metrics::model_error(vfti_report->model, probe));
   std::printf("  (no rank information in a %zux%zu Loewner matrix — the "
               "samples are adequate for MFTI, inadequate for VFTI)\n",
               scarce.size(), scarce.size());

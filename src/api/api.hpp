@@ -1,0 +1,11 @@
+/// \file api.hpp
+/// \brief Umbrella header for the unified surface: `Fitter` + `FitRequest`
+/// -> `Expected<FitReport>` -> `ModelHandle`.
+
+#pragma once
+
+#include "api/fit_report.hpp"    // IWYU pragma: export
+#include "api/fit_request.hpp"   // IWYU pragma: export
+#include "api/fitter.hpp"        // IWYU pragma: export
+#include "api/model_handle.hpp"  // IWYU pragma: export
+#include "api/status.hpp"        // IWYU pragma: export

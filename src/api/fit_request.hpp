@@ -1,0 +1,121 @@
+/// \file fit_request.hpp
+/// \brief The unified fit input: frequency samples plus a tagged `Strategy`
+/// selecting one of the four identification algorithms, with shared
+/// execution policy, progress reporting and cooperative cancellation.
+///
+/// The strategy variant wraps the existing per-algorithm option structs
+/// unchanged, so every knob documented on `core::MftiOptions`,
+/// `core::RecursiveMftiOptions`, `vf::VectorFittingOptions` and
+/// `vfti::VftiOptions` keeps its exact meaning — the facade only adds the
+/// cross-cutting concerns the individual entry points never had.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <variant>
+
+#include "core/mfti.hpp"
+#include "core/recursive_mfti.hpp"
+#include "parallel/execution.hpp"
+#include "sampling/dataset.hpp"
+#include "vf/vector_fitting.hpp"
+#include "vfti/vfti.hpp"
+
+namespace mfti::api {
+
+/// Algorithm 1 of the paper: one-shot matrix-format tangential
+/// interpolation.
+struct MftiStrategy {
+  core::MftiOptions options;
+};
+
+/// Algorithm 2 of the paper: recursive MFTI for noisy data.
+struct RecursiveMftiStrategy {
+  core::RecursiveMftiOptions options;
+};
+
+/// Baseline: vector-format tangential interpolation (t = 1).
+struct VftiStrategy {
+  vfti::VftiOptions options;
+};
+
+/// Baseline: matrix vector fitting with common poles.
+struct VectorFittingStrategy {
+  vf::VectorFittingOptions options;
+};
+
+/// Tagged strategy choice. The variant index doubles as the `Algorithm`
+/// tag, which keys the `Fitter` registry.
+using Strategy = std::variant<MftiStrategy, RecursiveMftiStrategy,
+                              VftiStrategy, VectorFittingStrategy>;
+
+/// Stable algorithm tags, in variant-index order.
+enum class Algorithm : std::size_t {
+  Mfti = 0,
+  RecursiveMfti = 1,
+  Vfti = 2,
+  VectorFitting = 3,
+};
+
+inline constexpr std::size_t kNumAlgorithms = std::variant_size_v<Strategy>;
+
+inline Algorithm algorithm_of(const Strategy& strategy) {
+  return static_cast<Algorithm>(strategy.index());
+}
+
+/// Short lowercase name ("mfti", "recursive-mfti", "vfti",
+/// "vector-fitting").
+std::string_view algorithm_name(Algorithm algorithm);
+
+/// Shared-state cancellation flag. Copies observe the same flag, so a
+/// serving thread can hand a token to a fit and cancel it from outside.
+/// Cancellation is cooperative: fits check between stages (MFTI/VFTI) or
+/// between iterations (recursive MFTI) and report `StatusCode::Cancelled`.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// One progress event. `stage` names the coarse phase; recursive fits
+/// additionally report one event per iteration with the mean remaining
+/// tangential error in `detail`.
+struct FitProgress {
+  Algorithm algorithm;
+  std::string_view stage;     ///< "tangential-data", "realization",
+                              ///< "iteration", "done", ...
+  std::size_t iteration = 0;  ///< 1-based; 0 outside iterative stages
+  la::Real detail = 0.0;      ///< stage-specific: mean error for
+                              ///< "iteration", elapsed seconds for "done",
+                              ///< 0 otherwise
+};
+
+/// Invoked synchronously on the fitting thread; must not throw.
+using ProgressCallback = std::function<void(const FitProgress&)>;
+
+/// Everything a fit needs. Aggregate-initializable:
+/// `Fitter().fit({samples, RecursiveMftiStrategy{opts}})`.
+struct FitRequest {
+  sampling::SampleSet samples;
+  Strategy strategy = MftiStrategy{};
+  /// Request-wide execution policy, propagated into the strategy's own
+  /// `exec` knobs under the usual "more specific knob wins" rule
+  /// (`parallel::propagate_exec`). Serial by default.
+  parallel::ExecutionPolicy exec;
+  /// Optional progress sink.
+  ProgressCallback progress;
+  /// Cooperative cancellation; `cancel()` makes the fit return
+  /// `StatusCode::Cancelled` at its next checkpoint.
+  CancellationToken cancel;
+};
+
+}  // namespace mfti::api

@@ -1,0 +1,116 @@
+#include "api/model_handle.hpp"
+
+#include <cmath>
+#include <functional>
+#include <numbers>
+#include <utility>
+
+#include "parallel/parallel_for.hpp"
+
+namespace mfti::api {
+
+ModelHandle::ModelHandle(ss::DescriptorSystem model, ModelHandleOptions opts)
+    : model_(std::move(model)), evaluator_(model_), opts_(opts) {}
+
+ModelHandle::ModelHandle(const FitReport& report, ModelHandleOptions opts)
+    : ModelHandle(report.model, opts) {}
+
+std::size_t ModelHandle::KeyHash::operator()(const la::Complex& s) const {
+  const std::size_t h_re = std::hash<la::Real>{}(s.real());
+  const std::size_t h_im = std::hash<la::Real>{}(s.imag());
+  return h_re ^ (h_im + 0x9e3779b97f4a7c15ull + (h_re << 6) + (h_re >> 2));
+}
+
+ModelHandle::Factorization ModelHandle::factor_pencil(la::Complex s) const {
+  const auto& sys = evaluator_.system();
+  const std::size_t n = sys.a.rows();
+  la::CMat pencil(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      pencil(i, j) = s * sys.e(i, j) - sys.a(i, j);
+    }
+  }
+  return Factorization(std::move(pencil));
+}
+
+std::shared_ptr<const ModelHandle::Factorization>
+ModelHandle::factorization_for(la::Complex s) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(s);
+    if (it != cache_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.lu;
+    }
+    ++stats_.misses;
+  }
+  // Factor outside the lock: concurrent misses on distinct frequencies must
+  // not serialize their O(n^3) work.
+  auto lu = std::make_shared<const Factorization>(factor_pencil(s));
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(s);
+  if (it != cache_.end()) {
+    // Another thread factored the same point while we worked; keep its
+    // entry (ours is identical).
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.lu;
+  }
+  lru_.push_front(s);
+  cache_.emplace(s, Entry{lu, lru_.begin()});
+  while (cache_.size() > opts_.cache_capacity) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return lu;
+}
+
+la::CMat ModelHandle::evaluate(la::Complex s) const {
+  if (opts_.cache_capacity == 0) return evaluator_.evaluate(s);
+  const auto lu = factorization_for(s);
+  const auto& sys = evaluator_.system();
+  // Identical arithmetic to the one-shot evaluation: LU-solve all port
+  // columns of B against the (cached) factorization, then C X + D.
+  return sys.c * lu->solve(sys.b) + sys.d;
+}
+
+la::CMat ModelHandle::response_at(la::Real f_hz) const {
+  return evaluate(la::Complex(0.0, 2.0 * std::numbers::pi * f_hz));
+}
+
+std::vector<la::CMat> ModelHandle::evaluate(
+    const std::vector<la::Complex>& points,
+    const parallel::ExecutionPolicy& exec) const {
+  std::vector<la::CMat> out(points.size());
+  parallel::parallel_for(points.size(), exec,
+                         [&](std::size_t i) { out[i] = evaluate(points[i]); });
+  return out;
+}
+
+std::vector<la::CMat> ModelHandle::sweep(
+    const std::vector<la::Real>& freqs_hz,
+    const parallel::ExecutionPolicy& exec) const {
+  std::vector<la::Complex> points;
+  points.reserve(freqs_hz.size());
+  for (la::Real f : freqs_hz) {
+    points.emplace_back(0.0, 2.0 * std::numbers::pi * f);
+  }
+  return evaluate(points, exec);
+}
+
+CacheStats ModelHandle::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats stats = stats_;
+  stats.entries = cache_.size();
+  return stats;
+}
+
+void ModelHandle::clear_cache() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
+  lru_.clear();
+  stats_ = {};
+}
+
+}  // namespace mfti::api

@@ -1,0 +1,112 @@
+/// \file model_handle.hpp
+/// \brief Serving wrapper around a fitted model: a persistent
+/// `ss::BatchEvaluator` plus a thread-safe LRU cache of factored
+/// `(sE - A)` pencils, so repeated and concurrent response queries — the
+/// serving hot path — skip the O(n^3) refactorization and pay only the
+/// O(n^2 m) solve and the O(p n m) output product.
+///
+/// ```cpp
+/// api::ModelHandle handle(*report);
+/// auto h = handle.response_at(2.4e9);          // cold: factor + solve
+/// auto h2 = handle.response_at(2.4e9);         // warm: cached factors
+/// auto sweep = handle.sweep(grid, exec_pool);  // parallel, cache-aware
+/// ```
+///
+/// Results are identical to `ss::transfer_function` at every point: the
+/// cache stores the exact LU factors the one-shot evaluation would compute.
+
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "api/fit_report.hpp"
+#include "linalg/lu.hpp"
+#include "parallel/execution.hpp"
+#include "statespace/descriptor.hpp"
+#include "statespace/response.hpp"
+
+namespace mfti::api {
+
+struct ModelHandleOptions {
+  /// Maximum number of cached factorizations (each is an order x order
+  /// complex matrix). 0 disables caching — every query refactors, like the
+  /// plain `ss::BatchEvaluator`.
+  std::size_t cache_capacity = 128;
+};
+
+/// Cumulative cache counters since construction (or `clear_cache`).
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;  ///< current number of cached factorizations
+};
+
+/// Thread-safe, cache-backed frequency-response server for one fitted
+/// model. All query methods are const and safe to call concurrently.
+class ModelHandle {
+ public:
+  /// \throws std::invalid_argument on inconsistent model dimensions.
+  explicit ModelHandle(ss::DescriptorSystem model,
+                       ModelHandleOptions opts = {});
+  /// Serve the model of a successful fit.
+  explicit ModelHandle(const FitReport& report, ModelHandleOptions opts = {});
+
+  const ss::DescriptorSystem& model() const { return model_; }
+  std::size_t order() const { return evaluator_.order(); }
+  std::size_t num_inputs() const { return evaluator_.num_inputs(); }
+  std::size_t num_outputs() const { return evaluator_.num_outputs(); }
+
+  /// `H(s)` at one point, reusing a cached factorization of `(sE - A)`
+  /// when `s` was queried before.
+  /// \throws la::SingularMatrixError when `s` is (numerically) a pole.
+  la::CMat evaluate(la::Complex s) const;
+
+  /// `H(j 2 pi f)` at one frequency (Hz).
+  la::CMat response_at(la::Real f_hz) const;
+
+  /// `H(s)` at every point; independent points fan out under `exec`, each
+  /// going through the cache.
+  std::vector<la::CMat> evaluate(const std::vector<la::Complex>& points,
+                                 const parallel::ExecutionPolicy& exec = {}) const;
+
+  /// `H(j 2 pi f)` for every frequency (Hz).
+  std::vector<la::CMat> sweep(const std::vector<la::Real>& freqs_hz,
+                              const parallel::ExecutionPolicy& exec = {}) const;
+
+  CacheStats cache_stats() const;
+
+  /// Drop every cached factorization and reset the counters.
+  void clear_cache() const;
+
+ private:
+  using Factorization = la::LuDecomposition<la::Complex>;
+
+  struct KeyHash {
+    std::size_t operator()(const la::Complex& s) const;
+  };
+  struct Entry {
+    std::shared_ptr<const Factorization> lu;
+    std::list<la::Complex>::iterator lru_pos;
+  };
+
+  std::shared_ptr<const Factorization> factorization_for(la::Complex s) const;
+  Factorization factor_pencil(la::Complex s) const;
+
+  ss::DescriptorSystem model_;
+  ss::BatchEvaluator evaluator_;
+  ModelHandleOptions opts_;
+
+  mutable std::mutex mutex_;
+  /// Most-recently-used key at the front.
+  mutable std::list<la::Complex> lru_;
+  mutable std::unordered_map<la::Complex, Entry, KeyHash> cache_;
+  mutable CacheStats stats_;
+};
+
+}  // namespace mfti::api

@@ -1,0 +1,33 @@
+#include "api/status.hpp"
+
+namespace mfti::api {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::Ok:
+      return "ok";
+    case StatusCode::InvalidArgument:
+      return "invalid-argument";
+    case StatusCode::Cancelled:
+      return "cancelled";
+    case StatusCode::NumericalError:
+      return "numerical-error";
+    case StatusCode::Unimplemented:
+      return "unimplemented";
+    case StatusCode::Internal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace mfti::api

@@ -7,9 +7,7 @@ MftiResult mfti_fit(const sampling::SampleSet& samples,
   loewner::TangentialData data =
       loewner::build_tangential_data(samples, opts.data, opts.exec);
   loewner::RealizationOptions ropts = opts.realization;
-  // The more specific knob wins: a user-set realization.exec is respected,
-  // otherwise the fit-wide policy propagates down.
-  if (ropts.exec.is_serial()) ropts.exec = opts.exec;
+  ropts.exec = parallel::propagate_exec(ropts.exec, opts.exec);
   loewner::Realization real = loewner::realize(data, ropts);
   return {std::move(real.model), std::move(real.singular_values), real.order,
           std::move(data)};

@@ -42,6 +42,9 @@ struct MftiResult {
 };
 
 /// Fit a real descriptor model to frequency samples (Algorithm 1).
+/// Compatibility layer: prefer `api::Fitter` with `api::MftiStrategy`,
+/// which runs the identical pipeline but reports errors through
+/// `api::Status` and adds progress/cancellation/timing.
 /// \throws std::invalid_argument for fewer than 2 samples or invalid t.
 MftiResult mfti_fit(const sampling::SampleSet& samples,
                     const MftiOptions& opts = {});

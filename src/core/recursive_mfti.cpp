@@ -97,8 +97,7 @@ RecursiveMftiResult recursive_mfti_fit(const sampling::SampleSet& samples,
                     remaining.begin() + static_cast<std::ptrdiff_t>(take));
 
     loewner::RealizationOptions ropts = opts.realization;
-    // The more specific knob wins (see mfti_fit).
-    if (ropts.exec.is_serial()) ropts.exec = opts.exec;
+    ropts.exec = parallel::propagate_exec(ropts.exec, opts.exec);
     real = loewner::realize(inc.data(), inc.loewner(), inc.shifted(), ropts);
 
     if (remaining.empty()) break;  // Step 7: iI exhausted
@@ -114,6 +113,11 @@ RecursiveMftiResult recursive_mfti_fit(const sampling::SampleSet& samples,
         std::accumulate(err.begin(), err.end(), 0.0) /
         static_cast<la::Real>(err.size());
     res.mean_error_history.push_back(mean);
+    if (opts.on_iteration) opts.on_iteration(res.iterations, mean);
+    if (opts.should_stop && opts.should_stop()) {
+      res.cancelled = true;
+      break;
+    }
 
     // Re-order the candidates by error (Step 6's sort).
     std::vector<std::size_t> perm(remaining.size());

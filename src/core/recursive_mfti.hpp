@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <vector>
 
@@ -59,6 +60,17 @@ struct RecursiveMftiOptions {
   /// default. Propagated to `realization.exec` unless that is already
   /// non-serial (the more specific knob wins).
   parallel::ExecutionPolicy exec;
+  /// Optional hook invoked after each completed iteration that measured a
+  /// remaining-sample error, with the 1-based iteration count and the mean
+  /// tangential error (the value compared against `threshold`). Not called
+  /// for the final iteration that exhausts the data. Must not throw.
+  std::function<void(std::size_t iteration, la::Real mean_error)>
+      on_iteration;
+  /// Optional cooperative cancellation, polled once per iteration right
+  /// after the error measurement. When it returns true the fit stops and
+  /// returns the current (partial) model with `cancelled = true` in the
+  /// result. The `api::Fitter` facade wires its `CancellationToken` here.
+  std::function<bool()> should_stop;
 };
 
 /// Result of a recursive fit.
@@ -74,9 +86,16 @@ struct RecursiveMftiResult {
   std::size_t iterations = 0;
   /// True when the threshold was reached before the data ran out.
   bool converged = false;
+  /// True when `should_stop` ended the fit early; the model is the partial
+  /// fit of the units consumed so far.
+  bool cancelled = false;
 };
 
 /// Fit a model with Algorithm 2.
+/// Compatibility layer: prefer `api::Fitter` with
+/// `api::RecursiveMftiStrategy`, which runs the identical pipeline but
+/// reports errors through `api::Status` and adds per-iteration progress,
+/// cancellation and timing.
 /// \throws std::invalid_argument for fewer than 4 samples (need at least
 /// two units), k0 = 0, or invalid tangential options.
 RecursiveMftiResult recursive_mfti_fit(const sampling::SampleSet& samples,

@@ -52,6 +52,16 @@ struct ExecutionPolicy {
   bool is_serial() const { return mode == ExecutionMode::Serial; }
 };
 
+/// The "more specific knob wins" propagation rule shared by every nested
+/// options struct (`MftiOptions.exec` -> `RealizationOptions.exec`,
+/// `FitRequest.exec` -> strategy options, ...): a `specific` policy that was
+/// explicitly set to something non-serial is respected; a serial (default)
+/// `specific` inherits the surrounding `fallback`.
+inline ExecutionPolicy propagate_exec(const ExecutionPolicy& specific,
+                                      const ExecutionPolicy& fallback) {
+  return specific.is_serial() ? fallback : specific;
+}
+
 /// Grain gate shared by the panel-parallel kernels (QR/SVD/GEMM): returns
 /// `exec` when the update is big enough to amortise a pool batch, the
 /// serial policy otherwise. `work` is the number of scalar updates.

@@ -1,36 +1,93 @@
 #include "sampling/dataset.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace mfti::sampling {
 
-SampleSet::SampleSet(std::vector<FrequencySample> samples)
-    : samples_(std::move(samples)) {
-  if (samples_.empty()) return;
-  const std::size_t p = samples_[0].s.rows();
-  const std::size_t m = samples_[0].s.cols();
-  if (p == 0 || m == 0) {
-    throw std::invalid_argument("SampleSet: empty sample matrices");
+namespace {
+
+bool finite_entries(const CMat& s) {
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    for (std::size_t j = 0; j < s.cols(); ++j) {
+      if (!std::isfinite(s(i, j).real()) || !std::isfinite(s(i, j).imag())) {
+        return false;
+      }
+    }
   }
-  for (const auto& smp : samples_) {
+  return true;
+}
+
+}  // namespace
+
+api::Status validate_samples(const std::vector<FrequencySample>& samples) {
+  if (samples.empty()) return api::Status::ok();  // empty set is valid
+  const std::size_t p = samples[0].s.rows();
+  const std::size_t m = samples[0].s.cols();
+  if (p == 0 || m == 0) {
+    return api::Status::invalid_argument("SampleSet: empty sample matrices");
+  }
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    const auto& smp = samples[k];
     if (smp.s.rows() != p || smp.s.cols() != m) {
-      throw std::invalid_argument("SampleSet: inconsistent port dimensions");
+      return api::Status::invalid_argument(
+          "SampleSet: inconsistent port dimensions at sample " +
+          std::to_string(k) + " (" + std::to_string(smp.s.rows()) + "x" +
+          std::to_string(smp.s.cols()) + " vs " + std::to_string(p) + "x" +
+          std::to_string(m) + ")");
+    }
+    if (!std::isfinite(smp.f_hz)) {
+      return api::Status::invalid_argument(
+          "SampleSet: non-finite frequency at sample " + std::to_string(k));
     }
     if (!(smp.f_hz > 0.0)) {
-      throw std::invalid_argument("SampleSet: frequencies must be positive");
+      return api::Status::invalid_argument(
+          "SampleSet: frequencies must be positive");
+    }
+    if (!finite_entries(smp.s)) {
+      return api::Status::invalid_argument(
+          "SampleSet: non-finite matrix entry at sample " +
+          std::to_string(k) + " (f = " + std::to_string(smp.f_hz) + " Hz)");
     }
   }
+  // Strictly increasing after the sort the container applies = no
+  // duplicates in the raw batch.
+  std::vector<Real> freqs;
+  freqs.reserve(samples.size());
+  for (const auto& smp : samples) freqs.push_back(smp.f_hz);
+  std::sort(freqs.begin(), freqs.end());
+  for (std::size_t i = 0; i + 1 < freqs.size(); ++i) {
+    if (freqs[i] == freqs[i + 1]) {
+      return api::Status::invalid_argument("SampleSet: duplicate frequency " +
+                                           std::to_string(freqs[i]));
+    }
+  }
+  return api::Status::ok();
+}
+
+SampleSet::SampleSet(std::vector<FrequencySample> samples)
+    : samples_(std::move(samples)) {
+  const api::Status status = validate_samples(samples_);
+  if (!status.is_ok()) throw std::invalid_argument(status.message());
   std::sort(samples_.begin(), samples_.end(),
             [](const FrequencySample& a, const FrequencySample& b) {
               return a.f_hz < b.f_hz;
             });
-  for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
-    if (samples_[i].f_hz == samples_[i + 1].f_hz) {
-      throw std::invalid_argument("SampleSet: duplicate frequency " +
-                                  std::to_string(samples_[i].f_hz));
-    }
-  }
+}
+
+api::Expected<SampleSet> SampleSet::create(
+    std::vector<FrequencySample> samples) {
+  const api::Status status = validate_samples(samples);
+  if (!status.is_ok()) return status;
+  SampleSet set;
+  set.samples_ = std::move(samples);
+  std::sort(set.samples_.begin(), set.samples_.end(),
+            [](const FrequencySample& a, const FrequencySample& b) {
+              return a.f_hz < b.f_hz;
+            });
+  return set;
 }
 
 std::vector<Real> SampleSet::frequencies() const {

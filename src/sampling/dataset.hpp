@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "api/status.hpp"
 #include "linalg/matrix.hpp"
 
 namespace mfti::sampling {
@@ -23,14 +24,25 @@ struct FrequencySample {
   CMat s;
 };
 
+/// Validate a batch of samples as a whole: non-empty matrices of one
+/// consistent p x m shape, finite entries, and positive, finite,
+/// pairwise-distinct frequencies (strictly increasing once sorted). This is
+/// the single ingest gate — bad measurement files fail here with a precise
+/// message instead of deep inside Loewner pencil assembly.
+api::Status validate_samples(const std::vector<FrequencySample>& samples);
+
 /// An ordered collection of frequency samples with uniform dimensions.
 class SampleSet {
  public:
   SampleSet() = default;
 
-  /// \throws std::invalid_argument on inconsistent dimensions or
-  /// non-positive/duplicate frequencies.
+  /// \throws std::invalid_argument on anything `validate_samples` rejects.
+  /// Compatibility layer: prefer `create` in code using the `api::` surface.
   explicit SampleSet(std::vector<FrequencySample> samples);
+
+  /// Non-throwing ingest: validates via `validate_samples` and returns the
+  /// (frequency-sorted) set, or the status describing the first violation.
+  static api::Expected<SampleSet> create(std::vector<FrequencySample> samples);
 
   std::size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }

@@ -38,6 +38,11 @@ class BatchEvaluator {
   std::size_t num_inputs() const { return sys_.num_inputs(); }
   std::size_t num_outputs() const { return sys_.num_outputs(); }
 
+  /// The promoted complex system evaluations run against — lets wrappers
+  /// (e.g. `api::ModelHandle`) assemble `(sE - A)` pencils from the same
+  /// one-time complex promotion.
+  const ComplexDescriptorSystem& system() const { return sys_; }
+
   /// `H(s)` at one point. \throws la::SingularMatrixError at a pole.
   CMat evaluate(Complex s) const;
 

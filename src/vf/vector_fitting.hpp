@@ -83,6 +83,8 @@ struct VectorFittingResult {
 };
 
 /// Fit a common-pole rational model to sampled data.
+/// Compatibility layer: prefer `api::Fitter` with
+/// `api::VectorFittingStrategy`.
 /// \throws std::invalid_argument for empty data, zero poles or zero
 /// iterations with no residue fit possible.
 VectorFittingResult vector_fit(const sampling::SampleSet& data,

@@ -39,6 +39,7 @@ struct VftiResult {
 };
 
 /// Fit a real descriptor model from vector-format tangential data.
+/// Compatibility layer: prefer `api::Fitter` with `api::VftiStrategy`.
 VftiResult vfti_fit(const sampling::SampleSet& samples,
                     const VftiOptions& opts = {});
 

@@ -1,6 +1,8 @@
 // End-to-end integration tests: the full pipelines a user would run,
-// crossing module boundaries (netgen -> sampling -> core -> statespace
-// analysis -> io) and checking physical consistency of the results.
+// crossing module boundaries (netgen -> sampling -> api -> statespace
+// analysis -> io) and checking physical consistency of the results. All
+// fits go through the unified `api::Fitter` facade — the per-algorithm
+// entry points keep their own focused suites (test_core_*, test_vf*).
 
 #include <gtest/gtest.h>
 
@@ -9,6 +11,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "api/api.hpp"
 #include "core/mfti.hpp"
 #include "core/recursive_mfti.hpp"
 #include "io/touchstone.hpp"
@@ -27,6 +30,7 @@
 #include "vf/vector_fitting.hpp"
 #include "vfti/vfti.hpp"
 
+namespace api = mfti::api;
 namespace la = mfti::la;
 namespace ss = mfti::ss;
 namespace sp = mfti::sampling;
@@ -34,6 +38,18 @@ namespace ng = mfti::netgen;
 using la::CMat;
 using la::Complex;
 using la::Mat;
+
+namespace {
+
+// Run a fit through the facade and unwrap, failing the test on error.
+api::FitReport fit_ok(const sp::SampleSet& samples,
+                      api::Strategy strategy = api::MftiStrategy{}) {
+  auto report = api::Fitter().fit(samples, std::move(strategy));
+  EXPECT_TRUE(report) << report.status().to_string();
+  return std::move(report.value());
+}
+
+}  // namespace
 
 TEST(Integration, MftiModelRecoversTruePoles) {
   // Fit from samples, then check the *identified dynamics*: every pole of
@@ -47,7 +63,7 @@ TEST(Integration, MftiModelRecoversTruePoles) {
   const ss::DescriptorSystem truth = ss::random_stable_mimo(opts, rng);
   const sp::SampleSet data =
       sp::sample_system(truth, sp::log_grid(10.0, 1e5, 10));
-  const mfti::core::MftiResult fit = mfti::core::mfti_fit(data);
+  const api::FitReport fit = fit_ok(data);
 
   const auto true_poles = ss::poles(truth);
   const auto model_poles = ss::poles(fit.model);
@@ -72,7 +88,7 @@ TEST(Integration, MftiModelResiduesMatchTruth) {
   const ss::DescriptorSystem truth = ss::random_stable_mimo(opts, rng);
   const sp::SampleSet data =
       sp::sample_system(truth, sp::log_grid(10.0, 1e5, 8));
-  const mfti::core::MftiResult fit = mfti::core::mfti_fit(data);
+  const api::FitReport fit = fit_ok(data);
 
   const ss::PoleResidueDecomposition pr_true =
       ss::pole_residue_decomposition(truth);
@@ -104,7 +120,7 @@ TEST(Integration, MacromodelTransientMatchesOriginal) {
   // entirely in one parameter domain.
   const sp::SampleSet zdata =
       sp::sample_system(bus, sp::log_grid(1e7, 1e10, 30));
-  const mfti::core::MftiResult fit = mfti::core::mfti_fit(zdata);
+  const api::FitReport fit = fit_ok(zdata);
   (void)data;
 
   auto edge = [](double t) {
@@ -136,7 +152,7 @@ TEST(Integration, PdnPipelineCleanDataHighAccuracy) {
   const ss::DescriptorSystem pdn = ng::make_pdn(board, rng);
   const sp::SampleSet data =
       ng::sample_s_parameters(pdn, sp::linear_grid(1e6, 1e9, 60));
-  const mfti::core::MftiResult fit = mfti::core::mfti_fit(data);
+  const api::FitReport fit = fit_ok(data);
   EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-6);
   // Model of passive data fitted to machine precision stays passive on the
   // fitted band.
@@ -152,7 +168,7 @@ TEST(Integration, TouchstoneRoundTripThroughFit) {
   mfti::io::write_touchstone(file, data);
   const mfti::io::TouchstoneData loaded =
       mfti::io::read_touchstone(file, 3);
-  const mfti::core::MftiResult fit = mfti::core::mfti_fit(loaded.samples);
+  const api::FitReport fit = fit_ok(loaded.samples);
   // The writer emits 12 significant digits, so the fit is exact only to
   // the file's precision (~1e-8 relative after the Loewner conditioning).
   EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-6);
@@ -175,13 +191,13 @@ TEST(Integration, RecursiveConsumingAllDataMatchesBatch) {
   mfti::core::MftiOptions batch;
   batch.data.uniform_t = 2;
   batch.data.seed = 42;
-  const auto fit1 = mfti::core::mfti_fit(data, batch);
+  const auto fit1 = fit_ok(data, api::MftiStrategy{batch});
 
   mfti::core::RecursiveMftiOptions rec;
   rec.data.uniform_t = 2;
   rec.data.seed = 42;
   rec.threshold = -1.0;  // force full consumption
-  const auto fit2 = mfti::core::recursive_mfti_fit(data, rec);
+  const auto fit2 = fit_ok(data, api::RecursiveMftiStrategy{rec});
 
   const sp::SampleSet probe =
       sp::sample_system(truth, sp::log_grid(10.0, 1e5, 37));
@@ -205,17 +221,21 @@ TEST(Integration, AllThreeMethodsOnAmpleCleanData) {
   const sp::SampleSet data =
       sp::sample_system(truth, sp::log_grid(10.0, 1e5, 40));
 
-  const auto mfti_fit = mfti::core::mfti_fit(data);
-  EXPECT_LT(mfti::metrics::model_error(mfti_fit.model, data), 1e-8);
+  // One request, four algorithms: only the strategy tag changes.
+  const auto mfti_report = fit_ok(data, api::MftiStrategy{});
+  EXPECT_LT(mfti::metrics::model_error(mfti_report.model, data), 1e-8);
 
-  const auto vfti_fit = mfti::vfti::vfti_fit(data);
-  EXPECT_LT(mfti::metrics::model_error(vfti_fit.model, data), 1e-6);
+  const auto vfti_report = fit_ok(data, api::VftiStrategy{});
+  EXPECT_LT(mfti::metrics::model_error(vfti_report.model, data), 1e-6);
 
   mfti::vf::VectorFittingOptions vf_opts;
   vf_opts.num_poles = 8;
   vf_opts.iterations = 12;
-  const auto vf_fit = mfti::vf::vector_fit(data, vf_opts);
-  EXPECT_LT(mfti::vf::model_error(vf_fit.model, data), 1e-5);
+  const auto vf_report = fit_ok(data, api::VectorFittingStrategy{vf_opts});
+  ASSERT_TRUE(vf_report.vector_fitting.has_value());
+  EXPECT_LT(mfti::vf::model_error(vf_report.vector_fitting->pole_residue,
+                                  data),
+            1e-5);
 }
 
 TEST(Integration, SkinEffectDataFitsToApproximationFloor) {
@@ -234,7 +254,7 @@ TEST(Integration, SkinEffectDataFitsToApproximationFloor) {
   mfti::core::MftiOptions opts;
   opts.realization.selection = mfti::loewner::OrderSelection::Tolerance;
   opts.realization.rank_tol = 1e-7;
-  const auto fit = mfti::core::mfti_fit(data, opts);
+  const auto fit = fit_ok(data, api::MftiStrategy{opts});
   const double err = mfti::metrics::model_error(fit.model, data);
   EXPECT_LT(err, 1e-2);   // good engineering fit
   EXPECT_GT(err, 1e-12);  // but not exact: the data is not rational

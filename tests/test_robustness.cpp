@@ -1,12 +1,15 @@
 // Numerical robustness tests: conditions real data throws at the library —
 // tightly clustered frequencies (small Loewner denominators), extreme
 // dynamic range in the band, very small/large magnitudes, and near-minimal
-// sampling — must degrade gracefully, not explode.
+// sampling — must degrade gracefully, not explode. Fits run through the
+// unified `api::Fitter` facade, so a blow-up surfaces as a test failure or
+// a non-ok Status, never as an uncaught exception.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "api/api.hpp"
 #include "core/mfti.hpp"
 #include "linalg/norms.hpp"
 #include "loewner/matrices.hpp"
@@ -16,6 +19,7 @@
 #include "statespace/random_system.hpp"
 #include "statespace/response.hpp"
 
+namespace api = mfti::api;
 namespace la = mfti::la;
 namespace ss = mfti::ss;
 namespace sp = mfti::sampling;
@@ -37,6 +41,14 @@ ss::DescriptorSystem make_system(std::size_t order, std::size_t ports,
   opts.f_min_hz = f_lo;
   opts.f_max_hz = f_hi;
   return ss::random_stable_mimo(opts, rng);
+}
+
+// Run a fit through the facade and unwrap, failing the test on error.
+api::FitReport fit_ok(const sp::SampleSet& samples,
+                      api::Strategy strategy = api::MftiStrategy{}) {
+  auto report = api::Fitter().fit(samples, std::move(strategy));
+  EXPECT_TRUE(report) << report.status().to_string();
+  return std::move(report.value());
 }
 
 }  // namespace
@@ -62,7 +74,7 @@ TEST(Robustness, SixDecadeBand) {
   const auto sys = make_system(10, 2, 1.0, 1e6, 32);
   const sp::SampleSet data =
       sp::sample_system(sys, sp::log_grid(1.0, 1e6, 12));
-  const auto fit = mfti::core::mfti_fit(data);
+  const auto fit = fit_ok(data);
   EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-6);
 }
 
@@ -73,7 +85,7 @@ TEST(Robustness, TinySignalMagnitudes) {
   sys.c *= 1e-9;
   const sp::SampleSet data =
       sp::sample_system(sys, sp::log_grid(10.0, 1e4, 10));
-  const auto fit = mfti::core::mfti_fit(data);
+  const auto fit = fit_ok(data);
   EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-6);
 }
 
@@ -82,7 +94,7 @@ TEST(Robustness, HugeSignalMagnitudes) {
   sys.c *= 1e9;
   const sp::SampleSet data =
       sp::sample_system(sys, sp::log_grid(10.0, 1e4, 10));
-  const auto fit = mfti::core::mfti_fit(data);
+  const auto fit = fit_ok(data);
   EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-6);
 }
 
@@ -94,7 +106,7 @@ TEST(Robustness, ExactMinimalSamplingBoundary) {
     // k_min = (12 + 4) / 4 = 4
     const sp::SampleSet data =
         sp::sample_system(sys, sp::log_grid(10.0, 1e5, 4));
-    const auto fit = mfti::core::mfti_fit(data);
+    const auto fit = fit_ok(data);
     const sp::SampleSet probe =
         sp::sample_system(sys, sp::log_grid(10.0, 1e5, 21));
     EXPECT_LT(mfti::metrics::model_error(fit.model, probe), 1e-5)
@@ -114,7 +126,7 @@ TEST(Robustness, NonSquarePortCounts) {
   const ss::DescriptorSystem sys = ss::random_stable_mimo(opts, rng);
   const sp::SampleSet data =
       sp::sample_system(sys, sp::log_grid(10.0, 1e5, 12));
-  const auto fit = mfti::core::mfti_fit(data);  // t = min(m, p) = 2
+  const auto fit = fit_ok(data);  // t = min(m, p) = 2
   EXPECT_EQ(fit.model.num_outputs(), 4u);
   EXPECT_EQ(fit.model.num_inputs(), 2u);
   EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-6);
@@ -125,7 +137,7 @@ TEST(Robustness, SingleResonanceSystem) {
   const auto sys = make_system(2, 2, 100.0, 1e3, 36);
   const sp::SampleSet data =
       sp::sample_system(sys, sp::log_grid(50.0, 2e3, 4));
-  const auto fit = mfti::core::mfti_fit(data);
+  const auto fit = fit_ok(data);
   EXPECT_EQ(fit.order, 4u);  // order + rank(D) = 2 + 2
   EXPECT_LT(mfti::metrics::model_error(fit.model, data), 1e-8);
 }
@@ -136,7 +148,7 @@ TEST(Robustness, ModelStaysFiniteOffBand) {
   const auto sys = make_system(8, 2, 100.0, 1e4, 37);
   const sp::SampleSet data =
       sp::sample_system(sys, sp::log_grid(100.0, 1e4, 10));
-  const auto fit = mfti::core::mfti_fit(data);
+  const auto fit = fit_ok(data);
   for (double f : {1e-2, 1e8}) {
     const auto h =
         ss::transfer_function(fit.model, Complex(0.0, 2.0 * M_PI * f));
