@@ -86,7 +86,7 @@ int main() {
               fit2->order, err2, fit2->seconds, diag.used_units.size(),
               measured.size() / 2, diag.converged ? "yes" : "no");
 
-  // --- compare the port-1 input reflection over frequency ---------------------
+  // --- compare the port-1 input reflection over frequency ------------------
   io::CsvTable csv({"freq_hz", "S11_measured", "S11_mfti1", "S11_mfti2"});
   const api::ModelHandle handle1(*fit1), handle2(*fit2);
   const auto h1 = handle1.sweep(freqs);

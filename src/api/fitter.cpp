@@ -216,7 +216,8 @@ bool Fitter::has_strategy(Algorithm tag) const {
 std::vector<std::string_view> Fitter::strategy_names() const {
   std::vector<std::string_view> names;
   for (std::size_t i = 0; i < kNumAlgorithms; ++i) {
-    if (registry_[i]) names.push_back(algorithm_name(static_cast<Algorithm>(i)));
+    if (registry_[i])
+      names.push_back(algorithm_name(static_cast<Algorithm>(i)));
   }
   return names;
 }

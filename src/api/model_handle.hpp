@@ -72,8 +72,9 @@ class ModelHandle {
 
   /// `H(s)` at every point; independent points fan out under `exec`, each
   /// going through the cache.
-  std::vector<la::CMat> evaluate(const std::vector<la::Complex>& points,
-                                 const parallel::ExecutionPolicy& exec = {}) const;
+  std::vector<la::CMat> evaluate(
+      const std::vector<la::Complex>& points,
+      const parallel::ExecutionPolicy& exec = {}) const;
 
   /// `H(j 2 pi f)` for every frequency (Hz).
   std::vector<la::CMat> sweep(const std::vector<la::Real>& freqs_hz,

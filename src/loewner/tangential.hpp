@@ -103,8 +103,8 @@ struct TangentialOptions {
 /// serial path.
 /// \throws std::invalid_argument for empty data, fewer than 2 samples
 /// (no left data), or invalid `t`.
-TangentialData build_tangential_data(const sampling::SampleSet& samples,
-                                     const TangentialOptions& opts = {},
-                                     const parallel::ExecutionPolicy& exec = {});
+TangentialData build_tangential_data(
+    const sampling::SampleSet& samples, const TangentialOptions& opts = {},
+    const parallel::ExecutionPolicy& exec = {});
 
 }  // namespace mfti::loewner

@@ -21,7 +21,7 @@ using la::CMat;
 using la::Complex;
 using la::Mat;
 
-// --- pencil eigenvectors ------------------------------------------------------
+// --- pencil eigenvectors -----------------------------------------------------
 
 TEST(PencilEigenvector, KnownDiagonalPencil) {
   const CMat a = la::to_complex(Mat::diagonal({2.0, 5.0}));
@@ -70,7 +70,7 @@ TEST(PencilEigenvector, RejectsBadInput) {
                std::invalid_argument);
 }
 
-// --- pole-residue decomposition -----------------------------------------------
+// --- pole-residue decomposition ----------------------------------------------
 
 class PoleResidueProperty : public ::testing::TestWithParam<std::size_t> {};
 
@@ -139,7 +139,7 @@ TEST(PoleResidue, RejectsEmptySystem) {
   EXPECT_THROW(ss::pole_residue_decomposition(empty), std::invalid_argument);
 }
 
-// --- modal reconstruction and truncation ----------------------------------------
+// --- modal reconstruction and truncation -------------------------------------
 
 TEST(ModalReconstruction, RoundTripPreservesTransferFunction) {
   la::Rng rng(57);
@@ -208,7 +208,7 @@ TEST(ModalTruncation, ZeroToleranceKeepsEverything) {
                                ss::transfer_function(sys, s), 1e-5, 1e-7));
 }
 
-// --- time-domain simulation ----------------------------------------------------
+// --- time-domain simulation --------------------------------------------------
 
 TEST(Simulate, FirstOrderStepResponse) {
   // H(s) = 1/(s+1): step response 1 - exp(-t).
@@ -280,7 +280,7 @@ TEST(Simulate, InvalidArgumentsThrow) {
   EXPECT_THROW(ss::step_response(sys, 7, 0.1, 1.0), std::invalid_argument);
 }
 
-// --- passivity -------------------------------------------------------------------
+// --- passivity ---------------------------------------------------------------
 
 namespace {
 
