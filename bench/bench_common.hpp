@@ -5,13 +5,21 @@
 
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "io/csv.hpp"
+#include "linalg/matrix.hpp"
 #include "loewner/realization.hpp"
+#include "metrics/stopwatch.hpp"
 #include "netgen/mna.hpp"
 #include "netgen/pdn.hpp"
 #include "sampling/dataset.hpp"
@@ -97,6 +105,143 @@ inline loewner::RealizationOptions table1_realization() {
   opts.rank_tol = 1e-2;
   return opts;
 }
+
+// --- shared measurement helpers ---------------------------------------------
+
+/// Best-of-`repeats` wall time of `body` in seconds (the standard timing
+/// discipline of the perf benches; change it here, not per-bench).
+template <typename F>
+double best_seconds(int repeats, F&& body) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    metrics::Stopwatch sw;
+    body();
+    best = std::min(best, sw.seconds());
+  }
+  return best;
+}
+
+/// Largest entry-wise |a - b| between two same-shape matrices.
+template <typename T>
+double max_diff(const la::Matrix<T>& a, const la::Matrix<T>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      m = std::max(m, la::detail::abs_value(a(i, j) - b(i, j)));
+  return m;
+}
+
+// --- machine-readable benchmark output (CI perf trajectory) -----------------
+
+/// Command-line arguments shared by the perf benches: positional arguments
+/// plus an optional `--json <path>` pair anywhere on the line. Positional
+/// parsing in the benches is unaffected by the flag's presence. A trailing
+/// `--json` without a path is a usage error (reported on stderr and marked
+/// invalid so benches can exit non-zero instead of misparsing).
+struct BenchArgs {
+  std::vector<std::string> positional;
+  std::string json_path;  // empty: no JSON output requested
+  bool valid = true;
+
+  /// First positional argument as a positive integer, or `fallback` when
+  /// absent; malformed values flag the args invalid.
+  int positional_int(int fallback) {
+    if (positional.empty()) return fallback;
+    char* end = nullptr;
+    const long value = std::strtol(positional.front().c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || value <= 0) {
+      std::fprintf(stderr, "bad positional argument '%s' (want a positive "
+                   "integer)\n", positional.front().c_str());
+      valid = false;
+      return fallback;
+    }
+    return static_cast<int>(value);
+  }
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 < argc) {
+        out.json_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "--json needs a path argument\n");
+        out.valid = false;
+      }
+    } else {
+      out.positional.push_back(arg);
+    }
+  }
+  return out;
+}
+
+/// Collects named metrics (each a set of numeric fields) and writes them as
+/// the one-benchmark JSON document consumed by bench/compare_bench.py:
+///
+///   {"bench": "<name>",
+///    "metrics": [{"name": "...", "seconds": 1.25e-3, ...}, ...]}
+///
+/// Nonfinite values are emitted as null so the document always stays valid
+/// JSON.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  void add(const std::string& name,
+           std::initializer_list<std::pair<const char*, double>> fields) {
+    Metric m;
+    m.name = name;
+    m.fields.assign(fields.begin(), fields.end());
+    metrics_.push_back(std::move(m));
+  }
+
+  /// Write the document to `path`; "" is a no-op. Returns false (after
+  /// printing a diagnostic) when the file cannot be written.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "[json] cannot open %s for writing\n",
+                   path.c_str());
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << bench_ << "\",\n  \"metrics\": [";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+          << metrics_[i].name << "\"";
+      for (const auto& [key, value] : metrics_[i].fields) {
+        out << ", \"" << key << "\": ";
+        if (std::isfinite(value)) {
+          char buf[32];
+          std::snprintf(buf, sizeof buf, "%.12g", value);
+          out << buf;
+        } else {
+          out << "null";
+        }
+      }
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "[json] write to %s failed\n", path.c_str());
+      return false;
+    }
+    std::printf("[json] wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+  std::string bench_;
+  std::vector<Metric> metrics_;
+};
 
 /// Write a CSV next to the binary under bench_out/ (best effort: failures
 /// to create the directory only disable the CSV, never the bench).

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Merge per-bench JSON outputs, compare against a committed baseline, and
+optionally gate on the parallel-scaling speedup.
+
+Usage:
+    compare_bench.py [--baseline bench/baseline.json] [--out BENCH_pr.json]
+                     [--gate] input1.json [input2.json ...]
+
+Each input is one document written by a bench's `--json <path>` mode
+(bench/bench_common.hpp JsonReport):
+
+    {"bench": "<name>", "metrics": [{"name": "...", "seconds": ...}, ...]}
+
+The merged document (written to --out) is the shape committed as
+bench/baseline.json:
+
+    {"schema": "mfti-bench-v1", "benches": [<input documents>]}
+
+With --gate the script fails (exit 1) unless every gated
+bench_parallel_scaling kernel reaches the threshold at 4 threads. The
+threshold lives HERE (and only here): DEFAULT_MIN_SPEEDUP below; the
+MFTI_PERF_MIN_SPEEDUP environment variable overrides it for noisy runners.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# The CI perf gate pinned by ROADMAP.md: >= 2x at 4 threads on a 4-core
+# runner. Override with MFTI_PERF_MIN_SPEEDUP (e.g. "1.5") when a runner is
+# known to be noisy or undersized.
+DEFAULT_MIN_SPEEDUP = 2.0
+
+GATE_BENCH = "parallel_scaling"
+GATE_THREADS = 4
+# Each of these kernels must individually reach the threshold — gating a
+# best-of would let a scaling collapse in one pipeline hot path hide behind
+# another kernel that still scales. These two are the embarrassingly
+# parallel Loewner hot paths the ROADMAP gate was pinned for; the O(n^3)
+# kernels (gemm/lu/eigenvalues/svd_jacobi) are reported but not gated:
+# their parallel fraction varies (Amdahl) and per-kernel thresholds would
+# need per-kernel tuning first.
+GATE_KERNELS = ("loewner_pair", "batch_sweep")
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def metric_key(metric):
+    """Identity of a metric row: its name plus discriminator fields."""
+    key = [metric.get("name", "?")]
+    for field in ("threads", "size"):
+        if field in metric:
+            key.append(f"{field}={metric[field]:g}")
+    return " ".join(key)
+
+
+def index_baseline(baseline):
+    table = {}
+    for bench in baseline.get("benches", []):
+        for metric in bench.get("metrics", []):
+            table[(bench.get("bench"), metric_key(metric))] = metric
+    return table
+
+
+def print_comparison(merged, baseline):
+    table = index_baseline(baseline) if baseline else {}
+    header = f"{'bench/metric':<52} {'baseline':>12} {'current':>12} {'ratio':>8}"
+    print(header)
+    print("-" * len(header))
+    for bench in merged["benches"]:
+        for metric in bench.get("metrics", []):
+            seconds = metric.get("seconds")
+            if seconds is None:
+                continue
+            label = f"{bench.get('bench')}: {metric_key(metric)}"
+            base = table.get((bench.get("bench"), metric_key(metric)))
+            if base and base.get("seconds"):
+                ratio = seconds / base["seconds"]
+                flag = "" if ratio < 1.25 else "  <-- slower"
+                print(f"{label:<52} {base['seconds']:>12.4f} {seconds:>12.4f} "
+                      f"{ratio:>7.2f}x{flag}")
+            else:
+                print(f"{label:<52} {'-':>12} {seconds:>12.4f} {'new':>8}")
+    print()
+
+
+def gate_speedup(merged):
+    threshold = float(os.environ.get("MFTI_PERF_MIN_SPEEDUP",
+                                     DEFAULT_MIN_SPEEDUP))
+    speedups = {}
+    for bench in merged["benches"]:
+        if bench.get("bench") != GATE_BENCH:
+            continue
+        for metric in bench.get("metrics", []):
+            if metric.get("threads") == GATE_THREADS and "speedup" in metric:
+                name = metric.get("name", "?")
+                value = metric["speedup"]
+                if value is not None:
+                    speedups[name] = max(speedups.get(name, 0.0), value)
+    if not speedups:
+        print(f"GATE FAIL: no {GATE_BENCH} metrics at {GATE_THREADS} threads "
+              "in the merged report")
+        return False
+    source = ("env override" if "MFTI_PERF_MIN_SPEEDUP" in os.environ
+              else "default")
+    print(f"perf gate: {GATE_THREADS}-thread speedup >= {threshold:.2f}x "
+          f"({source}) required for each of: {', '.join(GATE_KERNELS)}")
+    for name, value in sorted(speedups.items()):
+        gated = name in GATE_KERNELS
+        print(f"  {name:<20} {value:.2f}x{'  [gated]' if gated else ''}")
+    ok = True
+    for name in GATE_KERNELS:
+        if name not in speedups:
+            print(f"GATE FAIL: kernel '{name}' missing from the "
+                  f"{GATE_BENCH} report")
+            ok = False
+        elif speedups[name] < threshold:
+            print(f"GATE FAIL: {name} reached only {speedups[name]:.2f}x "
+                  f"< {threshold:.2f}x at {GATE_THREADS} threads")
+            ok = False
+    if ok:
+        print("GATE PASS")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+", help="per-bench JSON files")
+    parser.add_argument("--baseline", default=None,
+                        help="committed baseline (bench/baseline.json)")
+    parser.add_argument("--out", default=None,
+                        help="write the merged document here")
+    parser.add_argument("--gate", action="store_true",
+                        help="fail unless the pinned speedup is reached")
+    args = parser.parse_args()
+
+    merged = {"schema": "mfti-bench-v1",
+              "benches": [load(path) for path in args.inputs]}
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(merged, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load(args.baseline)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: cannot read baseline {args.baseline}: {err}")
+    print_comparison(merged, baseline)
+
+    if args.gate and not gate_speedup(merged):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

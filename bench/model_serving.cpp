@@ -13,6 +13,8 @@
 // the cached path must beat the naive one outright (it performs 1/rounds of
 // the factorization work). Exits non-zero on any violation, so CI can run
 // this as a smoke test.
+//
+// Usage: bench_model_serving [rounds] [--json <path>]
 
 #include <algorithm>
 #include <cstdio>
@@ -21,6 +23,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "bench_common.hpp"
 #include "metrics/stopwatch.hpp"
 #include "sampling/grid.hpp"
 #include "sampling/sampler.hpp"
@@ -45,7 +48,10 @@ double max_abs_diff(const la::CMat& a, const la::CMat& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t rounds = argc > 1 ? std::stoul(argv[1]) : 25;
+  auto args = mfti::bench::parse_bench_args(argc, argv);
+  const std::size_t rounds =
+      static_cast<std::size_t>(args.positional_int(25));
+  if (!args.valid) return 2;
 
   // A realistic serving model: fit a 16-port order-64 system with the
   // unified API, then serve its response.
@@ -133,6 +139,18 @@ int main(int argc, char** argv) {
     std::printf("FAIL: cached serving not faster than naive re-evaluation\n");
     ok = false;
   }
+
+  mfti::bench::JsonReport json("model_serving");
+  json.add("naive_transfer_function",
+           {{"seconds", t_naive}, {"queries", static_cast<double>(queries)}});
+  json.add("batch_evaluator",
+           {{"seconds", t_eval}, {"speedup", t_naive / t_eval}});
+  json.add("model_handle_lru",
+           {{"seconds", t_handle},
+            {"speedup", t_naive / t_handle},
+            {"cache_hits", static_cast<double>(stats.hits)},
+            {"cache_misses", static_cast<double>(stats.misses)}});
+  if (!json.write(args.json_path)) ok = false;
   std::printf(ok ? "OK\n" : "NOT OK\n");
   return ok ? 0 : 1;
 }

@@ -1,11 +1,14 @@
-// Scaling bench for the parallel execution layer: times the two MFTI hot
-// paths — block Loewner pencil assembly and batch frequency-response sweeps
-// — under the serial policy and under thread counts 2/4/max, and verifies
-// that every parallel result matches the serial one element-wise within
-// 1e-12. On a >= 4-core host the parallel columns should show >= 2x speedup;
-// on fewer cores the bench still validates correctness and reports honestly.
+// Scaling bench for the parallel execution layer: times the MFTI hot paths
+// — block Loewner pencil assembly, batch frequency-response sweeps, and the
+// dense O(n^3) kernels (blocked GEMM, LU, eigensolver, Jacobi SVD) — under
+// the serial policy and under thread counts 2/4/max, and verifies that
+// every parallel result matches the serial one element-wise within 1e-12
+// (bitwise in practice). On a >= 4-core host the parallel columns should
+// show >= 2x speedup; on fewer cores the bench still validates correctness
+// and reports honestly. The CI perf job gates on the 4-thread speedup
+// reported here (see bench/compare_bench.py).
 //
-// Usage: bench_parallel_scaling [repeats]
+// Usage: bench_parallel_scaling [repeats] [--json <path>]
 
 #include <algorithm>
 #include <cstdio>
@@ -15,6 +18,11 @@
 
 #include "bench_common.hpp"
 #include "io/csv.hpp"
+#include "linalg/eig.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/multiply.hpp"
+#include "linalg/random.hpp"
+#include "linalg/svd.hpp"
 #include "loewner/matrices.hpp"
 #include "loewner/tangential.hpp"
 #include "metrics/stopwatch.hpp"
@@ -32,24 +40,8 @@ namespace bench = mfti::bench;
 
 namespace {
 
-template <typename F>
-double best_seconds(int repeats, F&& body) {
-  double best = 1e300;
-  for (int r = 0; r < repeats; ++r) {
-    mfti::metrics::Stopwatch sw;
-    body();
-    best = std::min(best, sw.seconds());
-  }
-  return best;
-}
-
-double max_cdiff(const la::CMat& a, const la::CMat& b) {
-  double m = 0.0;
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j)
-      m = std::max(m, std::abs(a(i, j) - b(i, j)));
-  return m;
-}
+using bench::best_seconds;
+using bench::max_diff;
 
 struct Row {
   std::string kernel;
@@ -59,10 +51,17 @@ struct Row {
   double max_diff;
 };
 
+par::ExecutionPolicy exec_for(std::size_t threads) {
+  return threads == 1 ? par::ExecutionPolicy::serial()
+                      : par::ExecutionPolicy::with_threads(threads);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int repeats = std::max(1, argc > 1 ? std::atoi(argv[1]) : 3);
+  auto args = bench::parse_bench_args(argc, argv);
+  const int repeats = args.positional_int(3);
+  if (!args.valid) return 2;
   const std::size_t hw = par::hardware_threads();
   std::printf("parallel_scaling: %zu hardware thread(s), best of %d runs\n\n",
               hw, repeats);
@@ -90,8 +89,7 @@ int main(int argc, char** argv) {
   const auto [ll_ref, sll_ref] = lw::loewner_pair(data);
   double serial_loewner = 0.0;
   for (std::size_t t : thread_counts) {
-    const auto exec = t == 1 ? par::ExecutionPolicy::serial()
-                             : par::ExecutionPolicy::with_threads(t);
+    const auto exec = exec_for(t);
     la::CMat ll, sll;
     const double s = best_seconds(repeats, [&] {
       auto pair = lw::loewner_pair(data, exec);
@@ -100,7 +98,7 @@ int main(int argc, char** argv) {
     });
     if (t == 1) serial_loewner = s;
     rows.push_back({"loewner_pair", t, s, serial_loewner / s,
-                    std::max(max_cdiff(ll, ll_ref), max_cdiff(sll, sll_ref))});
+                    std::max(max_diff(ll, ll_ref), max_diff(sll, sll_ref))});
   }
 
   // --- batch frequency sweep -----------------------------------------------
@@ -108,24 +106,105 @@ int main(int argc, char** argv) {
   const auto sweep_ref = eval.sweep(sweep_freqs);
   double serial_sweep = 0.0;
   for (std::size_t t : thread_counts) {
-    const auto exec = t == 1 ? par::ExecutionPolicy::serial()
-                             : par::ExecutionPolicy::with_threads(t);
+    const auto exec = exec_for(t);
     std::vector<la::CMat> h;
     const double s =
         best_seconds(repeats, [&] { h = eval.sweep(sweep_freqs, exec); });
     if (t == 1) serial_sweep = s;
     double diff = 0.0;
     for (std::size_t i = 0; i < h.size(); ++i)
-      diff = std::max(diff, max_cdiff(h[i], sweep_ref[i]));
+      diff = std::max(diff, max_diff(h[i], sweep_ref[i]));
     rows.push_back({"batch_sweep", t, s, serial_sweep / s, diff});
   }
 
+  // --- blocked GEMM (rows fanned over the pool) ----------------------------
+  {
+    la::Rng rng(512);
+    const la::Mat a = la::random_matrix(512, 512, rng);
+    const la::Mat b = la::random_matrix(512, 512, rng);
+    const la::Mat ref = a * b;
+    double serial_gemm = 0.0;
+    for (std::size_t t : thread_counts) {
+      const auto exec = exec_for(t);
+      la::Mat c;
+      const double s =
+          best_seconds(repeats, [&] { c = la::multiply(a, b, exec); });
+      if (t == 1) serial_gemm = s;
+      rows.push_back({"gemm", t, s, serial_gemm / s, max_diff(c, ref)});
+    }
+  }
+
+  // --- LU factor + n-column solve (shift-invert workload) ------------------
+  {
+    const std::size_t n = 320;
+    la::Rng rng(11);
+    const la::CMat a = la::random_complex_matrix(n, n, rng);
+    const la::CMat e = la::random_complex_matrix(n, n, rng);
+    const la::CMat ref = la::LuDecomposition<la::Complex>(a).solve(e);
+    double serial_lu = 0.0;
+    for (std::size_t t : thread_counts) {
+      const auto exec = exec_for(t);
+      la::CMat x;
+      const double s = best_seconds(repeats, [&] {
+        la::LuDecomposition<la::Complex> lu(a, exec);
+        x = lu.solve(e);
+      });
+      if (t == 1) serial_lu = s;
+      rows.push_back({"lu_factor_solve", t, s, serial_lu / s,
+                      max_diff(x, ref)});
+    }
+  }
+
+  // --- eigensolver (Hessenberg reduction fans out) -------------------------
+  {
+    const std::size_t n = 192;
+    la::Rng rng(12);
+    const la::CMat a = la::random_complex_matrix(n, n, rng);
+    const auto ref = la::eigenvalues(a);
+    double serial_eig = 0.0;
+    for (std::size_t t : thread_counts) {
+      la::EigOptions opts;
+      opts.exec = exec_for(t);
+      std::vector<la::Complex> ev;
+      const double s =
+          best_seconds(repeats, [&] { ev = la::eigenvalues(a, opts); });
+      if (t == 1) serial_eig = s;
+      double diff = 0.0;
+      for (std::size_t i = 0; i < ev.size(); ++i)
+        diff = std::max(diff, std::abs(ev[i] - ref[i]));
+      rows.push_back({"eigenvalues", t, s, serial_eig / s, diff});
+    }
+  }
+
+  // --- one-sided Jacobi SVD (round-robin column pairs) ---------------------
+  {
+    const std::size_t n = 160;
+    la::Rng rng(13);
+    const la::CMat a = la::random_complex_matrix(n, n, rng);
+    la::SvdOptions ref_opts;
+    ref_opts.algorithm = la::SvdAlgorithm::Jacobi;
+    const la::Svd<la::Complex> ref = la::svd(a, ref_opts);
+    double serial_svd = 0.0;
+    for (std::size_t t : thread_counts) {
+      la::SvdOptions opts = ref_opts;
+      opts.exec = exec_for(t);
+      la::Svd<la::Complex> s_out;
+      const double s = best_seconds(repeats, [&] { s_out = la::svd(a, opts); });
+      if (t == 1) serial_svd = s;
+      double diff = std::max(max_diff(s_out.u, ref.u),
+                             max_diff(s_out.v, ref.v));
+      for (std::size_t i = 0; i < s_out.s.size(); ++i)
+        diff = std::max(diff, std::abs(s_out.s[i] - ref.s[i]));
+      rows.push_back({"svd_jacobi", t, s, serial_svd / s, diff});
+    }
+  }
+
   // --- report ---------------------------------------------------------------
-  std::printf("%-14s %8s %12s %9s %12s\n", "kernel", "threads", "seconds",
+  std::printf("%-16s %8s %12s %9s %12s\n", "kernel", "threads", "seconds",
               "speedup", "max |diff|");
   bool ok = true;
   for (const Row& r : rows) {
-    std::printf("%-14s %8zu %12.4f %8.2fx %12.3e\n", r.kernel.c_str(),
+    std::printf("%-16s %8zu %12.4f %8.2fx %12.3e\n", r.kernel.c_str(),
                 r.threads, r.seconds, r.speedup, r.max_diff);
     ok = ok && r.max_diff <= 1e-12;
   }
@@ -138,14 +217,30 @@ int main(int argc, char** argv) {
         hw);
   }
 
-  // CSV: kernel encoded as 0 = loewner_pair, 1 = batch_sweep.
+  // CSV: kernel column holds each kernel's first-occurrence index (the
+  // kernel order of the table above).
   mfti::io::CsvTable csv({"kernel", "threads", "seconds", "speedup",
                           "max_diff"});
+  std::vector<std::string> kernel_ids;
   for (const Row& r : rows) {
-    csv.add_row({r.kernel == "loewner_pair" ? 0.0 : 1.0,
+    auto it = std::find(kernel_ids.begin(), kernel_ids.end(), r.kernel);
+    if (it == kernel_ids.end()) {
+      kernel_ids.push_back(r.kernel);
+      it = kernel_ids.end() - 1;
+    }
+    csv.add_row({static_cast<double>(it - kernel_ids.begin()),
                  static_cast<double>(r.threads), r.seconds, r.speedup,
                  r.max_diff});
   }
   bench::write_csv(csv, "parallel_scaling.csv");
+
+  bench::JsonReport report("parallel_scaling");
+  for (const Row& r : rows) {
+    report.add(r.kernel, {{"threads", static_cast<double>(r.threads)},
+                          {"seconds", r.seconds},
+                          {"speedup", r.speedup},
+                          {"max_diff", r.max_diff}});
+  }
+  if (!report.write(args.json_path)) ok = false;
   return ok ? 0 : 1;
 }

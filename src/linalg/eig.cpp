@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "linalg/lu.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace mfti::la {
 
@@ -52,7 +53,11 @@ void balance_in_place(CMat& h) {
 }
 
 // Householder reduction to upper Hessenberg form (in place; similarity).
-void hessenberg_in_place(CMat& h) {
+// The two reflector applications are the O(n^3) bulk of the reduction;
+// under a parallel `exec` the left update fans out over columns and the
+// right update over rows (each column/row only reads the frozen reflector
+// `v`, so per-element arithmetic matches the serial sweep bitwise).
+void hessenberg_in_place(CMat& h, const parallel::ExecutionPolicy& exec) {
   const std::size_t n = h.rows();
   if (n < 3) return;
   for (std::size_t k = 0; k + 2 < n; ++k) {
@@ -77,21 +82,29 @@ void hessenberg_in_place(CMat& h) {
     std::vector<Complex> v(n, Complex{});
     v[k + 1] = 1.0;
     for (std::size_t i = k + 2; i < n; ++i) v[i] = h(i, k) / v0;
-    // H <- P H with P = I - beta v v^*.
-    for (std::size_t j = k; j < n; ++j) {
-      Complex w{};
-      for (std::size_t i = k + 1; i < n; ++i) w += std::conj(v[i]) * h(i, j);
-      w *= beta;
-      for (std::size_t i = k + 1; i < n; ++i) h(i, j) -= v[i] * w;
-    }
-    // H <- H P.
-    for (std::size_t i = 0; i < n; ++i) {
-      Complex w{};
-      for (std::size_t j = k + 1; j < n; ++j) w += h(i, j) * v[j];
-      w *= beta;
-      for (std::size_t j = k + 1; j < n; ++j)
-        h(i, j) -= w * std::conj(v[j]);
-    }
+    const auto pol = parallel::grained(exec, (n - k) * (n - k));
+    // H <- P H with P = I - beta v v^* (columns independent).
+    parallel::parallel_for_chunks(
+        n - k, pol, [&](std::size_t c0, std::size_t c1) {
+          for (std::size_t j = k + c0; j < k + c1; ++j) {
+            Complex w{};
+            for (std::size_t i = k + 1; i < n; ++i)
+              w += std::conj(v[i]) * h(i, j);
+            w *= beta;
+            for (std::size_t i = k + 1; i < n; ++i) h(i, j) -= v[i] * w;
+          }
+        });
+    // H <- H P (rows independent).
+    parallel::parallel_for_chunks(
+        n, pol, [&](std::size_t r0, std::size_t r1) {
+          for (std::size_t i = r0; i < r1; ++i) {
+            Complex w{};
+            for (std::size_t j = k + 1; j < n; ++j) w += h(i, j) * v[j];
+            w *= beta;
+            for (std::size_t j = k + 1; j < n; ++j)
+              h(i, j) -= w * std::conj(v[j]);
+          }
+        });
     h(k + 1, k) = alpha;
     for (std::size_t i = k + 2; i < n; ++i) h(i, k) = Complex{};
   }
@@ -141,7 +154,7 @@ std::vector<Complex> eigenvalues(const CMat& a, const EigOptions& opts) {
 
   CMat h = a;
   if (opts.balance) balance_in_place(h);
-  hessenberg_in_place(h);
+  hessenberg_in_place(h, opts.exec);
 
   std::size_t hi = n - 1;
   int iters_since_deflation = 0;
@@ -316,7 +329,9 @@ std::vector<Complex> pencil_eigs_impl(const CMat& a, const CMat& e,
     CMat shifted = a;
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t j = 0; j < n; ++j) shifted(i, j) -= s0 * e(i, j);
-    LuDecomposition<Complex> lu(std::move(shifted));
+    // Shift-invert: factorisation and the n-column solve both fan out
+    // under opts.exec (see LuDecomposition).
+    LuDecomposition<Complex> lu(std::move(shifted), opts.exec);
     if (lu.is_singular() || lu.rcond_estimate() < 1e-14) continue;
     const CMat m = lu.solve(e);
     const std::vector<Complex> mu = eigenvalues(m, opts);

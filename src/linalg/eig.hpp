@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "parallel/execution.hpp"
 
 namespace mfti::la {
 
@@ -23,6 +24,12 @@ struct EigOptions {
   int max_iterations_per_eigenvalue = 60;
   /// Apply Parlett–Reinsch balancing before the Hessenberg reduction.
   bool balance = true;
+  /// Fan the Hessenberg reduction's reflector updates (columns for the
+  /// left application, rows for the right one) and the shift-invert
+  /// pencil solves out over threads. Per-column/row arithmetic order is
+  /// unchanged, so results are bitwise identical to serial. The QR
+  /// iteration itself is inherently sequential and stays serial.
+  parallel::ExecutionPolicy exec;
 };
 
 /// Eigenvalues of a general complex square matrix (unordered).

@@ -4,10 +4,14 @@
 #include <cmath>
 #include <limits>
 
+#include "parallel/parallel_for.hpp"
+
 namespace mfti::la {
 
 template <typename T>
-LuDecomposition<T>::LuDecomposition(Matrix<T> a) : lu_(std::move(a)) {
+LuDecomposition<T>::LuDecomposition(Matrix<T> a,
+                                    const parallel::ExecutionPolicy& exec)
+    : lu_(std::move(a)), exec_(exec) {
   if (!lu_.is_square()) {
     throw std::invalid_argument("LuDecomposition: matrix must be square");
   }
@@ -36,12 +40,21 @@ LuDecomposition<T>::LuDecomposition(Matrix<T> a) : lu_(std::move(a)) {
       singular_ = true;
       continue;  // leave the zero column; solve() will refuse later
     }
-    for (std::size_t i = k + 1; i < n; ++i) {
-      const T m = lu_(i, k) / pivot;
-      lu_(i, k) = m;
-      if (m == T{}) continue;
-      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
-    }
+    // Trailing-submatrix update: each row i reads only the (frozen) pivot
+    // row k and writes row i, so rows fan out over the pool with per-row
+    // arithmetic identical to the serial sweep (bitwise equal results).
+    const std::size_t trailing = n - k - 1;
+    const auto pol = parallel::grained(exec_, trailing * trailing);
+    parallel::parallel_for_chunks(
+        trailing, pol, [&](std::size_t r0, std::size_t r1) {
+          for (std::size_t i = k + 1 + r0; i < k + 1 + r1; ++i) {
+            const T m = lu_(i, k) / pivot;
+            lu_(i, k) = m;
+            if (m == T{}) continue;
+            for (std::size_t j = k + 1; j < n; ++j)
+              lu_(i, j) -= m * lu_(k, j);
+          }
+        });
   }
 }
 
@@ -73,24 +86,31 @@ Matrix<T> LuDecomposition<T>::solve(const Matrix<T>& b) const {
   Matrix<T> x(n, nrhs);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < nrhs; ++j) x(i, j) = b(perm_[i], j);
-  // Forward substitution with unit-lower L.
-  for (std::size_t k = 0; k < n; ++k) {
-    for (std::size_t i = k + 1; i < n; ++i) {
-      const T m = lu_(i, k);
-      if (m == T{}) continue;
-      for (std::size_t j = 0; j < nrhs; ++j) x(i, j) -= m * x(k, j);
-    }
-  }
-  // Back substitution with U.
-  for (std::size_t k = n; k-- > 0;) {
-    const T pivot = lu_(k, k);
-    for (std::size_t j = 0; j < nrhs; ++j) x(k, j) /= pivot;
-    for (std::size_t i = 0; i < k; ++i) {
-      const T m = lu_(i, k);
-      if (m == T{}) continue;
-      for (std::size_t j = 0; j < nrhs; ++j) x(i, j) -= m * x(k, j);
-    }
-  }
+  // Columns are independent through both substitutions, so a multi-column
+  // solve fans out over column chunks; each column runs the exact serial
+  // recurrence (bitwise equal results).
+  const auto pol = parallel::grained(exec_, n * n * nrhs);
+  parallel::parallel_for_chunks(
+      nrhs, pol, [&](std::size_t j0, std::size_t j1) {
+        // Forward substitution with unit-lower L.
+        for (std::size_t k = 0; k < n; ++k) {
+          for (std::size_t i = k + 1; i < n; ++i) {
+            const T m = lu_(i, k);
+            if (m == T{}) continue;
+            for (std::size_t j = j0; j < j1; ++j) x(i, j) -= m * x(k, j);
+          }
+        }
+        // Back substitution with U.
+        for (std::size_t k = n; k-- > 0;) {
+          const T pivot = lu_(k, k);
+          for (std::size_t j = j0; j < j1; ++j) x(k, j) /= pivot;
+          for (std::size_t i = 0; i < k; ++i) {
+            const T m = lu_(i, k);
+            if (m == T{}) continue;
+            for (std::size_t j = j0; j < j1; ++j) x(i, j) -= m * x(k, j);
+          }
+        }
+      });
   return x;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "parallel/execution.hpp"
 
 namespace mfti::la {
 
@@ -20,11 +21,20 @@ namespace mfti::la {
 /// input; `solve`/`inverse` throw SingularMatrixError when a pivot is
 /// exactly zero, and `is_singular`/`rcond_estimate` let callers decide
 /// earlier.
+///
+/// With a parallel `exec` the trailing-submatrix update of each
+/// elimination step fans its rows out over the thread pool, and `solve`
+/// fans out over right-hand-side columns; per-row/per-column arithmetic
+/// order is unchanged, so parallel results are bitwise identical to
+/// serial ones. Pivot search and the substitution recurrences stay
+/// serial (they are inherently sequential and O(n^2)).
 template <typename T>
 class LuDecomposition {
  public:
   /// Factorise `a` (must be square; 0x0 is allowed and behaves as regular).
-  explicit LuDecomposition(Matrix<T> a);
+  /// `exec` governs the trailing updates here and the solves later.
+  explicit LuDecomposition(Matrix<T> a,
+                           const parallel::ExecutionPolicy& exec = {});
 
   std::size_t order() const { return lu_.rows(); }
 
@@ -49,21 +59,24 @@ class LuDecomposition {
 
  private:
   Matrix<T> lu_;                   // L (unit diagonal, below) and U (on/above)
-  std::vector<std::size_t> perm_;  // row permutation: row i of PA is row perm_[i] of A
+  std::vector<std::size_t> perm_;  // row i of PA is row perm_[i] of A
+  parallel::ExecutionPolicy exec_;  // governs trailing updates and solves
   int sign_ = 1;                   // permutation parity
   bool singular_ = false;
 };
 
 /// One-shot solve of `A X = B`. \throws SingularMatrixError on singular `A`.
 template <typename T>
-Matrix<T> solve(const Matrix<T>& a, const Matrix<T>& b) {
-  return LuDecomposition<T>(a).solve(b);
+Matrix<T> solve(const Matrix<T>& a, const Matrix<T>& b,
+                const parallel::ExecutionPolicy& exec = {}) {
+  return LuDecomposition<T>(a, exec).solve(b);
 }
 
 /// One-shot inverse. \throws SingularMatrixError on singular input.
 template <typename T>
-Matrix<T> inverse(const Matrix<T>& a) {
-  return LuDecomposition<T>(a).inverse();
+Matrix<T> inverse(const Matrix<T>& a,
+                  const parallel::ExecutionPolicy& exec = {}) {
+  return LuDecomposition<T>(a, exec).inverse();
 }
 
 /// One-shot determinant.

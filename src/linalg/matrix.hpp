@@ -51,10 +51,32 @@ inline Complex conj_if_complex(const Complex& x) { return std::conj(x); }
 inline Real abs_value(Real x) { return std::abs(x); }
 inline Real abs_value(const Complex& x) { return std::abs(x); }
 
-// The one i-k-j product kernel: accumulate rows [begin, end) of `a * b`
-// into the zero-initialised `c`. Shared by `operator*` (whole range) and
-// the row-parallel `multiply` (one chunk per thread), which is what keeps
-// the parallel product bitwise identical to the serial one.
+// Cache-blocking parameters of the GEMM kernel. A KC x NC panel of `b`
+// (256 KiB for double, 512 KiB for complex<double>) stays L2-resident
+// while every row of the current row range streams through it, and the
+// micro-kernel advances kGemmUnrollM rows of `a` together so each loaded
+// `b` row is reused that many times from registers. Exposed (rather than
+// buried in the kernel) so the tests can probe tile-boundary straddling
+// shapes explicitly.
+inline constexpr std::size_t kGemmBlockK = 128;
+inline constexpr std::size_t kGemmBlockN = 256;
+inline constexpr std::size_t kGemmUnrollM = 4;
+// Products whose whole `b` footprint is at most this many bytes stay on
+// the straight axpy sweep: `b` is already cache-resident there, so the
+// panel bookkeeping would only add overhead. The choice depends on shape
+// only — never on threading — so serial and parallel runs always take the
+// same path.
+inline constexpr std::size_t kGemmBlockedMinBytes = 512 * 1024;
+
+// The product kernel: accumulate rows [begin, end) of `a * b` into the
+// zero-initialised `c`. Large products run cache-blocked over KC x NC
+// panels of `b` with a kGemmUnrollM-row micro-kernel; small ones take a
+// plain row-axpy sweep. Shared by `operator*` (whole range) and the
+// row-parallel `multiply` (one chunk per thread). Every element c(i, j)
+// accumulates its k-terms in the same fixed order (KC blocks ascending, k
+// ascending within a block) regardless of how rows are chunked or grouped
+// by the unroll, which is what keeps the parallel product bitwise
+// identical to the serial one.
 template <typename T>
 void multiply_rows(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
                    std::size_t begin, std::size_t end);
@@ -285,7 +307,9 @@ class Matrix {
     return m;
   }
 
-  /// Matrix product (i-k-j loop order for cache friendliness).
+  /// Matrix product (cache-blocked GEMM kernel; see detail::multiply_rows).
+  /// For an execution-policy-aware parallel product use `la::multiply`
+  /// (linalg/multiply.hpp), which is bitwise identical to this operator.
   friend Matrix operator*(const Matrix& a, const Matrix& b) {
     if (a.cols_ != b.rows_) {
       throw std::invalid_argument(
@@ -335,18 +359,72 @@ using CMat = Matrix<Complex>;
 
 namespace detail {
 
+// Micro-kernel: kGemmUnrollM rows of `c` advance together through one
+// KC x NC panel of `b`, so each `b` row loaded in the j-sweep feeds four
+// multiply-adds. Accumulation goes straight into the `c` rows (which stay
+// L1-resident across the KC-deep k loop).
+template <typename T>
+void gemm_micro(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
+                std::size_t i0, std::size_t jj, std::size_t jend,
+                std::size_t kk, std::size_t kend) {
+  T* crow[kGemmUnrollM];
+  for (std::size_t r = 0; r < kGemmUnrollM; ++r) crow[r] = &c(i0 + r, 0);
+  for (std::size_t k = kk; k < kend; ++k) {
+    const T* brow = &b(k, 0);
+    T aik[kGemmUnrollM];
+    for (std::size_t r = 0; r < kGemmUnrollM; ++r) aik[r] = a(i0 + r, k);
+    for (std::size_t j = jj; j < jend; ++j) {
+      const T bkj = brow[j];
+      for (std::size_t r = 0; r < kGemmUnrollM; ++r)
+        crow[r][j] += aik[r] * bkj;
+    }
+  }
+}
+
+// Single-row sweep over a block of `b`: the remainder path of the blocked
+// kernel. Mirrors the micro-kernel's per-element accumulation order
+// exactly (k ascending within the block, no zero-skip), so whether a row
+// falls in an unrolled group or the remainder never changes its result —
+// the property the chunked parallel product relies on.
+template <typename T>
+void gemm_row(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
+              std::size_t i, std::size_t jj, std::size_t jend,
+              std::size_t kk, std::size_t kend) {
+  T* crow = &c(i, 0);
+  for (std::size_t k = kk; k < kend; ++k) {
+    const T aik = a(i, k);
+    const T* brow = &b(k, 0);
+    for (std::size_t j = jj; j < jend; ++j) crow[j] += aik * brow[j];
+  }
+}
+
 template <typename T>
 void multiply_rows(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
                    std::size_t begin, std::size_t end) {
   const std::size_t nc = b.cols();
-  if (nc == 0 || a.cols() == 0) return;  // degenerate: nothing to accumulate
-  for (std::size_t i = begin; i < end; ++i) {
-    T* crow = &c(i, 0);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const T aik = a(i, k);
-      if (aik == T{}) continue;
-      const T* brow = &b(k, 0);
-      for (std::size_t j = 0; j < nc; ++j) crow[j] += aik * brow[j];
+  const std::size_t nk = a.cols();
+  if (nc == 0 || nk == 0) return;  // degenerate: nothing to accumulate
+  if (nk * nc * sizeof(T) <= kGemmBlockedMinBytes) {
+    // Small product: `b` is cache-resident, plain axpy sweep wins.
+    for (std::size_t i = begin; i < end; ++i) {
+      T* crow = &c(i, 0);
+      for (std::size_t k = 0; k < nk; ++k) {
+        const T aik = a(i, k);
+        if (aik == T{}) continue;
+        const T* brow = &b(k, 0);
+        for (std::size_t j = 0; j < nc; ++j) crow[j] += aik * brow[j];
+      }
+    }
+    return;
+  }
+  for (std::size_t jj = 0; jj < nc; jj += kGemmBlockN) {
+    const std::size_t jend = std::min(jj + kGemmBlockN, nc);
+    for (std::size_t kk = 0; kk < nk; kk += kGemmBlockK) {
+      const std::size_t kend = std::min(kk + kGemmBlockK, nk);
+      std::size_t i = begin;
+      for (; i + kGemmUnrollM <= end; i += kGemmUnrollM)
+        gemm_micro(a, b, c, i, jj, jend, kk, kend);
+      for (; i < end; ++i) gemm_row(a, b, c, i, jj, jend, kk, kend);
     }
   }
 }

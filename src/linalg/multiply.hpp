@@ -14,9 +14,11 @@
 namespace mfti::la {
 
 /// `a * b` with the output rows fanned out under `exec`. Each chunk runs
-/// the same `detail::multiply_rows` kernel as `operator*` on its row range,
-/// so the result is bitwise identical to the serial product; serial
-/// policies and small products take `operator*` directly.
+/// the same cache-blocked `detail::multiply_rows` GEMM kernel as
+/// `operator*` on its row range — per-element accumulation order does not
+/// depend on the chunking — so the result is bitwise identical to the
+/// serial product; serial policies and small products take `operator*`
+/// directly.
 template <typename T>
 Matrix<T> multiply(const Matrix<T>& a, const Matrix<T>& b,
                    const parallel::ExecutionPolicy& exec) {

@@ -67,6 +67,13 @@ bool rotate_pair(Matrix<T>& g, Matrix<T>& v, std::size_t p, std::size_t q,
   return true;
 }
 
+// One sweep visits every column pair exactly once via the round-robin
+// (circle) tournament: position 0 is fixed, the other n_pad - 1 positions
+// rotate one step between rounds, and round r pairs position t with
+// position n_pad - 1 - t. All pairs within a round are disjoint, so they
+// can rotate concurrently; the serial path visits the same rounds in the
+// same pair order, which keeps parallel sweeps bitwise identical to
+// serial ones.
 template <typename T>
 Svd<T> svd_jacobi_tall(const Matrix<T>& a, const SvdOptions& opts) {
   const std::size_t m = a.rows();
@@ -74,13 +81,42 @@ Svd<T> svd_jacobi_tall(const Matrix<T>& a, const SvdOptions& opts) {
   Matrix<T> g = a;
   Matrix<T> v = Matrix<T>::identity(n);
 
+  // Ring of column indices for the tournament schedule; odd n gets one
+  // dummy slot whose pairings are byes.
+  const std::size_t n_pad = n + (n % 2);
+  std::vector<std::size_t> ring(n_pad);
+  std::iota(ring.begin(), ring.end(), 0);
+  std::vector<std::size_t> pair_p, pair_q;
+  std::vector<char> rotated(n_pad / 2);
+
   bool converged = (n <= 1);
   for (int sweep = 0; sweep < opts.max_sweeps && !converged; ++sweep) {
     bool any = false;
-    for (std::size_t p = 0; p + 1 < n; ++p) {
-      for (std::size_t q = p + 1; q < n; ++q) {
-        any = rotate_pair(g, v, p, q, opts.tol) || any;
+    std::iota(ring.begin(), ring.end(), 0);
+    for (std::size_t round = 0; round + 1 < n_pad; ++round) {
+      pair_p.clear();
+      pair_q.clear();
+      for (std::size_t t = 0; t < n_pad / 2; ++t) {
+        std::size_t p = ring[t];
+        std::size_t q = ring[n_pad - 1 - t];
+        if (p >= n || q >= n) continue;  // bye against the dummy slot
+        if (p > q) std::swap(p, q);
+        pair_p.push_back(p);
+        pair_q.push_back(q);
       }
+      // Disjoint column pairs: each task reads and writes only its own
+      // two columns of g and v.
+      const auto pol = grained(opts.exec, pair_p.size() * 6 * m);
+      rotated.assign(pair_p.size(), 0);
+      parallel::parallel_for(pair_p.size(), pol, [&](std::size_t t) {
+        rotated[t] =
+            rotate_pair(g, v, pair_p[t], pair_q[t], opts.tol) ? 1 : 0;
+      });
+      for (std::size_t t = 0; t < pair_p.size(); ++t) {
+        any = any || rotated[t] != 0;
+      }
+      // Advance the schedule: rotate positions 1..n_pad-1 by one step.
+      std::rotate(ring.begin() + 1, ring.end() - 1, ring.end());
     }
     converged = !any;
   }

@@ -7,7 +7,9 @@
 /// down to a minimal realization. One-sided Jacobi is chosen because it is
 /// simple, unconditionally convergent in practice, and computes small
 /// singular values to high relative accuracy — exactly what the
-/// "sharp drop" detection of Fig. 1 needs.
+/// "sharp drop" detection of Fig. 1 needs. Jacobi sweeps follow a
+/// round-robin tournament over column pairs, so the disjoint pairs of
+/// each round can rotate in parallel without changing the result.
 
 #pragma once
 
@@ -57,9 +59,10 @@ struct SvdOptions {
   /// `|g_i^* g_j| <= tol * ||g_i|| * ||g_j||`.
   Real tol = 1e-14;
   /// Golub–Kahan: fan the Householder panel updates and the U/V
-  /// accumulation out over threads. Per-column arithmetic order is
-  /// unchanged, so the decomposition is bitwise identical to serial.
-  /// (The Jacobi path and the bidiagonal QR iteration stay serial.)
+  /// accumulation out over threads. Jacobi: execute the disjoint column
+  /// pairs of each round-robin round concurrently. Per-column arithmetic
+  /// order is unchanged in both paths, so the decomposition is bitwise
+  /// identical to serial. (The bidiagonal QR iteration stays serial.)
   parallel::ExecutionPolicy exec;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/multiply.hpp"
 #include "linalg/svd.hpp"
 
 namespace mfti::loewner {
@@ -73,8 +74,13 @@ Realization realize(const TangentialData& d, const CMat& loewner,
   const Mat x = col_svd.v.block(0, 0, d.right_width(), r);
   const Mat yt = y.transpose();
 
+  // Project the pencil down to order r; the O(n^3) products fan out row-wise
+  // under opts.exec (bitwise identical to the serial products).
+  const auto& exec = opts.exec;
   ss::DescriptorSystem model{
-      -(yt * rp.loewner * x), -(yt * rp.shifted * x), yt * rp.v, rp.w * x,
+      -la::multiply(la::multiply(yt, rp.loewner, exec), x, exec),
+      -la::multiply(la::multiply(yt, rp.shifted, exec), x, exec),
+      la::multiply(yt, rp.v, exec), la::multiply(rp.w, x, exec),
       Mat(d.num_outputs(), d.num_inputs())};
   model.validate();
   return {std::move(model), row_svd.s, r};
@@ -127,8 +133,11 @@ ComplexRealization realize_complex(const TangentialData& d,
   }
 
   const CMat ya = y.adjoint();
+  const auto& exec = opts.exec;
   ss::ComplexDescriptorSystem model{
-      -(ya * ll * x), -(ya * sll * x), ya * d.v, d.w * x,
+      -la::multiply(la::multiply(ya, ll, exec), x, exec),
+      -la::multiply(la::multiply(ya, sll, exec), x, exec),
+      la::multiply(ya, d.v, exec), la::multiply(d.w, x, exec),
       CMat(d.num_outputs(), d.num_inputs())};
   model.validate();
   const std::size_t r = model.order();
