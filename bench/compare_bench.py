@@ -66,9 +66,20 @@ def index_baseline(baseline):
     return table
 
 
+def gflops(metric):
+    """GFLOP/s for metrics that carry a `flops` field (the GEMM/LU rows of
+    bench_linalg_kernels); None otherwise."""
+    flops = metric.get("flops")
+    seconds = metric.get("seconds")
+    if not flops or not seconds:
+        return None
+    return flops / seconds / 1e9
+
+
 def print_comparison(merged, baseline):
     table = index_baseline(baseline) if baseline else {}
-    header = f"{'bench/metric':<52} {'baseline':>12} {'current':>12} {'ratio':>8}"
+    header = (f"{'bench/metric':<52} {'baseline':>12} {'current':>12} "
+              f"{'ratio':>8} {'GFLOP/s':>9}")
     print(header)
     print("-" * len(header))
     for bench in merged["benches"]:
@@ -78,13 +89,16 @@ def print_comparison(merged, baseline):
                 continue
             label = f"{bench.get('bench')}: {metric_key(metric)}"
             base = table.get((bench.get("bench"), metric_key(metric)))
+            rate = gflops(metric)
+            rate_col = f"{rate:>9.2f}" if rate is not None else f"{'-':>9}"
             if base and base.get("seconds"):
                 ratio = seconds / base["seconds"]
                 flag = "" if ratio < 1.25 else "  <-- slower"
                 print(f"{label:<52} {base['seconds']:>12.4f} {seconds:>12.4f} "
-                      f"{ratio:>7.2f}x{flag}")
+                      f"{ratio:>7.2f}x {rate_col}{flag}")
             else:
-                print(f"{label:<52} {'-':>12} {seconds:>12.4f} {'new':>8}")
+                print(f"{label:<52} {'-':>12} {seconds:>12.4f} {'new':>8} "
+                      f"{rate_col}")
     print()
 
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "parallel/parallel_for.hpp"
+
 namespace mfti::core {
 
 namespace {
@@ -59,6 +61,32 @@ void IncrementalLoewner::add_unit(std::size_t u) {
   units_.push_back(u);
 }
 
+void IncrementalLoewner::add_units(const std::vector<std::size_t>& us,
+                                   const parallel::ExecutionPolicy& exec) {
+  // Validate the whole batch first so a bad unit leaves the object
+  // untouched (strong guarantee, matching add_unit).
+  std::vector<bool> in_batch = used_;
+  for (std::size_t u : us) {
+    if (u >= num_units()) {
+      throw std::invalid_argument("IncrementalLoewner: unit out of range");
+    }
+    if (in_batch[u]) {
+      throw std::invalid_argument("IncrementalLoewner: unit already added");
+    }
+    in_batch[u] = true;
+  }
+  if (us.empty()) return;
+  const std::size_t old_kl = cur_.left_height();
+  const std::size_t old_kr = cur_.right_width();
+  for (std::size_t u : us) {
+    append_right_pair(u);
+    append_left_pair(u);
+    used_[u] = true;
+    units_.push_back(u);
+  }
+  extend_pencil(old_kl, old_kr, exec);
+}
+
 void IncrementalLoewner::append_right_pair(std::size_t pair) {
   const auto [first, last] = full_->right_pair_cols(pair);
   cur_.r = append_cols(cur_.r, full_->r, first, last);
@@ -79,7 +107,8 @@ void IncrementalLoewner::append_left_pair(std::size_t pair) {
 }
 
 void IncrementalLoewner::extend_pencil(std::size_t old_kl,
-                                       std::size_t old_kr) {
+                                       std::size_t old_kr,
+                                       const parallel::ExecutionPolicy& exec) {
   const std::size_t kl = cur_.left_height();
   const std::size_t kr = cur_.right_width();
   const std::size_t m = cur_.num_inputs();
@@ -90,7 +119,10 @@ void IncrementalLoewner::extend_pencil(std::size_t old_kl,
   ll.set_block(0, 0, ll_);
   sll.set_block(0, 0, sll_);
 
-  // Only entries in the new row band or new column band are computed.
+  // Only entries in the new row band or new column band are computed. Each
+  // entry depends on nothing but its own row/column data, so the bands fan
+  // their rows out over the pool with per-entry arithmetic identical to
+  // the serial sweep (bitwise equal results).
   auto compute_entry = [&](std::size_t i, std::size_t j) {
     Complex vr{};
     for (std::size_t q = 0; q < m; ++q) vr += cur_.v(i, q) * cur_.r(q, j);
@@ -103,13 +135,24 @@ void IncrementalLoewner::extend_pencil(std::size_t old_kl,
     }
     ll(i, j) = (vr - lw) / denom;
     sll(i, j) = (cur_.mu[i] * vr - cur_.lambda[j] * lw) / denom;
-    ++entries_computed_;
   };
 
-  for (std::size_t i = 0; i < old_kl; ++i)
-    for (std::size_t j = old_kr; j < kr; ++j) compute_entry(i, j);
-  for (std::size_t i = old_kl; i < kl; ++i)
-    for (std::size_t j = 0; j < kr; ++j) compute_entry(i, j);
+  const std::size_t band_cols = kr - old_kr;
+  const auto top_pol =
+      parallel::grained(exec, old_kl * band_cols * (m + p));
+  parallel::parallel_for_chunks(
+      old_kl, top_pol, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i)
+          for (std::size_t j = old_kr; j < kr; ++j) compute_entry(i, j);
+      });
+  const auto bottom_pol =
+      parallel::grained(exec, (kl - old_kl) * kr * (m + p));
+  parallel::parallel_for_chunks(
+      kl - old_kl, bottom_pol, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = old_kl + r0; i < old_kl + r1; ++i)
+          for (std::size_t j = 0; j < kr; ++j) compute_entry(i, j);
+      });
+  entries_computed_ += old_kl * band_cols + (kl - old_kl) * kr;
 
   ll_ = std::move(ll);
   sll_ = std::move(sll);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "loewner/tangential.hpp"
+#include "parallel/execution.hpp"
 
 namespace mfti::core {
 
@@ -35,6 +36,17 @@ class IncrementalLoewner {
   /// \throws std::invalid_argument if out of range or already added.
   void add_unit(std::size_t u);
 
+  /// Batch append: add every unit of `us` (in order) and compute all new
+  /// pencil entries in a single extension whose rows fan out over `exec`'s
+  /// pool. Per-entry arithmetic is independent of batching and chunking,
+  /// so the result is bitwise identical to the corresponding sequence of
+  /// `add_unit` calls (and `entries_computed()` advances by the same
+  /// amount — each entry is still computed exactly once).
+  /// \throws std::invalid_argument on any out-of-range, already-added or
+  /// in-batch duplicate unit, in which case no unit is added at all.
+  void add_units(const std::vector<std::size_t>& us,
+                 const parallel::ExecutionPolicy& exec = {});
+
   /// The currently selected subset, in insertion order.
   const std::vector<std::size_t>& units() const { return units_; }
 
@@ -52,7 +64,8 @@ class IncrementalLoewner {
  private:
   void append_right_pair(std::size_t pair);
   void append_left_pair(std::size_t pair);
-  void extend_pencil(std::size_t old_kl, std::size_t old_kr);
+  void extend_pencil(std::size_t old_kl, std::size_t old_kr,
+                     const parallel::ExecutionPolicy& exec = {});
 
   const loewner::TangentialData* full_;
   loewner::TangentialData cur_;

@@ -21,14 +21,22 @@ namespace mfti::la::detail {
 
 /// Apply the reflector in column `k` of `pack` to the column panel
 /// `[j0, j1)` of `b`, touching rows k..m-1. Row-major friendly: one forward
-/// sweep accumulates `w = v^* B`, one forward sweep applies `B -= v w`.
-/// `w` is caller-provided scratch (reused across reflectors).
+/// sweep accumulates `w = v^* B`, one forward sweep applies `B -= v w`,
+/// both routed through the dispatched axpy/scale kernels
+/// (simd::kernels<T>()) row by row. `w` is caller-provided scratch (reused
+/// across reflectors).
 template <typename T>
 void apply_reflector_panel(const Matrix<T>& pack, std::size_t k, Real beta,
                            Matrix<T>& b, std::size_t j0, std::size_t j1,
                            std::vector<T>& w) {
+  static_assert(kHasSimdKernels<T>,
+                "apply_reflector_panel routes through the dispatched "
+                "kernel tables, which exist for double and "
+                "std::complex<double> only");
+  const auto& kt = simd::kernels<T>();
   const std::size_t m = b.rows();
-  w.assign(j1 - j0, T{});
+  const std::size_t jn = j1 - j0;
+  w.assign(jn, T{});
   {
     const T* brow = &b(k, 0);
     for (std::size_t j = j0; j < j1; ++j) w[j - j0] = brow[j];
@@ -36,11 +44,9 @@ void apply_reflector_panel(const Matrix<T>& pack, std::size_t k, Real beta,
   for (std::size_t i = k + 1; i < m; ++i) {
     const T vi = detail::conj_if_complex(pack(i, k));
     if (vi == T{}) continue;
-    const T* brow = &b(i, 0);
-    for (std::size_t j = j0; j < j1; ++j) w[j - j0] += vi * brow[j];
+    kt.axpy(jn, vi, &b(i, j0), w.data());
   }
-  const T scale = static_cast<T>(beta);
-  for (auto& x : w) x *= scale;
+  kt.scale(jn, static_cast<T>(beta), w.data());
   {
     T* brow = &b(k, 0);
     for (std::size_t j = j0; j < j1; ++j) brow[j] -= w[j - j0];
@@ -48,8 +54,7 @@ void apply_reflector_panel(const Matrix<T>& pack, std::size_t k, Real beta,
   for (std::size_t i = k + 1; i < m; ++i) {
     const T vi = pack(i, k);
     if (vi == T{}) continue;
-    T* brow = &b(i, 0);
-    for (std::size_t j = j0; j < j1; ++j) brow[j] -= vi * w[j - j0];
+    kt.axpy(jn, -vi, w.data(), &b(i, j0));
   }
 }
 

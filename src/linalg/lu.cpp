@@ -3,10 +3,48 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "parallel/parallel_for.hpp"
 
 namespace mfti::la {
+
+namespace {
+
+// Trailing-submatrix update rows [r0, r1) (relative to the first trailing
+// row `kend`): A22 -= L21 * U12, routed through the dispatched GEMM
+// micro-kernel on a packed, negated copy of L21 (row-major, lda = nb).
+// Accumulating `+= (-l) * u` with k ascending performs, per element,
+// exactly the subtractions of the classic rank-1 elimination steps, in the
+// same order. Column blocks and row grouping never change an element's
+// arithmetic, so any row chunking is bitwise equal to the serial sweep.
+template <typename T>
+void lu_trailing_rows(Matrix<T>& lu, const std::vector<T>& neg_l21,
+                      std::size_t kb, std::size_t kend, std::size_t n,
+                      std::size_t r0, std::size_t r1,
+                      const simd::KernelTable<T>& kt) {
+  const std::size_t nb = kend - kb;
+  for (std::size_t jj = kend; jj < n; jj += detail::kGemmBlockN) {
+    const std::size_t jend = std::min(jj + detail::kGemmBlockN, n);
+    const std::size_t jn = jend - jj;
+    std::size_t i = r0;
+    for (; i + detail::kGemmUnrollM <= r1; i += detail::kGemmUnrollM) {
+      const T* ap[detail::kGemmUnrollM];
+      T* cp[detail::kGemmUnrollM];
+      for (std::size_t r = 0; r < detail::kGemmUnrollM; ++r) {
+        ap[r] = neg_l21.data() + (i + r) * nb;
+        cp[r] = &lu(kend + i + r, jj);
+      }
+      kt.gemm_micro4(ap, &lu(kb, jj), n, cp, jn, nb);
+    }
+    for (; i < r1; ++i) {
+      kt.gemm_row1(neg_l21.data() + i * nb, &lu(kb, jj), n,
+                   &lu(kend + i, jj), jn, nb);
+    }
+  }
+}
+
+}  // namespace
 
 template <typename T>
 LuDecomposition<T>::LuDecomposition(Matrix<T> a,
@@ -19,41 +57,87 @@ LuDecomposition<T>::LuDecomposition(Matrix<T> a,
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
-  for (std::size_t k = 0; k < n; ++k) {
-    // Partial pivoting: bring the largest |entry| of column k to the top.
-    std::size_t piv = k;
-    Real best = detail::abs_value(lu_(k, k));
-    for (std::size_t i = k + 1; i < n; ++i) {
-      const Real cand = detail::abs_value(lu_(i, k));
-      if (cand > best) {
-        best = cand;
-        piv = i;
+  const auto& kt = simd::kernels<T>();
+  std::vector<T> neg_l21;  // packed -L21 of the current block (lda = nb)
+
+  for (std::size_t kb = 0; kb < n; kb += kLuPanel) {
+    const std::size_t kend = std::min(kb + kLuPanel, n);
+    const std::size_t nb = kend - kb;
+
+    // --- panel factorisation (columns [kb, kend), full row swaps) ---------
+    for (std::size_t k = kb; k < kend; ++k) {
+      // Partial pivoting: bring the largest |entry| of column k to the top.
+      std::size_t piv = k;
+      Real best = detail::abs_value(lu_(k, k));
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const Real cand = detail::abs_value(lu_(i, k));
+        if (cand > best) {
+          best = cand;
+          piv = i;
+        }
       }
+      if (piv != k) {
+        for (std::size_t j = 0; j < n; ++j)
+          std::swap(lu_(k, j), lu_(piv, j));
+        std::swap(perm_[k], perm_[piv]);
+        sign_ = -sign_;
+      }
+      const T pivot = lu_(k, k);
+      if (pivot == T{}) {
+        singular_ = true;
+        continue;  // leave the zero column; solve() will refuse later
+      }
+      // Multipliers plus the rank-1 update *restricted to the panel*; the
+      // deferred columns get their update from the block-row solve and the
+      // trailing GEMM below, in the same k-ascending per-element order.
+      // Each row only reads the frozen pivot row, so rows fan out over the
+      // pool bitwise identically to the serial sweep.
+      const std::size_t trailing = n - k - 1;
+      const auto pol = parallel::grained(exec_, trailing * (kend - k));
+      parallel::parallel_for_chunks(
+          trailing, pol, [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t i = k + 1 + r0; i < k + 1 + r1; ++i) {
+              const T m = lu_(i, k) / pivot;
+              lu_(i, k) = m;
+              if (m == T{}) continue;
+              for (std::size_t j = k + 1; j < kend; ++j)
+                lu_(i, j) -= m * lu_(k, j);
+            }
+          });
     }
-    if (piv != k) {
-      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
-      std::swap(perm_[k], perm_[piv]);
-      sign_ = -sign_;
-    }
-    const T pivot = lu_(k, k);
-    if (pivot == T{}) {
-      singular_ = true;
-      continue;  // leave the zero column; solve() will refuse later
-    }
-    // Trailing-submatrix update: each row i reads only the (frozen) pivot
-    // row k and writes row i, so rows fan out over the pool with per-row
-    // arithmetic identical to the serial sweep (bitwise equal results).
-    const std::size_t trailing = n - k - 1;
-    const auto pol = parallel::grained(exec_, trailing * trailing);
-    parallel::parallel_for_chunks(
-        trailing, pol, [&](std::size_t r0, std::size_t r1) {
-          for (std::size_t i = k + 1 + r0; i < k + 1 + r1; ++i) {
-            const T m = lu_(i, k) / pivot;
-            lu_(i, k) = m;
-            if (m == T{}) continue;
-            for (std::size_t j = k + 1; j < n; ++j)
-              lu_(i, j) -= m * lu_(k, j);
+    if (kend == n) break;
+
+    // --- block-row update: U12 = L11^{-1} A12 (unit-lower solve) ----------
+    // Forward substitution in row-sweep form: per element the updates
+    // apply in ascending step order, exactly as the unblocked elimination
+    // would. Columns are independent and are the contiguous inner-loop
+    // dimension, so they fan out in fixed-width tiles (boundaries never
+    // depend on the thread count — see parallel_for_tiles).
+    const std::size_t rcols = n - kend;
+    const auto row_pol =
+        parallel::grained(exec_, nb * nb * rcols / 2);
+    parallel::parallel_for_tiles(
+        rcols, kLuPanel, row_pol, [&](std::size_t c0, std::size_t c1) {
+          for (std::size_t t = kb; t < kend; ++t) {
+            for (std::size_t i = t + 1; i < kend; ++i) {
+              const T m = lu_(i, t);
+              if (m == T{}) continue;
+              for (std::size_t j = kend + c0; j < kend + c1; ++j)
+                lu_(i, j) -= m * lu_(t, j);
+            }
           }
+        });
+
+    // --- trailing update: A22 -= L21 * U12 (one GEMM per block) -----------
+    const std::size_t m22 = n - kend;
+    neg_l21.assign(m22 * nb, T{});
+    for (std::size_t i = 0; i < m22; ++i)
+      for (std::size_t t = 0; t < nb; ++t)
+        neg_l21[i * nb + t] = -lu_(kend + i, kb + t);
+    const auto gemm_pol = parallel::grained(exec_, m22 * m22 * nb);
+    parallel::parallel_for_chunks(
+        m22, gemm_pol, [&](std::size_t r0, std::size_t r1) {
+          lu_trailing_rows(lu_, neg_l21, kb, kend, n, r0, r1, kt);
         });
   }
 }
@@ -87,11 +171,13 @@ Matrix<T> LuDecomposition<T>::solve(const Matrix<T>& b) const {
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < nrhs; ++j) x(i, j) = b(perm_[i], j);
   // Columns are independent through both substitutions, so a multi-column
-  // solve fans out over column chunks; each column runs the exact serial
-  // recurrence (bitwise equal results).
+  // solve fans out over fixed-width column tiles (the contiguous
+  // inner-loop dimension — tile boundaries never depend on the thread
+  // count); each column runs the exact serial recurrence (bitwise equal
+  // results).
   const auto pol = parallel::grained(exec_, n * n * nrhs);
-  parallel::parallel_for_chunks(
-      nrhs, pol, [&](std::size_t j0, std::size_t j1) {
+  parallel::parallel_for_tiles(
+      nrhs, std::size_t{16}, pol, [&](std::size_t j0, std::size_t j1) {
         // Forward substitution with unit-lower L.
         for (std::size_t k = 0; k < n; ++k) {
           for (std::size_t i = k + 1; i < n; ++i) {

@@ -16,16 +16,32 @@
 
 namespace mfti::la {
 
+/// Panel width of the blocked right-looking factorisation. Exposed so the
+/// tests can probe tile-straddling sizes (kLuPanel +- 1, n < kLuPanel)
+/// explicitly.
+inline constexpr std::size_t kLuPanel = 64;
+
 /// LU factorisation `P A = L U` of a square matrix with partial
 /// (row) pivoting. The factorisation itself never throws on singular
 /// input; `solve`/`inverse` throw SingularMatrixError when a pivot is
 /// exactly zero, and `is_singular`/`rcond_estimate` let callers decide
 /// earlier.
 ///
-/// With a parallel `exec` the trailing-submatrix update of each
-/// elimination step fans its rows out over the thread pool, and `solve`
-/// fans out over right-hand-side columns; per-row/per-column arithmetic
-/// order is unchanged, so parallel results are bitwise identical to
+/// The factorisation is *blocked right-looking*: a kLuPanel-wide panel is
+/// factored with partial pivoting (full row swaps), the block row to its
+/// right is updated by a unit-lower triangular solve, and the trailing
+/// submatrix receives one GEMM-shaped update per block, routed through the
+/// dispatched SIMD micro-kernel (simd::kernels<T>()). With the scalar
+/// kernel table the per-element update order is k-ascending, exactly the
+/// order of the classic per-step rank-1 elimination — so the blocked
+/// factorisation reproduces the unblocked one bitwise there; the AVX2
+/// table matches it within a few ulps (FMA).
+///
+/// With a parallel `exec` the panel's rank-1 updates and the trailing
+/// GEMM update fan their rows out over the thread pool and the block-row
+/// triangular solve fans out over columns; `solve` fans out over
+/// right-hand-side columns. Per-row/per-column arithmetic order is
+/// unchanged by chunking, so parallel results are bitwise identical to
 /// serial ones. Pivot search and the substitution recurrences stay
 /// serial (they are inherently sequential and O(n^2)).
 template <typename T>
@@ -56,6 +72,14 @@ class LuDecomposition {
 
   /// Matrix inverse. \throws SingularMatrixError if singular.
   Matrix<T> inverse() const;
+
+  /// The packed factors: unit-lower L strictly below the diagonal, U on
+  /// and above. Row i holds data of row `permutation()[i]` of the input.
+  /// Exposed for the blocked-vs-unblocked parity tests.
+  const Matrix<T>& packed_lu() const { return lu_; }
+
+  /// Row permutation: row i of `P A` is row `permutation()[i]` of `A`.
+  const std::vector<std::size_t>& permutation() const { return perm_; }
 
  private:
   Matrix<T> lu_;                   // L (unit diagonal, below) and U (on/above)

@@ -19,8 +19,11 @@
 #include <initializer_list>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "linalg/simd/dispatch.hpp"
 
 namespace mfti::la {
 
@@ -68,6 +71,14 @@ inline constexpr std::size_t kGemmUnrollM = 4;
 // same path.
 inline constexpr std::size_t kGemmBlockedMinBytes = 512 * 1024;
 
+// True for the scalar types served by the runtime-dispatched SIMD kernel
+// tables (src/linalg/simd) — the only types the product kernels are
+// instantiated with (a static_assert gives any new type a clear
+// diagnostic rather than a linker error).
+template <typename T>
+inline constexpr bool kHasSimdKernels =
+    std::is_same_v<T, Real> || std::is_same_v<T, Complex>;
+
 // The product kernel: accumulate rows [begin, end) of `a * b` into the
 // zero-initialised `c`. Large products run cache-blocked over KC x NC
 // panels of `b` with a kGemmUnrollM-row micro-kernel; small ones take a
@@ -76,10 +87,18 @@ inline constexpr std::size_t kGemmBlockedMinBytes = 512 * 1024;
 // accumulates its k-terms in the same fixed order (KC blocks ascending, k
 // ascending within a block) regardless of how rows are chunked or grouped
 // by the unroll, which is what keeps the parallel product bitwise
-// identical to the serial one.
+// identical to the serial one. For double and Complex the micro-kernels
+// come from the dispatched `simd::kernels<T>()` table.
 template <typename T>
 void multiply_rows(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
                    std::size_t begin, std::size_t end);
+
+// Same as multiply_rows but with an explicit kernel table (benchmarks and
+// the scalar-vs-AVX2 parity tests force a path through this).
+template <typename T>
+void multiply_rows_using(const Matrix<T>& a, const Matrix<T>& b,
+                         Matrix<T>& c, std::size_t begin, std::size_t end,
+                         const simd::KernelTable<T>& kt);
 
 }  // namespace detail
 
@@ -359,48 +378,12 @@ using CMat = Matrix<Complex>;
 
 namespace detail {
 
-// Micro-kernel: kGemmUnrollM rows of `c` advance together through one
-// KC x NC panel of `b`, so each `b` row loaded in the j-sweep feeds four
-// multiply-adds. Accumulation goes straight into the `c` rows (which stay
-// L1-resident across the KC-deep k loop).
 template <typename T>
-void gemm_micro(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
-                std::size_t i0, std::size_t jj, std::size_t jend,
-                std::size_t kk, std::size_t kend) {
-  T* crow[kGemmUnrollM];
-  for (std::size_t r = 0; r < kGemmUnrollM; ++r) crow[r] = &c(i0 + r, 0);
-  for (std::size_t k = kk; k < kend; ++k) {
-    const T* brow = &b(k, 0);
-    T aik[kGemmUnrollM];
-    for (std::size_t r = 0; r < kGemmUnrollM; ++r) aik[r] = a(i0 + r, k);
-    for (std::size_t j = jj; j < jend; ++j) {
-      const T bkj = brow[j];
-      for (std::size_t r = 0; r < kGemmUnrollM; ++r)
-        crow[r][j] += aik[r] * bkj;
-    }
-  }
-}
-
-// Single-row sweep over a block of `b`: the remainder path of the blocked
-// kernel. Mirrors the micro-kernel's per-element accumulation order
-// exactly (k ascending within the block, no zero-skip), so whether a row
-// falls in an unrolled group or the remainder never changes its result —
-// the property the chunked parallel product relies on.
-template <typename T>
-void gemm_row(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
-              std::size_t i, std::size_t jj, std::size_t jend,
-              std::size_t kk, std::size_t kend) {
-  T* crow = &c(i, 0);
-  for (std::size_t k = kk; k < kend; ++k) {
-    const T aik = a(i, k);
-    const T* brow = &b(k, 0);
-    for (std::size_t j = jj; j < jend; ++j) crow[j] += aik * brow[j];
-  }
-}
-
-template <typename T>
-void multiply_rows(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
-                   std::size_t begin, std::size_t end) {
+void multiply_rows_using(const Matrix<T>& a, const Matrix<T>& b,
+                         Matrix<T>& c, std::size_t begin, std::size_t end,
+                         const simd::KernelTable<T>& kt) {
+  static_assert(kHasSimdKernels<T>,
+                "multiply_rows_using needs a dispatched kernel table");
   const std::size_t nc = b.cols();
   const std::size_t nk = a.cols();
   if (nc == 0 || nk == 0) return;  // degenerate: nothing to accumulate
@@ -411,8 +394,7 @@ void multiply_rows(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
       for (std::size_t k = 0; k < nk; ++k) {
         const T aik = a(i, k);
         if (aik == T{}) continue;
-        const T* brow = &b(k, 0);
-        for (std::size_t j = 0; j < nc; ++j) crow[j] += aik * brow[j];
+        kt.axpy(nc, aik, &b(k, 0), crow);
       }
     }
     return;
@@ -421,12 +403,29 @@ void multiply_rows(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
     const std::size_t jend = std::min(jj + kGemmBlockN, nc);
     for (std::size_t kk = 0; kk < nk; kk += kGemmBlockK) {
       const std::size_t kend = std::min(kk + kGemmBlockK, nk);
+      const std::size_t jn = jend - jj;
+      const std::size_t kc = kend - kk;
       std::size_t i = begin;
-      for (; i + kGemmUnrollM <= end; i += kGemmUnrollM)
-        gemm_micro(a, b, c, i, jj, jend, kk, kend);
-      for (; i < end; ++i) gemm_row(a, b, c, i, jj, jend, kk, kend);
+      for (; i + kGemmUnrollM <= end; i += kGemmUnrollM) {
+        const T* ap[kGemmUnrollM];
+        T* cp[kGemmUnrollM];
+        for (std::size_t r = 0; r < kGemmUnrollM; ++r) {
+          ap[r] = &a(i + r, kk);
+          cp[r] = &c(i + r, jj);
+        }
+        kt.gemm_micro4(ap, &b(kk, jj), b.cols(), cp, jn, kc);
+      }
+      for (; i < end; ++i) {
+        kt.gemm_row1(&a(i, kk), &b(kk, jj), b.cols(), &c(i, jj), jn, kc);
+      }
     }
   }
+}
+
+template <typename T>
+void multiply_rows(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
+                   std::size_t begin, std::size_t end) {
+  multiply_rows_using(a, b, c, begin, end, simd::kernels<T>());
 }
 
 }  // namespace detail

@@ -3,21 +3,19 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/simd/dispatch.hpp"
 #include "linalg/svd.hpp"
 
 namespace mfti::la {
 
 namespace {
 
+// Contiguous |.|^2 sums route through the dispatched sumsq kernel (which
+// sums re^2 + im^2 directly — no intermediate sqrt, unlike the seed's
+// abs-then-square).
 template <typename T>
 Real frobenius_impl(const Matrix<T>& a) {
-  Real s = 0.0;
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j) {
-      const Real x = detail::abs_value(a(i, j));
-      s += x * x;
-    }
-  return std::sqrt(s);
+  return std::sqrt(simd::kernels<T>().sumsq(a.size(), a.data()));
 }
 
 template <typename T>
@@ -73,15 +71,11 @@ Real condition_number(const Mat& a) { return cond_impl(a); }
 Real condition_number(const CMat& a) { return cond_impl(a); }
 
 Real vector_norm(const std::vector<Real>& v) {
-  Real s = 0.0;
-  for (Real x : v) s += x * x;
-  return std::sqrt(s);
+  return std::sqrt(simd::kernels<Real>().sumsq(v.size(), v.data()));
 }
 
 Real vector_norm(const std::vector<Complex>& v) {
-  Real s = 0.0;
-  for (const Complex& x : v) s += std::norm(x);
-  return std::sqrt(s);
+  return std::sqrt(simd::kernels<Complex>().sumsq(v.size(), v.data()));
 }
 
 }  // namespace mfti::la

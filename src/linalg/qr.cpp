@@ -1,3 +1,8 @@
+// Householder QR. The O(m n^2) panel updates (detail::apply_reflector)
+// run through the runtime-dispatched axpy/scale kernels of
+// linalg/simd; the per-column norm and the O(n^2) back substitution are
+// strided accesses and stay scalar.
+
 #include "linalg/qr.hpp"
 
 #include <cmath>

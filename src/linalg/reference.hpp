@@ -1,0 +1,59 @@
+/// \file reference.hpp
+/// \brief Frozen reference implementations of the seed algorithms.
+///
+/// These are *certification baselines*, not part of the optimized
+/// surface: the blocked-LU parity tests (tests/test_linalg_lu.cpp) and
+/// the bench acceptance gate (bench/linalg_kernels.cpp) both measure
+/// against the same copy, so the reference cannot silently diverge
+/// between the two. Do not "optimize" these.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mfti::la::reference {
+
+/// The seed's per-step rank-1 LU with partial pivoting, kept verbatim.
+/// `lu` holds unit-lower L strictly below the diagonal and U on/above;
+/// row i of PA is row `perm[i]` of A (same packing as LuDecomposition).
+template <typename T>
+struct RankOneLu {
+  Matrix<T> lu;
+  std::vector<std::size_t> perm;
+
+  explicit RankOneLu(Matrix<T> a) : lu(std::move(a)) {
+    const std::size_t n = lu.rows();
+    perm.resize(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    for (std::size_t k = 0; k < n; ++k) {
+      std::size_t piv = k;
+      Real best = detail::abs_value(lu(k, k));
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const Real cand = detail::abs_value(lu(i, k));
+        if (cand > best) {
+          best = cand;
+          piv = i;
+        }
+      }
+      if (piv != k) {
+        for (std::size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(piv, j));
+        std::swap(perm[k], perm[piv]);
+      }
+      const T pivot = lu(k, k);
+      if (pivot == T{}) continue;
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const T m = lu(i, k) / pivot;
+        lu(i, k) = m;
+        if (m == T{}) continue;
+        for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= m * lu(k, j);
+      }
+    }
+  }
+};
+
+}  // namespace mfti::la::reference

@@ -1,0 +1,103 @@
+#include "linalg/simd/dispatch.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "linalg/simd/kernels.hpp"
+
+// The compiled default (used when the MFTI_SIMD env var is unset) is baked
+// in by CMake: plain builds say "scalar" so the portable kernels remain the
+// default build's behaviour; MFTI_NATIVE=ON builds say "auto".
+#ifndef MFTI_SIMD_DEFAULT_STR
+#define MFTI_SIMD_DEFAULT_STR "scalar"
+#endif
+
+namespace mfti::la::simd {
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::Scalar:
+      return "scalar";
+    case Level::Avx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool cpu_supports_avx2_fma() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool avx2_compiled() { return detail::avx2_table_compiled(); }
+
+const char* compiled_default() { return MFTI_SIMD_DEFAULT_STR; }
+
+Level resolve_level(const char* spec, bool cpu_has_avx2) {
+  const bool avx2_usable = cpu_has_avx2 && detail::avx2_table_compiled();
+  if (spec == nullptr || *spec == '\0' ||
+      std::strcmp(spec, "auto") == 0) {
+    return avx2_usable ? Level::Avx2 : Level::Scalar;
+  }
+  if (std::strcmp(spec, "avx2") == 0) {
+    return avx2_usable ? Level::Avx2 : Level::Scalar;
+  }
+  // "scalar" and anything unrecognised resolve to the portable kernels.
+  return Level::Scalar;
+}
+
+namespace {
+
+Level resolve_once() {
+  const char* env = std::getenv("MFTI_SIMD");
+  const char* spec = (env != nullptr && *env != '\0')
+                         ? env
+                         : compiled_default();
+  const Level level = resolve_level(spec, cpu_supports_avx2_fma());
+  if (std::strcmp(spec, "avx2") == 0 && level != Level::Avx2) {
+    std::fprintf(stderr,
+                 "[mfti.simd] MFTI_SIMD=avx2 requested but AVX2+FMA is "
+                 "unavailable on this host/build; using scalar kernels\n");
+  } else if (std::strcmp(spec, "scalar") != 0 &&
+             std::strcmp(spec, "avx2") != 0 &&
+             std::strcmp(spec, "auto") != 0) {
+    // A typo in the documented forcing mechanism should not pass
+    // silently (e.g. MFTI_SIMD=AVX2 would otherwise just run scalar).
+    std::fprintf(stderr,
+                 "[mfti.simd] unrecognised MFTI_SIMD value '%s' (want "
+                 "scalar|avx2|auto); using scalar kernels\n",
+                 spec);
+  }
+  return level;
+}
+
+}  // namespace
+
+Level active_level() {
+  static const Level level = resolve_once();
+  return level;
+}
+
+template <>
+const KernelTable<double>& kernels_for<double>(Level level) {
+  static const KernelTable<double> scalar = detail::scalar_table<double>();
+  static const KernelTable<double> avx2 = detail::avx2_table<double>();
+  return level == Level::Avx2 ? avx2 : scalar;
+}
+
+template <>
+const KernelTable<std::complex<double>>&
+kernels_for<std::complex<double>>(Level level) {
+  static const KernelTable<std::complex<double>> scalar =
+      detail::scalar_table<std::complex<double>>();
+  static const KernelTable<std::complex<double>> avx2 =
+      detail::avx2_table<std::complex<double>>();
+  return level == Level::Avx2 ? avx2 : scalar;
+}
+
+}  // namespace mfti::la::simd

@@ -1,0 +1,128 @@
+/// \file dispatch.hpp
+/// \brief Runtime-dispatched SIMD kernel layer for the dense hot loops.
+///
+/// Every O(n^3) kernel in the library (blocked GEMM, blocked LU trailing
+/// updates, Householder panel sweeps, Jacobi rotations, norms) bottoms out
+/// in a small set of micro-kernels. This header exposes them as a function
+/// pointer table, `KernelTable<T>`, resolved **once per process**:
+///
+///   1. `MFTI_SIMD` environment variable (`scalar` | `avx2` | `auto`) if
+///      set — the runtime override for testing and reproducibility;
+///   2. otherwise the compiled default (`MFTI_SIMD_DEFAULT` CMake cache
+///      variable; plain builds default to `scalar`, `MFTI_NATIVE=ON`
+///      builds default to `auto`);
+///   3. `auto` probes CPUID and picks AVX2+FMA when the host supports it,
+///      scalar otherwise. A forced `avx2` on a host without AVX2+FMA falls
+///      back to scalar (with a one-line stderr notice) instead of faulting.
+///
+/// The scalar kernels perform bitwise the arithmetic of the pre-dispatch
+/// inline loops. The AVX2 kernels keep the same per-element accumulation
+/// *order* (k ascending; register accumulation independent of how rows are
+/// chunked across threads) but use FMA, so they match scalar within
+/// ~1e-15 relative, not bitwise — and serial results stay bitwise equal to
+/// parallel ones for either table, because both paths run the same table.
+
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+namespace mfti::la::simd {
+
+/// Instruction-set level of a kernel table.
+enum class Level {
+  Scalar,  ///< portable C++ (the SSE2-baseline seed arithmetic)
+  Avx2,    ///< AVX2 + FMA micro-kernels (x86-64, runtime-checked)
+};
+
+/// Human-readable name ("scalar" / "avx2").
+const char* level_name(Level level);
+
+/// True when the running CPU supports AVX2 and FMA (false off x86 or when
+/// the compiler cannot emit the probe).
+bool cpu_supports_avx2_fma();
+
+/// True when the AVX2 kernels were compiled into this binary.
+bool avx2_compiled();
+
+/// Compiled default level spec ("scalar" | "avx2" | "auto") baked in by
+/// CMake (`MFTI_SIMD_DEFAULT`).
+const char* compiled_default();
+
+/// Pure resolution rule (unit-testable): `spec` is the requested level
+/// (nullptr/empty/"auto" defer to the CPU probe; unknown strings resolve
+/// scalar). A resolved Avx2 additionally requires `cpu_has_avx2`.
+Level resolve_level(const char* spec, bool cpu_has_avx2);
+
+/// The process-wide level: resolved once (thread-safe) from `MFTI_SIMD`,
+/// falling back to `compiled_default()`.
+Level active_level();
+
+/// Function-pointer table of the dispatched micro-kernels for one scalar
+/// type (`double` or `std::complex<double>`). All pointers are always
+/// non-null. Raw-pointer signatures keep the table free of the Matrix
+/// header (and usable on packed scratch buffers, e.g. the blocked LU's
+/// negated L21 panel).
+template <typename T>
+struct KernelTable {
+  /// Table identity for diagnostics ("scalar" / "avx2").
+  const char* name;
+
+  /// 4-row GEMM panel micro-kernel:
+  /// `c[r][j] += sum_k a[r][k] * b[k*ldb + j]` for r in [0,4), j in
+  /// [0, jn), k ascending in [0, kc). Per-element accumulation order never
+  /// depends on j's lane position or on which rows share the call.
+  void (*gemm_micro4)(const T* const a[4], const T* b, std::size_t ldb,
+                      T* const c[4], std::size_t jn, std::size_t kc);
+
+  /// Single-row remainder of the blocked GEMM. Performs, per element,
+  /// arithmetic identical to one row of `gemm_micro4`, so whether a row
+  /// falls in an unrolled group or the remainder — i.e. how a thread chunk
+  /// happens to align — never changes its result.
+  void (*gemm_row1)(const T* a, const T* b, std::size_t ldb, T* c,
+                    std::size_t jn, std::size_t kc);
+
+  /// `y[i] += alpha * x[i]` for i in [0, n).
+  void (*axpy)(std::size_t n, T alpha, const T* x, T* y);
+
+  /// `sum_i conj(x[i]) * y[i]` (plain dot product for real T).
+  T (*cdot)(std::size_t n, const T* x, const T* y);
+
+  /// `x[i] *= alpha`.
+  void (*scale)(std::size_t n, T alpha, T* x);
+
+  /// `sum_i |x[i]|^2` (re^2 + im^2 for complex — no intermediate sqrt).
+  double (*sumsq)(std::size_t n, const T* x);
+
+  /// Column-pair Gram entries of the one-sided Jacobi sweep over strided
+  /// columns: accumulates `app += |p_i|^2`, `aqq += |q_i|^2`,
+  /// `apq += conj(p_i) q_i` for i in [0, n), elements `stride` apart.
+  void (*jacobi_dots)(std::size_t n, std::size_t stride, const T* colp,
+                      const T* colq, double* app, double* aqq, T* apq);
+
+  /// Apply the Jacobi plane rotation to the strided column pair:
+  /// `p_i' = c p_i - s (q_i phc)`, `q_i' = s p_i + c (q_i phc)`.
+  void (*jacobi_rotate)(std::size_t n, std::size_t stride, T* colp, T* colq,
+                        double c, double s, T phase_conj);
+};
+
+/// Table for an explicit level (testing / benchmarking). Requesting
+/// `Level::Avx2` on a build without compiled AVX2 kernels returns the
+/// scalar table; callers that need genuine AVX2 must check
+/// `cpu_supports_avx2_fma() && avx2_compiled()` first.
+template <typename T>
+const KernelTable<T>& kernels_for(Level level);
+
+template <>
+const KernelTable<double>& kernels_for<double>(Level level);
+template <>
+const KernelTable<std::complex<double>>& kernels_for<std::complex<double>>(
+    Level level);
+
+/// The active table (resolved once; see file comment for the policy).
+template <typename T>
+inline const KernelTable<T>& kernels() {
+  return kernels_for<T>(active_level());
+}
+
+}  // namespace mfti::la::simd

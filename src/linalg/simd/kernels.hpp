@@ -1,0 +1,44 @@
+/// \file kernels.hpp
+/// \brief Internal provider interface between the dispatch registry
+/// (dispatch.cpp) and the per-level kernel translation units. Not part of
+/// the public surface — include "linalg/simd/dispatch.hpp" instead.
+
+#pragma once
+
+#include "linalg/simd/dispatch.hpp"
+
+namespace mfti::la::simd::detail {
+
+/// Portable scalar table — bitwise the seed arithmetic.
+template <typename T>
+KernelTable<T> scalar_table();
+
+template <>
+KernelTable<double> scalar_table<double>();
+template <>
+KernelTable<std::complex<double>> scalar_table<std::complex<double>>();
+
+/// AVX2+FMA table. When the binary was built without AVX2 support
+/// (non-x86, or a compiler without the `target` attribute) this returns
+/// the scalar table and `avx2_table_compiled()` is false.
+template <typename T>
+KernelTable<T> avx2_table();
+
+template <>
+KernelTable<double> avx2_table<double>();
+template <>
+KernelTable<std::complex<double>> avx2_table<std::complex<double>>();
+
+bool avx2_table_compiled();
+
+/// Scalar Jacobi kernels, shared with the AVX2 table for `double` (the
+/// strided single-double accesses do not vectorize profitably; complex
+/// columns do, since each element is a contiguous re/im pair).
+void jacobi_dots_scalar_d(std::size_t n, std::size_t stride,
+                          const double* colp, const double* colq, double* app,
+                          double* aqq, double* apq);
+void jacobi_rotate_scalar_d(std::size_t n, std::size_t stride, double* colp,
+                            double* colq, double c, double s,
+                            double phase_conj);
+
+}  // namespace mfti::la::simd::detail

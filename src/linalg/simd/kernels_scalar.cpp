@@ -1,0 +1,166 @@
+// Portable scalar kernel table. These bodies are the pre-dispatch inline
+// loops moved verbatim behind function pointers: per element, each kernel
+// performs bitwise the seed arithmetic. (Two call sites deliberately
+// reassociate around the kernels and are documented there: the
+// Golub-Kahan row update in svd.cpp folds its dot product through cdot's
+// zero-initialised accumulator, and the norms sum re^2 + im^2 instead of
+// abs()^2.)
+
+#include <complex>
+#include <cstddef>
+
+#include "linalg/simd/kernels.hpp"
+
+namespace mfti::la::simd::detail {
+
+namespace {
+
+using Complex = std::complex<double>;
+
+inline double conj_if_complex(double x) { return x; }
+inline Complex conj_if_complex(const Complex& x) { return std::conj(x); }
+
+template <typename T>
+void gemm_micro4_impl(const T* const a[4], const T* b, std::size_t ldb,
+                      T* const c[4], std::size_t jn, std::size_t kc) {
+  for (std::size_t k = 0; k < kc; ++k) {
+    const T* brow = b + k * ldb;
+    const T a0 = a[0][k];
+    const T a1 = a[1][k];
+    const T a2 = a[2][k];
+    const T a3 = a[3][k];
+    for (std::size_t j = 0; j < jn; ++j) {
+      const T bkj = brow[j];
+      c[0][j] += a0 * bkj;
+      c[1][j] += a1 * bkj;
+      c[2][j] += a2 * bkj;
+      c[3][j] += a3 * bkj;
+    }
+  }
+}
+
+template <typename T>
+void gemm_row1_impl(const T* a, const T* b, std::size_t ldb, T* c,
+                    std::size_t jn, std::size_t kc) {
+  for (std::size_t k = 0; k < kc; ++k) {
+    const T aik = a[k];
+    const T* brow = b + k * ldb;
+    for (std::size_t j = 0; j < jn; ++j) c[j] += aik * brow[j];
+  }
+}
+
+template <typename T>
+void axpy_impl(std::size_t n, T alpha, const T* x, T* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+template <typename T>
+T cdot_impl(std::size_t n, const T* x, const T* y) {
+  T acc{};
+  for (std::size_t i = 0; i < n; ++i) acc += conj_if_complex(x[i]) * y[i];
+  return acc;
+}
+
+template <typename T>
+void scale_impl(std::size_t n, T alpha, T* x) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double sumsq_impl(std::size_t n, const double* x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += x[i] * x[i];
+  return s;
+}
+
+double sumsq_impl(std::size_t n, const Complex* x) {
+  // Summed in re, im order so the result matches the AVX2 table's view of
+  // the buffer as 2n doubles (up to reduction-order rounding).
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += x[i].real() * x[i].real();
+    s += x[i].imag() * x[i].imag();
+  }
+  return s;
+}
+
+template <typename T>
+void jacobi_dots_impl(std::size_t n, std::size_t stride, const T* colp,
+                      const T* colq, double* app, double* aqq, T* apq) {
+  double pp = 0.0;
+  double qq = 0.0;
+  T pq{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const T gp = colp[i * stride];
+    const T gq = colq[i * stride];
+    pp += std::abs(gp) * std::abs(gp);
+    qq += std::abs(gq) * std::abs(gq);
+    pq += conj_if_complex(gp) * gq;
+  }
+  *app = pp;
+  *aqq = qq;
+  *apq = pq;
+}
+
+template <typename T>
+void jacobi_rotate_impl(std::size_t n, std::size_t stride, T* colp, T* colq,
+                        double c, double s, T phase_conj) {
+  const T cp = static_cast<T>(c);
+  const T sp = static_cast<T>(s);
+  for (std::size_t i = 0; i < n; ++i) {
+    const T gp = colp[i * stride];
+    const T gq = colq[i * stride] * phase_conj;
+    colp[i * stride] = cp * gp - sp * gq;
+    colq[i * stride] = sp * gp + cp * gq;
+  }
+}
+
+template <typename T>
+double sumsq_entry(std::size_t n, const T* x) {
+  return sumsq_impl(n, x);
+}
+
+}  // namespace
+
+void jacobi_dots_scalar_d(std::size_t n, std::size_t stride,
+                          const double* colp, const double* colq, double* app,
+                          double* aqq, double* apq) {
+  jacobi_dots_impl<double>(n, stride, colp, colq, app, aqq, apq);
+}
+
+void jacobi_rotate_scalar_d(std::size_t n, std::size_t stride, double* colp,
+                            double* colq, double c, double s,
+                            double phase_conj) {
+  jacobi_rotate_impl<double>(n, stride, colp, colq, c, s, phase_conj);
+}
+
+template <>
+KernelTable<double> scalar_table<double>() {
+  KernelTable<double> t;
+  t.name = "scalar";
+  t.gemm_micro4 = &gemm_micro4_impl<double>;
+  t.gemm_row1 = &gemm_row1_impl<double>;
+  t.axpy = &axpy_impl<double>;
+  t.cdot = &cdot_impl<double>;
+  t.scale = &scale_impl<double>;
+  t.sumsq = &sumsq_entry<double>;
+  t.jacobi_dots = &jacobi_dots_scalar_d;
+  t.jacobi_rotate = &jacobi_rotate_scalar_d;
+  return t;
+}
+
+template <>
+KernelTable<Complex> scalar_table<Complex>() {
+  KernelTable<Complex> t;
+  t.name = "scalar";
+  t.gemm_micro4 = &gemm_micro4_impl<Complex>;
+  t.gemm_row1 = &gemm_row1_impl<Complex>;
+  t.axpy = &axpy_impl<Complex>;
+  t.cdot = &cdot_impl<Complex>;
+  t.scale = &scale_impl<Complex>;
+  t.sumsq = &sumsq_entry<Complex>;
+  t.jacobi_dots = &jacobi_dots_impl<Complex>;
+  t.jacobi_rotate = &jacobi_rotate_impl<Complex>;
+  return t;
+}
+
+}  // namespace mfti::la::simd::detail

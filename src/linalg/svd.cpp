@@ -23,20 +23,19 @@ using parallel::grained;
 // ---------------------------------------------------------------------------
 
 // One plane rotation applied to the column pair (p, q) of g, mirrored onto
-// v. Returns true when a rotation was applied.
+// v. Returns true when a rotation was applied. The column-pair Gram
+// entries and the rotation sweep run through the dispatched Jacobi kernels
+// (simd::kernels<T>()); disjoint pairs touch disjoint columns, so the
+// parallel tournament stays bitwise equal to the serial one for either
+// kernel table.
 template <typename T>
 bool rotate_pair(Matrix<T>& g, Matrix<T>& v, std::size_t p, std::size_t q,
                  Real tol) {
+  const auto& kt = simd::kernels<T>();
   const std::size_t m = g.rows();
   Real app = 0.0, aqq = 0.0;
   T apq{};
-  for (std::size_t i = 0; i < m; ++i) {
-    const T gp = g(i, p);
-    const T gq = g(i, q);
-    app += detail::abs_value(gp) * detail::abs_value(gp);
-    aqq += detail::abs_value(gq) * detail::abs_value(gq);
-    apq += detail::conj_if_complex(gp) * gq;
-  }
+  kt.jacobi_dots(m, g.cols(), &g(0, p), &g(0, q), &app, &aqq, &apq);
   const Real off = detail::abs_value(apq);
   if (off <= tol * std::sqrt(app) * std::sqrt(aqq) || off == 0.0) {
     return false;
@@ -49,20 +48,10 @@ bool rotate_pair(Matrix<T>& g, Matrix<T>& v, std::size_t p, std::size_t q,
   const Real c = 1.0 / std::sqrt(1.0 + t * t);
   const Real s = t * c;
 
-  const T cp = static_cast<T>(c);
-  const T sp = static_cast<T>(s);
   const T phc = detail::conj_if_complex(phase);
-  for (std::size_t i = 0; i < m; ++i) {
-    const T gp = g(i, p);
-    const T gq = g(i, q) * phc;
-    g(i, p) = cp * gp - sp * gq;
-    g(i, q) = sp * gp + cp * gq;
-  }
-  for (std::size_t i = 0; i < v.rows(); ++i) {
-    const T vp = v(i, p);
-    const T vq = v(i, q) * phc;
-    v(i, p) = cp * vp - sp * vq;
-    v(i, q) = sp * vp + cp * vq;
+  kt.jacobi_rotate(m, g.cols(), &g(0, p), &g(0, q), c, s, phc);
+  if (v.rows() > 0) {
+    kt.jacobi_rotate(v.rows(), v.cols(), &v(0, p), &v(0, q), c, s, phc);
   }
   return true;
 }
@@ -350,18 +339,25 @@ Svd<T> svd_golub_kahan_tall(const Matrix<T>& a, bool want_uv,
           // Apply from the right to rows k+1..m-1:
           // row <- row - beta (row . v) v^*   with v_j = conj(g(k, j)).
           // Row i only reads the (frozen) reflector in row k and writes row
-          // i -> independent across i.
+          // i -> independent across i; the contiguous row slices run
+          // through the dispatched cdot/axpy kernels.
+          const auto& kt = simd::kernels<T>();
+          const std::size_t tail = n - (k + 2);
           const auto pol = grained(exec, (m - k - 1) * (n - k - 1));
           parallel::parallel_for_chunks(
               m - (k + 1), pol, [&](std::size_t r0, std::size_t r1) {
                 for (std::size_t i = k + 1 + r0; i < k + 1 + r1; ++i) {
-                  T w = g(i, k + 1);  // v_{k+1} = 1
-                  for (std::size_t j = k + 2; j < n; ++j)
-                    w += g(i, j) * detail::conj_if_complex(g(k, j));
+                  // cdot(x, y) = sum conj(x_j) y_j, so with x = the packed
+                  // reflector row this is sum g(i, j) conj(g(k, j)). Note
+                  // the tail folds in cdot's own accumulator before the
+                  // leading term is added — a deliberate reassociation vs
+                  // the pre-dispatch loop (rounding-level, chunk-
+                  // independent either way).
+                  T w = g(i, k + 1) +
+                        kt.cdot(tail, &g(k, k + 2), &g(i, k + 2));
                   w *= static_cast<T>(beta_right[k]);
                   g(i, k + 1) -= w;
-                  for (std::size_t j = k + 2; j < n; ++j)
-                    g(i, j) -= w * g(k, j);
+                  kt.axpy(tail, -w, &g(k, k + 2), &g(i, k + 2));
                 }
               });
         }

@@ -59,6 +59,25 @@ void parallel_for(std::size_t n, const ExecutionPolicy& exec, Body&& body) {
   });
 }
 
+/// Execute `body(begin, end)` over fixed `tile`-wide sub-ranges of
+/// `[0, n)` (the last one ragged), distributed over the pool. Unlike
+/// `parallel_for_chunks`, the sub-range boundaries depend only on `tile`
+/// and `n` — never on the policy or thread count — so any per-element
+/// arithmetic that is sensitive to a sub-range's trip count or alignment
+/// (e.g. a compiler-vectorized contiguous inner loop with a scalar
+/// epilogue) is bitwise identical under serial and parallel execution.
+/// Use this whenever the *parallelised* index is also the contiguous
+/// inner-loop dimension of the body.
+template <typename Body>
+void parallel_for_tiles(std::size_t n, std::size_t tile,
+                        const ExecutionPolicy& exec, Body&& body) {
+  if (n == 0) return;
+  const std::size_t ntiles = (n + tile - 1) / tile;
+  parallel_for(ntiles, exec, [&](std::size_t t) {
+    body(t * tile, std::min((t + 1) * tile, n));
+  });
+}
+
 /// Map-reduce over `[0, n)`: each chunk folds `map(i)` into a local
 /// accumulator with `combine`, then the chunk results are folded **in chunk
 /// order** on the calling thread — the only nondeterminism versus a serial

@@ -85,6 +85,67 @@ TEST(IncrementalLoewner, RejectsDuplicatesAndOutOfRange) {
   EXPECT_THROW(inc.add_unit(99), std::invalid_argument);
 }
 
+TEST(IncrementalLoewner, BatchAddMatchesSequentialExactly) {
+  const auto sys = make_system(8, 2, 1, 306);
+  const auto data = sample(sys, 12);
+  const lw::TangentialData full = lw::build_tangential_data(data, {});
+
+  core::IncrementalLoewner seq(full);
+  seq.add_unit(2);
+  seq.add_unit(0);
+  seq.add_unit(5);
+
+  core::IncrementalLoewner batch(full);
+  batch.add_units({2, 0, 5});
+
+  // Bitwise: each entry is computed by the same formula in both modes.
+  EXPECT_TRUE(batch.loewner() == seq.loewner());
+  EXPECT_TRUE(batch.shifted() == seq.shifted());
+  EXPECT_EQ(batch.units(), seq.units());
+  EXPECT_EQ(batch.entries_computed(), seq.entries_computed());
+
+  // A second batch on top of an existing subset extends both bands.
+  seq.add_unit(1);
+  seq.add_unit(4);
+  batch.add_units({1, 4});
+  EXPECT_TRUE(batch.loewner() == seq.loewner());
+  EXPECT_TRUE(batch.shifted() == seq.shifted());
+  EXPECT_EQ(batch.entries_computed(), seq.entries_computed());
+}
+
+TEST(IncrementalLoewner, BatchAddParallelMatchesSerialExactly) {
+  const auto sys = make_system(10, 3, 0, 307);
+  const auto data = sample(sys, 14);
+  const lw::TangentialData full = lw::build_tangential_data(data, {});
+
+  core::IncrementalLoewner serial(full);
+  serial.add_units({0, 3, 1, 6});
+  core::IncrementalLoewner parallel(full);
+  parallel.add_units({0, 3, 1, 6},
+                     mfti::parallel::ExecutionPolicy::with_threads(4));
+  EXPECT_TRUE(parallel.loewner() == serial.loewner());
+  EXPECT_TRUE(parallel.shifted() == serial.shifted());
+  EXPECT_EQ(parallel.entries_computed(), serial.entries_computed());
+}
+
+TEST(IncrementalLoewner, BatchAddRejectsBadUnitsWithoutMutating) {
+  const auto sys = make_system(6, 2, 0, 308);
+  const auto data = sample(sys, 8);
+  const lw::TangentialData full = lw::build_tangential_data(data, {});
+  core::IncrementalLoewner inc(full);
+  inc.add_unit(1);
+  const std::size_t before = inc.entries_computed();
+  // Out of range, already added, and in-batch duplicate all throw and
+  // leave the accumulator untouched.
+  EXPECT_THROW(inc.add_units({0, 99}), std::invalid_argument);
+  EXPECT_THROW(inc.add_units({0, 1}), std::invalid_argument);
+  EXPECT_THROW(inc.add_units({2, 2}), std::invalid_argument);
+  EXPECT_EQ(inc.entries_computed(), before);
+  EXPECT_EQ(inc.units().size(), 1u);
+  inc.add_units({});  // empty batch is a no-op
+  EXPECT_EQ(inc.units().size(), 1u);
+}
+
 TEST(RecursiveMfti, ConvergesOnCleanData) {
   const auto sys = make_system(12, 3, 2, 305);
   const auto data = sample(sys, 20);

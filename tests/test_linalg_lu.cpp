@@ -6,6 +6,7 @@
 
 #include "linalg/norms.hpp"
 #include "linalg/random.hpp"
+#include "linalg/reference.hpp"
 
 namespace la = mfti::la;
 using la::CMat;
@@ -76,6 +77,60 @@ TEST(Lu, RcondEstimateOrdering) {
             la::LuDecomposition<double>(bad).rcond_estimate());
 }
 
+// --- blocked vs unblocked parity --------------------------------------------
+
+namespace {
+
+// The reference is the shared frozen copy of the seed's per-step rank-1
+// elimination (linalg/reference.hpp) — the same baseline the bench
+// acceptance gate measures against.
+template <typename T>
+void expect_blocked_matches_unblocked(const la::Matrix<T>& a) {
+  const la::LuDecomposition<T> blocked(a);
+  const la::reference::RankOneLu<T> ref(a);
+  // Same pivot sequence (the panel sees fully updated columns, so pivot
+  // candidates agree; random data has no ties for rounding to flip).
+  EXPECT_EQ(blocked.permutation(), ref.perm);
+  // Same factors: bitwise with the scalar kernel table, a few ulps under
+  // AVX2+FMA dispatch — 1e-12 relative covers both.
+  const double scale = std::max(ref.lu.max_abs(), 1.0);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      diff = std::max(
+          diff, la::detail::abs_value(blocked.packed_lu()(i, j) -
+                                      ref.lu(i, j)));
+  EXPECT_LE(diff, 1e-12 * scale) << "n=" << a.rows();
+}
+
+}  // namespace
+
+TEST(LuBlocked, MatchesUnblockedOnTileStraddlingSizes) {
+  // Panel-edge cases: below one panel, exactly one panel, one more than a
+  // panel, and a multi-panel size with a ragged last panel.
+  for (std::size_t n :
+       {std::size_t{7}, la::kLuPanel - 1, la::kLuPanel, la::kLuPanel + 1,
+        2 * la::kLuPanel + 3}) {
+    la::Rng rng(9000 + n);
+    expect_blocked_matches_unblocked<double>(la::random_matrix(n, n, rng));
+  }
+  la::Rng crng(9100);
+  expect_blocked_matches_unblocked<la::Complex>(
+      la::random_complex_matrix(la::kLuPanel + 1, la::kLuPanel + 1, crng));
+}
+
+TEST(LuBlocked, SingularMatrixStillDetectedAcrossPanels) {
+  // Rank-deficient matrix wider than one panel: the zero pivot lands in a
+  // later panel and must still be flagged.
+  const std::size_t n = la::kLuPanel + 5;
+  la::Rng rng(9200);
+  Mat a = la::random_matrix(n, n, rng);
+  for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = a(0, j) + a(1, j);
+  for (std::size_t j = 0; j < n; ++j) a(n - 2, j) = a(0, j) - a(1, j);
+  la::LuDecomposition<double> lu(a);
+  EXPECT_TRUE(lu.is_singular() || lu.rcond_estimate() < 1e-12);
+}
+
 // --- property tests over random systems ------------------------------------
 
 class LuProperty : public ::testing::TestWithParam<std::size_t> {};
@@ -120,5 +175,9 @@ TEST_P(LuProperty, DeterminantMatchesEigenProductViaScaling) {
   EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, std::abs(rhs)));
 }
 
+// 65 and 131 straddle the kLuPanel = 64 blocking (one panel + remainder,
+// two panels + remainder), so the solve/determinant properties also cover
+// the multi-panel paths.
 INSTANTIATE_TEST_SUITE_P(Sizes, LuProperty,
-                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 40));
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 40, 65,
+                                           131));

@@ -1,0 +1,274 @@
+// Tests for the runtime-dispatched SIMD kernel layer (src/linalg/simd):
+// level resolution (MFTI_SIMD forcing), scalar-vs-AVX2 kernel parity
+// (tolerance 1e-13 where FMA reorders rounding), and the exact-equality
+// contract that an element's arithmetic never depends on how rows are
+// chunked or grouped — the property the parallel kernels rely on.
+
+#include "linalg/simd/dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/random.hpp"
+
+namespace la = mfti::la;
+namespace simd = mfti::la::simd;
+using la::CMat;
+using la::Complex;
+using la::Mat;
+
+namespace {
+
+bool avx2_usable() {
+  return simd::cpu_supports_avx2_fma() && simd::avx2_compiled();
+}
+
+template <typename T>
+la::Matrix<T> multiply_with(const la::Matrix<T>& a, const la::Matrix<T>& b,
+                            const simd::KernelTable<T>& kt) {
+  la::Matrix<T> c(a.rows(), b.cols());
+  la::detail::multiply_rows_using(a, b, c, 0, a.rows(), kt);
+  return c;
+}
+
+template <typename T>
+double rel_diff(const la::Matrix<T>& a, const la::Matrix<T>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      m = std::max(m, la::detail::abs_value(a(i, j) - b(i, j)));
+  return m / std::max({a.max_abs(), b.max_abs(), 1.0});
+}
+
+template <typename T>
+la::Matrix<T> random_mat(std::size_t r, std::size_t c, std::uint64_t seed);
+
+template <>
+Mat random_mat<double>(std::size_t r, std::size_t c, std::uint64_t seed) {
+  la::Rng rng(seed);
+  return la::random_matrix(r, c, rng);
+}
+
+template <>
+CMat random_mat<Complex>(std::size_t r, std::size_t c, std::uint64_t seed) {
+  la::Rng rng(seed);
+  return la::random_complex_matrix(r, c, rng);
+}
+
+}  // namespace
+
+// --- level resolution -------------------------------------------------------
+
+TEST(SimdDispatch, LevelNames) {
+  EXPECT_STREQ(simd::level_name(simd::Level::Scalar), "scalar");
+  EXPECT_STREQ(simd::level_name(simd::Level::Avx2), "avx2");
+}
+
+TEST(SimdDispatch, ResolveLevelRules) {
+  using simd::Level;
+  using simd::resolve_level;
+  const bool compiled = simd::avx2_compiled();
+  // Forced scalar always resolves scalar.
+  EXPECT_EQ(resolve_level("scalar", true), Level::Scalar);
+  EXPECT_EQ(resolve_level("scalar", false), Level::Scalar);
+  // avx2/auto require both CPU support and compiled kernels.
+  EXPECT_EQ(resolve_level("avx2", true),
+            compiled ? Level::Avx2 : Level::Scalar);
+  EXPECT_EQ(resolve_level("auto", true),
+            compiled ? Level::Avx2 : Level::Scalar);
+  EXPECT_EQ(resolve_level("avx2", false), Level::Scalar);
+  EXPECT_EQ(resolve_level("auto", false), Level::Scalar);
+  // Unset/empty behaves like auto; unknown strings resolve scalar.
+  EXPECT_EQ(resolve_level(nullptr, true),
+            compiled ? Level::Avx2 : Level::Scalar);
+  EXPECT_EQ(resolve_level("", false), Level::Scalar);
+  EXPECT_EQ(resolve_level("sse9", true), Level::Scalar);
+}
+
+TEST(SimdDispatch, ActiveLevelMatchesEnvOrCompiledDefault) {
+  const char* env = std::getenv("MFTI_SIMD");
+  const char* spec =
+      (env != nullptr && *env != '\0') ? env : simd::compiled_default();
+  EXPECT_EQ(simd::active_level(),
+            simd::resolve_level(spec, simd::cpu_supports_avx2_fma()));
+}
+
+TEST(SimdDispatch, TablesArePopulated) {
+  for (const auto level : {simd::Level::Scalar, simd::Level::Avx2}) {
+    const auto& kd = simd::kernels_for<double>(level);
+    const auto& kc = simd::kernels_for<Complex>(level);
+    for (const void* p :
+         {reinterpret_cast<const void*>(kd.gemm_micro4),
+          reinterpret_cast<const void*>(kd.gemm_row1),
+          reinterpret_cast<const void*>(kd.axpy),
+          reinterpret_cast<const void*>(kd.cdot),
+          reinterpret_cast<const void*>(kd.scale),
+          reinterpret_cast<const void*>(kd.sumsq),
+          reinterpret_cast<const void*>(kd.jacobi_dots),
+          reinterpret_cast<const void*>(kd.jacobi_rotate),
+          reinterpret_cast<const void*>(kc.gemm_micro4),
+          reinterpret_cast<const void*>(kc.axpy)}) {
+      EXPECT_NE(p, nullptr);
+    }
+  }
+  EXPECT_STREQ(simd::kernels_for<double>(simd::Level::Scalar).name,
+               "scalar");
+}
+
+// --- chunk/grouping independence (exact) ------------------------------------
+
+// Splitting the row range at any point and mixing micro4/row1 groupings
+// must be bitwise identical to the whole-range sweep — the invariant that
+// keeps parallel GEMM/LU exactly equal to serial for *both* tables.
+template <typename T>
+void expect_chunk_independent(const simd::KernelTable<T>& kt) {
+  // Above the blocked-path threshold so the tiled kernels run.
+  const auto a = random_mat<T>(13, 300, 91);
+  const auto b = random_mat<T>(300, 270, 92);
+  la::Matrix<T> whole(a.rows(), b.cols());
+  la::detail::multiply_rows_using(a, b, whole, 0, a.rows(), kt);
+  for (std::size_t split : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                            std::size_t{7}, std::size_t{12}}) {
+    la::Matrix<T> parts(a.rows(), b.cols());
+    la::detail::multiply_rows_using(a, b, parts, 0, split, kt);
+    la::detail::multiply_rows_using(a, b, parts, split, a.rows(), kt);
+    EXPECT_TRUE(parts == whole) << "split at " << split;
+  }
+}
+
+TEST(SimdKernels, ScalarChunkIndependenceExact) {
+  expect_chunk_independent(simd::kernels_for<double>(simd::Level::Scalar));
+  expect_chunk_independent(simd::kernels_for<Complex>(simd::Level::Scalar));
+}
+
+TEST(SimdKernels, Avx2ChunkIndependenceExact) {
+  if (!avx2_usable()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  expect_chunk_independent(simd::kernels_for<double>(simd::Level::Avx2));
+  expect_chunk_independent(simd::kernels_for<Complex>(simd::Level::Avx2));
+}
+
+// --- scalar vs AVX2 parity (tolerance: FMA reorders rounding) ---------------
+
+template <typename T>
+void expect_gemm_parity(std::size_t m, std::size_t k, std::size_t n,
+                        std::uint64_t seed) {
+  const auto a = random_mat<T>(m, k, seed);
+  const auto b = random_mat<T>(k, n, seed + 1);
+  const auto scalar =
+      multiply_with(a, b, simd::kernels_for<T>(simd::Level::Scalar));
+  const auto avx2 =
+      multiply_with(a, b, simd::kernels_for<T>(simd::Level::Avx2));
+  EXPECT_LE(rel_diff(scalar, avx2), 1e-13)
+      << "shape " << m << "x" << k << "x" << n;
+}
+
+TEST(SimdKernels, GemmScalarVsAvx2Parity) {
+  if (!avx2_usable()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  // Unroll-group edges (m), vector-width tails (n % 8, n % 4), small-path
+  // (axpy sweep) and blocked-path shapes.
+  expect_gemm_parity<double>(3, 40, 17, 100);     // small path, j tail
+  expect_gemm_parity<double>(5, 300, 264, 101);   // blocked, full tiles
+  expect_gemm_parity<double>(4, 299, 263, 102);   // blocked, j tail
+  expect_gemm_parity<double>(9, 513, 258, 103);   // k-block straddle
+  expect_gemm_parity<Complex>(3, 40, 9, 110);     // small path
+  expect_gemm_parity<Complex>(6, 200, 171, 111);  // blocked, odd columns
+  expect_gemm_parity<Complex>(5, 129, 260, 112);  // blocked, k straddle
+}
+
+TEST(SimdKernels, VectorKernelParityScalarVsAvx2) {
+  if (!avx2_usable()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  const auto& sd = simd::kernels_for<double>(simd::Level::Scalar);
+  const auto& ad = simd::kernels_for<double>(simd::Level::Avx2);
+  const auto& sc = simd::kernels_for<Complex>(simd::Level::Scalar);
+  const auto& ac = simd::kernels_for<Complex>(simd::Level::Avx2);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                        std::size_t{8}, std::size_t{17}, std::size_t{1000}}) {
+    const Mat xr = random_mat<double>(1, std::max<std::size_t>(n, 1), n + 1);
+    const Mat yr = random_mat<double>(1, std::max<std::size_t>(n, 1), n + 2);
+    const CMat xc =
+        random_mat<Complex>(1, std::max<std::size_t>(n, 1), n + 3);
+    const CMat yc =
+        random_mat<Complex>(1, std::max<std::size_t>(n, 1), n + 4);
+
+    // axpy
+    std::vector<double> y1(yr.data(), yr.data() + n);
+    std::vector<double> y2 = y1;
+    sd.axpy(n, 1.7, xr.data(), y1.data());
+    ad.axpy(n, 1.7, xr.data(), y2.data());
+    std::vector<Complex> z1(yc.data(), yc.data() + n);
+    std::vector<Complex> z2 = z1;
+    const Complex calpha(0.7, -1.2);
+    sc.axpy(n, calpha, xc.data(), z1.data());
+    ac.axpy(n, calpha, xc.data(), z2.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y1[i], y2[i], 1e-13 * (1.0 + std::abs(y1[i])));
+      EXPECT_LE(std::abs(z1[i] - z2[i]), 1e-13 * (1.0 + std::abs(z1[i])));
+    }
+
+    // cdot
+    const double d1 = sd.cdot(n, xr.data(), yr.data());
+    const double d2 = ad.cdot(n, xr.data(), yr.data());
+    EXPECT_NEAR(d1, d2, 1e-13 * (1.0 + std::abs(d1)));
+    const Complex c1 = sc.cdot(n, xc.data(), yc.data());
+    const Complex c2 = ac.cdot(n, xc.data(), yc.data());
+    EXPECT_LE(std::abs(c1 - c2), 1e-13 * (1.0 + std::abs(c1)));
+
+    // scale
+    std::vector<double> s1(xr.data(), xr.data() + n);
+    std::vector<double> s2 = s1;
+    sd.scale(n, -0.9, s1.data());
+    ad.scale(n, -0.9, s2.data());
+    std::vector<Complex> t1(xc.data(), xc.data() + n);
+    std::vector<Complex> t2 = t1;
+    sc.scale(n, calpha, t1.data());
+    ac.scale(n, calpha, t2.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(s1[i], s2[i]);  // plain multiply: identical either way
+      EXPECT_LE(std::abs(t1[i] - t2[i]), 1e-13 * (1.0 + std::abs(t1[i])));
+    }
+
+    // sumsq
+    EXPECT_NEAR(sd.sumsq(n, xr.data()), ad.sumsq(n, xr.data()),
+                1e-13 * (1.0 + sd.sumsq(n, xr.data())));
+    EXPECT_NEAR(sc.sumsq(n, xc.data()), ac.sumsq(n, xc.data()),
+                1e-13 * (1.0 + sc.sumsq(n, xc.data())));
+  }
+}
+
+TEST(SimdKernels, JacobiKernelParityScalarVsAvx2) {
+  if (!avx2_usable()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  const auto& sc = simd::kernels_for<Complex>(simd::Level::Scalar);
+  const auto& ac = simd::kernels_for<Complex>(simd::Level::Avx2);
+  for (std::size_t m : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                        std::size_t{64}, std::size_t{65}}) {
+    CMat g = random_mat<Complex>(m, 5, 200 + m);
+    CMat h = g;
+    const std::size_t p = 1;
+    const std::size_t q = 3;
+
+    double app_s = 0.0, aqq_s = 0.0, app_a = 0.0, aqq_a = 0.0;
+    Complex apq_s, apq_a;
+    sc.jacobi_dots(m, g.cols(), &g(0, p), &g(0, q), &app_s, &aqq_s, &apq_s);
+    ac.jacobi_dots(m, g.cols(), &g(0, p), &g(0, q), &app_a, &aqq_a, &apq_a);
+    EXPECT_NEAR(app_s, app_a, 1e-13 * (1.0 + app_s));
+    EXPECT_NEAR(aqq_s, aqq_a, 1e-13 * (1.0 + aqq_s));
+    EXPECT_LE(std::abs(apq_s - apq_a), 1e-13 * (1.0 + std::abs(apq_s)));
+
+    const Complex phc(0.6, -0.8);
+    sc.jacobi_rotate(m, g.cols(), &g(0, p), &g(0, q), 0.8, 0.6, phc);
+    ac.jacobi_rotate(m, h.cols(), &h(0, p), &h(0, q), 0.8, 0.6, phc);
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_LE(std::abs(g(i, p) - h(i, p)), 1e-13);
+      EXPECT_LE(std::abs(g(i, q) - h(i, q)), 1e-13);
+    }
+    // Untouched columns stay untouched.
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_EQ(g(i, 0), h(i, 0));
+      EXPECT_EQ(g(i, 2), h(i, 2));
+      EXPECT_EQ(g(i, 4), h(i, 4));
+    }
+  }
+}

@@ -291,6 +291,21 @@ TEST(ParallelLu, RealSolveMatchesSerialExactly) {
   EXPECT_TRUE(la::solve(a, b, pool()) == la::solve(a, b));
 }
 
+TEST(ParallelLu, BlockedFactorisationMatchesSerialOnPanelEdges) {
+  // Sizes straddling the kLuPanel blocking: the parallel trailing GEMM and
+  // block-row solve must stay bitwise equal to serial however the panel
+  // and remainder rows land in thread chunks.
+  for (std::size_t n : {la::kLuPanel - 1, la::kLuPanel + 1,
+                        2 * la::kLuPanel + 5}) {
+    la::Rng rng(600 + n);
+    const Mat a = la::random_matrix(n, n, rng);
+    const la::LuDecomposition<double> serial(a);
+    const la::LuDecomposition<double> parallel(a, pool());
+    EXPECT_TRUE(parallel.packed_lu() == serial.packed_lu()) << "n=" << n;
+    EXPECT_EQ(parallel.permutation(), serial.permutation());
+  }
+}
+
 TEST(ParallelEig, EigenvaluesMatchSerialExactly) {
   la::Rng rng(65);
   const CMat a = la::random_complex_matrix(60, 60, rng);
