@@ -5,6 +5,8 @@ optionally gate on the parallel-scaling speedup.
 Usage:
     compare_bench.py [--baseline bench/baseline.json] [--out BENCH_pr.json]
                      [--gate] input1.json [input2.json ...]
+    compare_bench.py --update-baseline BENCH_pr.json
+                     [--baseline bench/baseline.json]
 
 Each input is one document written by a bench's `--json <path>` mode
 (bench/bench_common.hpp JsonReport):
@@ -20,6 +22,16 @@ With --gate the script fails (exit 1) unless every gated
 bench_parallel_scaling kernel reaches the threshold at 4 threads. The
 threshold lives HERE (and only here): DEFAULT_MIN_SPEEDUP below; the
 MFTI_PERF_MIN_SPEEDUP environment variable overrides it for noisy runners.
+
+With --update-baseline the script takes a merged BENCH_pr.json (the CI
+perf artifact) and rewrites the committed baseline from it, so refreshing
+bench/baseline.json to the runner class is one command:
+
+    python3 bench/compare_bench.py --update-baseline BENCH_pr.json
+
+CI also runs this against its own artifact (writing baseline_proposed.json,
+uploaded as the `baseline-proposed` artifact) so a maintainer can download
+and commit the runner-class baseline without rerunning anything.
 """
 
 import argparse
@@ -141,16 +153,54 @@ def gate_speedup(merged):
     return ok
 
 
+def update_baseline(pr_json_path, baseline_path):
+    """Rewrite the committed baseline from a merged BENCH_pr document."""
+    try:
+        merged = load(pr_json_path)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {pr_json_path}: {err}")
+        return 1
+    if merged.get("schema") != "mfti-bench-v1":
+        print(f"error: {pr_json_path} is not an mfti-bench-v1 document "
+              f"(schema: {merged.get('schema')!r})")
+        return 1
+    benches = merged.get("benches", [])
+    metrics = sum(len(b.get("metrics", [])) for b in benches)
+    if not benches or not metrics:
+        print(f"error: {pr_json_path} carries no benchmark metrics; "
+              "refusing to write an empty baseline")
+        return 1
+    with open(baseline_path, "w") as fh:
+        json.dump(merged, fh, indent=2)
+        fh.write("\n")
+    print(f"rewrote {baseline_path} from {pr_json_path} "
+          f"({len(benches)} benches, {metrics} metrics)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("inputs", nargs="+", help="per-bench JSON files")
+    parser.add_argument("inputs", nargs="*", help="per-bench JSON files")
     parser.add_argument("--baseline", default=None,
                         help="committed baseline (bench/baseline.json)")
     parser.add_argument("--out", default=None,
                         help="write the merged document here")
     parser.add_argument("--gate", action="store_true",
                         help="fail unless the pinned speedup is reached")
+    parser.add_argument("--update-baseline", metavar="BENCH_pr.json",
+                        default=None,
+                        help="rewrite the baseline from a merged CI "
+                             "artifact instead of comparing")
     args = parser.parse_args()
+
+    if args.update_baseline:
+        if args.inputs or args.gate or args.out:
+            parser.error("--update-baseline takes no inputs and combines "
+                         "with neither --gate nor --out")
+        return update_baseline(args.update_baseline,
+                               args.baseline or "bench/baseline.json")
+    if not args.inputs:
+        parser.error("per-bench JSON inputs required (or --update-baseline)")
 
     merged = {"schema": "mfti-bench-v1",
               "benches": [load(path) for path in args.inputs]}

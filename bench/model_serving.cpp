@@ -14,10 +14,18 @@
 // the factorization work). Exits non-zero on any violation, so CI can run
 // this as a smoke test.
 //
+// A second section measures the multi-model fleet path: N models
+// round-robin through one serving::ServingEngine (shared pool, batch
+// dedup, global cache budget) against the same queries issued directly to
+// N independent ModelHandles. Engine responses must match the direct path
+// within 1e-12; the timing rows land in the JSON trajectory.
+//
 // Usage: bench_model_serving [rounds] [--json <path>]
 
 #include <algorithm>
 #include <cstdio>
+#include <deque>
+#include <memory>
 #include <numbers>
 #include <string>
 #include <vector>
@@ -27,11 +35,13 @@
 #include "metrics/stopwatch.hpp"
 #include "sampling/grid.hpp"
 #include "sampling/sampler.hpp"
+#include "serving/serving.hpp"
 #include "statespace/random_system.hpp"
 #include "statespace/response.hpp"
 
 namespace api = mfti::api;
 namespace la = mfti::la;
+namespace serving = mfti::serving;
 namespace sp = mfti::sampling;
 namespace ss = mfti::ss;
 
@@ -140,6 +150,98 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
+  // --- multi-model fleet: one engine vs N independent handles ---------------
+
+  constexpr std::size_t kFleet = 4;
+  std::vector<ss::DescriptorSystem> fleet;
+  std::vector<std::string> names;
+  serving::ModelRegistry registry;
+  for (std::size_t m = 0; m < kFleet; ++m) {
+    ss::RandomSystemOptions fleet_opts;
+    fleet_opts.order = 48;
+    fleet_opts.num_outputs = 8;
+    fleet_opts.num_inputs = 8;
+    fleet_opts.rank_d = 8;
+    fleet.push_back(ss::random_stable_mimo(fleet_opts, rng));
+    names.push_back("model-" + std::to_string(m));
+    registry.publish(names.back(), std::make_shared<const api::ModelHandle>(
+                                       fleet.back()));
+  }
+  std::deque<api::ModelHandle> independent;  // handles are not movable
+  for (const auto& sys : fleet) independent.emplace_back(sys);
+
+  serving::ServingEngine engine(registry);
+  const auto fleet_freqs = sp::log_grid(10.0, 1e5, 24);
+  std::vector<la::Complex> fleet_points;
+  for (double f : fleet_freqs) {
+    fleet_points.emplace_back(0.0, 2.0 * std::numbers::pi * f);
+  }
+
+  // Direct: every query against its own per-model handle, serially.
+  sw.reset();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t m = 0; m < kFleet; ++m) {
+      for (const la::Complex& s : fleet_points) {
+        independent[m].evaluate(s);
+      }
+    }
+  }
+  const double t_direct = sw.seconds();
+
+  // Engine: the same queries as round-robin batches through one router
+  // (shared pool, in-batch dedup, one snapshot resolve per request).
+  sw.reset();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<serving::EvalRequest> batch;
+    batch.reserve(kFleet);
+    for (std::size_t m = 0; m < kFleet; ++m) {
+      batch.push_back({names[m], fleet_points});
+    }
+    for (const auto& response : engine.evaluate(batch)) {
+      if (!response) {
+        std::printf("FAIL: engine: %s\n",
+                    response.status().to_string().c_str());
+        return 1;
+      }
+    }
+  }
+  const double t_engine = sw.seconds();
+  const auto fleet_stats = engine.stats();
+
+  // Parity pass outside the timed region (correctness is warm/cold
+  // agnostic; the extra direct evaluations must not skew t_engine).
+  double worst_engine = 0.0;
+  {
+    std::vector<serving::EvalRequest> batch;
+    for (std::size_t m = 0; m < kFleet; ++m) {
+      batch.push_back({names[m], fleet_points});
+    }
+    const auto responses = engine.evaluate(batch);
+    for (std::size_t m = 0; m < kFleet; ++m) {
+      if (!responses[m]) return 1;
+      for (std::size_t i = 0; i < fleet_points.size(); ++i) {
+        worst_engine = std::max(
+            worst_engine,
+            max_abs_diff(responses[m]->values[i],
+                         independent[m].evaluate(fleet_points[i])));
+      }
+    }
+  }
+
+  std::printf("\nfleet: %zu models x %zu points x %zu rounds:\n", kFleet,
+              fleet_points.size(), rounds);
+  std::printf("  independent ModelHandles: %8.3f ms\n", 1e3 * t_direct);
+  std::printf("  one ServingEngine       : %8.3f ms  (%.2fx, %zu workers)\n",
+              1e3 * t_engine, t_direct / t_engine, engine.worker_count());
+  std::printf("  aggregated cache: %zu hits, %zu misses, %zu entries\n",
+              fleet_stats.cache.hits, fleet_stats.cache.misses,
+              fleet_stats.cache.entries);
+  std::printf("  worst |H_engine - H_direct| = %.2e\n", worst_engine);
+  if (worst_engine > 1e-12) {
+    std::printf("FAIL: engine deviates from direct handle evaluation\n");
+    ok = false;
+  }
+
   mfti::bench::JsonReport json("model_serving");
   json.add("naive_transfer_function",
            {{"seconds", t_naive}, {"queries", static_cast<double>(queries)}});
@@ -150,6 +252,15 @@ int main(int argc, char** argv) {
             {"speedup", t_naive / t_handle},
             {"cache_hits", static_cast<double>(stats.hits)},
             {"cache_misses", static_cast<double>(stats.misses)}});
+  json.add("multi_model_direct",
+           {{"seconds", t_direct}, {"models", static_cast<double>(kFleet)}});
+  json.add("multi_model_engine",
+           {{"seconds", t_engine},
+            {"speedup", t_direct / t_engine},
+            {"models", static_cast<double>(kFleet)},
+            {"cache_hits", static_cast<double>(fleet_stats.cache.hits)},
+            {"cache_misses",
+             static_cast<double>(fleet_stats.cache.misses)}});
   if (!json.write(args.json_path)) ok = false;
   std::printf(ok ? "OK\n" : "NOT OK\n");
   return ok ? 0 : 1;

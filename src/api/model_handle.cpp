@@ -1,7 +1,9 @@
 #include "api/model_handle.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <numbers>
 #include <utility>
 
@@ -15,7 +17,7 @@ ModelHandle::ModelHandle(ss::DescriptorSystem model, ModelHandleOptions opts)
 ModelHandle::ModelHandle(const FitReport& report, ModelHandleOptions opts)
     : ModelHandle(report.model, opts) {}
 
-std::size_t ModelHandle::KeyHash::operator()(const la::Complex& s) const {
+std::size_t PencilKeyHash::operator()(const la::Complex& s) const {
   const std::size_t h_re = std::hash<la::Real>{}(s.real());
   const std::size_t h_im = std::hash<la::Real>{}(s.imag());
   return h_re ^ (h_im + 0x9e3779b97f4a7c15ull + (h_re << 6) + (h_re >> 2));
@@ -31,6 +33,20 @@ ModelHandle::Factorization ModelHandle::factor_pencil(la::Complex s) const {
     }
   }
   return Factorization(std::move(pencil));
+}
+
+std::size_t ModelHandle::effective_capacity() const {
+  const std::size_t budget =
+      budget_hook_ ? budget_hook_() : std::numeric_limits<std::size_t>::max();
+  return std::min(opts_.cache_capacity, budget);
+}
+
+void ModelHandle::evict_to(std::size_t capacity) const {
+  while (cache_.size() > capacity) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
 }
 
 std::shared_ptr<const ModelHandle::Factorization>
@@ -56,13 +72,11 @@ ModelHandle::factorization_for(la::Complex s) const {
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return it->second.lu;
   }
+  const std::size_t capacity = effective_capacity();
+  if (capacity == 0) return lu;  // budget leaves no room: serve uncached
   lru_.push_front(s);
   cache_.emplace(s, Entry{lu, lru_.begin()});
-  while (cache_.size() > opts_.cache_capacity) {
-    cache_.erase(lru_.back());
-    lru_.pop_back();
-    ++stats_.evictions;
-  }
+  evict_to(capacity);
   return lu;
 }
 
@@ -111,6 +125,26 @@ void ModelHandle::clear_cache() const {
   cache_.clear();
   lru_.clear();
   stats_ = {};
+}
+
+void ModelHandle::set_cache_budget_hook(CacheBudgetHook hook) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  budget_hook_ = std::move(hook);
+}
+
+void ModelHandle::enforce_cache_budget() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  evict_to(effective_capacity());
+}
+
+std::size_t ModelHandle::bytes_per_entry() const {
+  const std::size_t n = order();
+  return n * n * sizeof(la::Complex) + n * sizeof(std::size_t);
+}
+
+std::size_t ModelHandle::memory_footprint() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size() * bytes_per_entry();
 }
 
 }  // namespace mfti::api

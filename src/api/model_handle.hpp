@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -39,6 +40,13 @@ struct ModelHandleOptions {
   std::size_t cache_capacity = 128;
 };
 
+/// Hash of a complex evaluation point (bitwise identity). Shared between
+/// the pencil cache below and the serving layer's in-batch deduplication
+/// so both agree on what "the same point" means.
+struct PencilKeyHash {
+  std::size_t operator()(const la::Complex& s) const;
+};
+
 /// Cumulative cache counters since construction (or `clear_cache`).
 struct CacheStats {
   std::size_t hits = 0;
@@ -46,6 +54,14 @@ struct CacheStats {
   std::size_t evictions = 0;
   std::size_t entries = 0;  ///< current number of cached factorizations
 };
+
+/// External cache-budget provider (installed by an owner such as
+/// `serving::ServingEngine`): returns the number of cached factorizations
+/// this handle may currently keep, *in addition to* the handle's own
+/// `cache_capacity` (the smaller of the two wins). Consulted under the
+/// cache lock on every insert, so it must be cheap, thread-safe, and must
+/// never call back into the handle.
+using CacheBudgetHook = std::function<std::size_t()>;
 
 /// Thread-safe, cache-backed frequency-response server for one fitted
 /// model. All query methods are const and safe to call concurrently.
@@ -85,12 +101,29 @@ class ModelHandle {
   /// Drop every cached factorization and reset the counters.
   void clear_cache() const;
 
+  /// Install (or, with an empty function, remove) an externally-owned
+  /// budget for this handle's cache. The hook caps future inserts
+  /// immediately; call `enforce_cache_budget` to also trim entries already
+  /// cached. Const for the same reason the cache is mutable: the budget is
+  /// serving state, not model state, and registry snapshots are
+  /// `shared_ptr<const ModelHandle>`.
+  void set_cache_budget_hook(CacheBudgetHook hook) const;
+
+  /// Evict (LRU-first) down to the current effective capacity — used by an
+  /// external budget owner after shrinking its allowance.
+  void enforce_cache_budget() const;
+
+  /// Bytes one cached factorization occupies (the packed order x order
+  /// complex LU plus its pivot vector). Constant per handle.
+  std::size_t bytes_per_entry() const;
+
+  /// Bytes currently held by the pencil cache (entries x bytes_per_entry).
+  /// Cheap: one lock, no traversal.
+  std::size_t memory_footprint() const;
+
  private:
   using Factorization = la::LuDecomposition<la::Complex>;
 
-  struct KeyHash {
-    std::size_t operator()(const la::Complex& s) const;
-  };
   struct Entry {
     std::shared_ptr<const Factorization> lu;
     std::list<la::Complex>::iterator lru_pos;
@@ -98,15 +131,20 @@ class ModelHandle {
 
   std::shared_ptr<const Factorization> factorization_for(la::Complex s) const;
   Factorization factor_pencil(la::Complex s) const;
+  /// min(cache_capacity, budget hook). Caller must hold `mutex_`.
+  std::size_t effective_capacity() const;
+  /// Evict LRU entries beyond `capacity`. Caller must hold `mutex_`.
+  void evict_to(std::size_t capacity) const;
 
   ss::DescriptorSystem model_;
   ss::BatchEvaluator evaluator_;
   ModelHandleOptions opts_;
 
   mutable std::mutex mutex_;
+  mutable CacheBudgetHook budget_hook_;
   /// Most-recently-used key at the front.
   mutable std::list<la::Complex> lru_;
-  mutable std::unordered_map<la::Complex, Entry, KeyHash> cache_;
+  mutable std::unordered_map<la::Complex, Entry, PencilKeyHash> cache_;
   mutable CacheStats stats_;
 };
 

@@ -10,6 +10,8 @@ const char* status_code_name(StatusCode code) {
       return "invalid-argument";
     case StatusCode::Cancelled:
       return "cancelled";
+    case StatusCode::NotFound:
+      return "not-found";
     case StatusCode::NumericalError:
       return "numerical-error";
     case StatusCode::Unimplemented:

@@ -30,6 +30,8 @@ enum class StatusCode {
   InvalidArgument,
   /// The operation was cancelled through a `CancellationToken`.
   Cancelled,
+  /// The named resource (e.g. a registry model) does not exist.
+  NotFound,
   /// The computation broke down numerically (singular pencil, rank 0, ...).
   NumericalError,
   /// No implementation is registered for the requested strategy.
@@ -55,6 +57,9 @@ class Status {
   }
   static Status cancelled(std::string msg) {
     return {StatusCode::Cancelled, std::move(msg)};
+  }
+  static Status not_found(std::string msg) {
+    return {StatusCode::NotFound, std::move(msg)};
   }
   static Status numerical_error(std::string msg) {
     return {StatusCode::NumericalError, std::move(msg)};

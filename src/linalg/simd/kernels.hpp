@@ -31,9 +31,10 @@ KernelTable<std::complex<double>> avx2_table<std::complex<double>>();
 
 bool avx2_table_compiled();
 
-/// Scalar Jacobi kernels, shared with the AVX2 table for `double` (the
-/// strided single-double accesses do not vectorize profitably; complex
-/// columns do, since each element is a contiguous re/im pair).
+/// Scalar Jacobi kernels for `double`, exported by the scalar TU. The
+/// AVX2 table used to alias these; it now carries its own strided real
+/// kernels (64-bit gathers; the rotation stores lanes individually since
+/// AVX2 has no scatter).
 void jacobi_dots_scalar_d(std::size_t n, std::size_t stride,
                           const double* colp, const double* colq, double* app,
                           double* aqq, double* apq);

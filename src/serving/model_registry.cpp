@@ -1,0 +1,139 @@
+#include "serving/model_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mfti::serving {
+
+ModelRegistry::ModelRegistry(ModelRegistryOptions opts) : opts_(opts) {
+  opts_.max_versions = std::max<std::size_t>(1, opts_.max_versions);
+}
+
+std::uint64_t ModelRegistry::publish_locked(
+    const std::string& name, ModelSnapshot handle,
+    std::optional<api::Algorithm> algorithm, double fit_seconds) {
+  ++generation_;
+  Entry& entry = models_[name];
+  Version version;
+  version.info.name = name;
+  version.info.version = entry.next_version++;
+  version.info.order = handle->order();
+  version.info.num_inputs = handle->num_inputs();
+  version.info.num_outputs = handle->num_outputs();
+  version.info.algorithm = algorithm;
+  version.info.fit_seconds = fit_seconds;
+  version.info.published_at = std::chrono::system_clock::now();
+  version.handle = std::move(handle);
+  entry.history.push_back(std::move(version));
+  if (entry.history.size() > opts_.max_versions) {
+    entry.history.erase(entry.history.begin(),
+                        entry.history.end() - opts_.max_versions);
+  }
+  entry.history.back().info.history_depth = entry.history.size() - 1;
+  return entry.history.back().info.version;
+}
+
+std::uint64_t ModelRegistry::publish(const std::string& name,
+                                     ModelSnapshot handle,
+                                     std::optional<api::Algorithm> algorithm,
+                                     double fit_seconds) {
+  if (!handle) {
+    throw std::invalid_argument("ModelRegistry::publish: null handle");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return publish_locked(name, std::move(handle), algorithm, fit_seconds);
+}
+
+std::uint64_t ModelRegistry::publish(const std::string& name,
+                                     const api::FitReport& report,
+                                     api::ModelHandleOptions handle_opts) {
+  auto handle =
+      std::make_shared<const api::ModelHandle>(report, handle_opts);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return publish_locked(name, std::move(handle), report.algorithm,
+                        report.seconds);
+}
+
+ModelSnapshot ModelRegistry::lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(name);
+  if (it == models_.end() || it->second.history.empty()) return nullptr;
+  return it->second.history.back().handle;
+}
+
+api::Expected<VersionedModel> ModelRegistry::acquire(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(name);
+  if (it == models_.end() || it->second.history.empty()) {
+    return api::Status::not_found("no model named '" + name + "'");
+  }
+  const Version& live = it->second.history.back();
+  return VersionedModel{live.handle, live.info};
+}
+
+api::Expected<ModelInfo> ModelRegistry::info(const std::string& name) const {
+  auto model = acquire(name);
+  if (!model) return model.status();
+  return model->info;
+}
+
+api::Expected<std::uint64_t> ModelRegistry::rollback(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(name);
+  if (it == models_.end() || it->second.history.empty()) {
+    return api::Status::not_found("no model named '" + name + "'");
+  }
+  Entry& entry = it->second;
+  if (entry.history.size() < 2) {
+    return api::Status::invalid_argument(
+        "model '" + name + "' has no previous version to roll back to");
+  }
+  entry.history.pop_back();
+  entry.history.back().info.history_depth = entry.history.size() - 1;
+  ++generation_;
+  return entry.history.back().info.version;
+}
+
+bool ModelRegistry::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (models_.erase(name) == 0) return false;
+  ++generation_;
+  return true;
+}
+
+std::vector<ModelInfo> ModelRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ModelInfo> out;
+  out.reserve(models_.size());
+  for (const auto& [name, entry] : models_) {
+    if (!entry.history.empty()) out.push_back(entry.history.back().info);
+  }
+  return out;
+}
+
+std::vector<VersionedModel> ModelRegistry::live_models() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<VersionedModel> out;
+  out.reserve(models_.size());
+  for (const auto& [name, entry] : models_) {
+    if (!entry.history.empty()) {
+      out.push_back(
+          {entry.history.back().handle, entry.history.back().info});
+    }
+  }
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.size();
+}
+
+std::uint64_t ModelRegistry::generation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return generation_;
+}
+
+}  // namespace mfti::serving

@@ -1,0 +1,143 @@
+/// \file model_registry.hpp
+/// \brief Thread-safe map of named, versioned serving models.
+///
+/// Each model name holds a short history of immutable snapshots
+/// (`shared_ptr<const api::ModelHandle>`). `publish` atomically swaps in a
+/// new snapshot — in-flight queries holding the previous `shared_ptr`
+/// finish against the old version untouched — and `rollback` restores the
+/// previous one. Every version carries metadata (order, ports, fitting
+/// algorithm, fit time, publish time) surfaced through `info`/`list`.
+///
+/// ```cpp
+/// serving::ModelRegistry registry;
+/// registry.publish("pdn", *report);              // version 1
+/// auto model = registry.acquire("pdn");          // snapshot + info
+/// registry.publish("pdn", *better_report);       // version 2, v1 history
+/// registry.rollback("pdn");                      // v1 live again
+/// ```
+///
+/// The registry owns names and history; the engine (serving_engine.hpp)
+/// owns dispatch and cache budgets; the fit pipeline (async_fitter.hpp)
+/// feeds new versions in from the background.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/fit_report.hpp"
+#include "api/model_handle.hpp"
+#include "api/status.hpp"
+
+namespace mfti::serving {
+
+/// Immutable serving snapshot: queries on a snapshot are unaffected by
+/// later publishes (the cache behind the const interface stays live).
+using ModelSnapshot = std::shared_ptr<const api::ModelHandle>;
+
+/// Descriptive record of one published version.
+struct ModelInfo {
+  std::string name;
+  std::uint64_t version = 0;  ///< 1 for the first publish, monotonic after
+  std::size_t order = 0;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  /// Strategy that produced the model; absent when published from a bare
+  /// handle (e.g. an externally built system).
+  std::optional<api::Algorithm> algorithm;
+  double fit_seconds = 0.0;  ///< 0 when unknown
+  std::chrono::system_clock::time_point published_at;
+  /// Older versions still held for `rollback`.
+  std::size_t history_depth = 0;
+};
+
+/// The live snapshot and its metadata, captured under one lock so a
+/// republish can never pair one version's handle with another's info.
+struct VersionedModel {
+  ModelSnapshot handle;
+  ModelInfo info;
+};
+
+struct ModelRegistryOptions {
+  /// Total versions kept per model (the live one plus rollback history).
+  /// Clamped to >= 1; 1 disables rollback.
+  std::size_t max_versions = 2;
+};
+
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(ModelRegistryOptions opts = {});
+
+  /// Publish `handle` as the new live version of `name` and return the new
+  /// version number. \throws std::invalid_argument on a null handle.
+  std::uint64_t publish(const std::string& name, ModelSnapshot handle,
+                        std::optional<api::Algorithm> algorithm = {},
+                        double fit_seconds = 0.0);
+
+  /// Wrap a successful fit in a `ModelHandle` and publish it, carrying the
+  /// report's algorithm and timing into the metadata.
+  std::uint64_t publish(const std::string& name, const api::FitReport& report,
+                        api::ModelHandleOptions handle_opts = {});
+
+  /// The live snapshot of `name`, or nullptr when unknown. Holding the
+  /// returned pointer keeps that version alive across republishes.
+  ModelSnapshot lookup(const std::string& name) const;
+
+  /// Live snapshot plus its metadata, atomically.
+  api::Expected<VersionedModel> acquire(const std::string& name) const;
+
+  /// Metadata of the live version.
+  api::Expected<ModelInfo> info(const std::string& name) const;
+
+  /// Drop the live version and restore the previous one; returns the
+  /// version now live. Not-found for unknown names, invalid-argument when
+  /// no previous version is held.
+  api::Expected<std::uint64_t> rollback(const std::string& name);
+
+  /// Remove `name` entirely; false when it was not registered. Snapshots
+  /// already handed out stay valid.
+  bool remove(const std::string& name);
+
+  /// Live-version metadata for every model, sorted by name.
+  std::vector<ModelInfo> list() const;
+
+  /// Live snapshots for every model, sorted by name (the budget/stats
+  /// sweep of the serving engine).
+  std::vector<VersionedModel> live_models() const;
+
+  std::size_t size() const;
+
+  /// Monotonic counter bumped by every mutation (publish, rollback,
+  /// remove). Lets observers — e.g. the engine's budget partitioner —
+  /// skip re-scanning an unchanged live set. Starts at 1.
+  std::uint64_t generation() const;
+
+ private:
+  struct Version {
+    ModelSnapshot handle;
+    ModelInfo info;
+  };
+  struct Entry {
+    std::vector<Version> history;  ///< oldest first; live version at back
+    std::uint64_t next_version = 1;
+  };
+
+  std::uint64_t publish_locked(const std::string& name, ModelSnapshot handle,
+                               std::optional<api::Algorithm> algorithm,
+                               double fit_seconds);
+
+  ModelRegistryOptions opts_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> models_;
+  std::uint64_t generation_ = 1;
+};
+
+}  // namespace mfti::serving

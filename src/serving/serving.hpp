@@ -1,0 +1,12 @@
+/// \file serving.hpp
+/// \brief Umbrella header for the multi-model serving subsystem:
+/// `ModelRegistry` (named, versioned snapshots) + `ServingEngine` (shared
+/// pool, batch routing, global cache budget) + `AsyncFitter` (background
+/// fit queue with auto-publish). Builds on `api::` — see README "Serving
+/// architecture".
+
+#pragma once
+
+#include "serving/async_fitter.hpp"    // IWYU pragma: export
+#include "serving/model_registry.hpp"  // IWYU pragma: export
+#include "serving/serving_engine.hpp"  // IWYU pragma: export

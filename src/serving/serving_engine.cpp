@@ -1,0 +1,225 @@
+#include "serving/serving_engine.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <numbers>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "linalg/lu.hpp"
+
+namespace mfti::serving {
+
+/// Budget bookkeeping shared with the hooks installed on the handles. The
+/// ledger outlives the engine through the hooks' shared_ptr copies; after
+/// the engine dies the allowances freeze at their last values. Lock order:
+/// a handle's cache mutex may be held when the hook takes `mutex` — never
+/// call into a handle while holding `mutex`.
+struct ServingEngine::BudgetLedger {
+  std::mutex mutex;
+  /// Allowed cache entries per live handle. Handles not in the map (old
+  /// versions still held by in-flight queries, foreign handles) are
+  /// unconstrained.
+  std::unordered_map<const api::ModelHandle*, std::size_t> allowance;
+  /// Registry generation the partition was last computed for (0 = never);
+  /// re-partitioning is only needed when the live set changed.
+  std::uint64_t partitioned_for = 0;
+
+  std::size_t allowance_for(const api::ModelHandle* handle) {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = allowance.find(handle);
+    return it == allowance.end() ? std::numeric_limits<std::size_t>::max()
+                                 : it->second;
+  }
+};
+
+ServingEngine::ServingEngine(ModelRegistry& registry,
+                             ServingEngineOptions opts)
+    : registry_(registry),
+      opts_(opts),
+      pool_(opts.workers == 0 ? parallel::hardware_threads() - 1
+                              : opts.workers),
+      ledger_(std::make_shared<BudgetLedger>()) {}
+
+ServingEngine::~ServingEngine() = default;
+
+void ServingEngine::maybe_enforce_cache_budget() const {
+  if (opts_.cache_memory_budget == 0) return;
+  // The insert-time hooks keep an unchanged live set within its shares;
+  // re-partitioning is only needed after a publish/rollback/remove.
+  const std::uint64_t generation = registry_.generation();
+  {
+    std::lock_guard<std::mutex> lock(ledger_->mutex);
+    if (ledger_->partitioned_for == generation) return;
+  }
+  enforce_cache_budget();
+}
+
+void ServingEngine::enforce_cache_budget() const {
+  if (opts_.cache_memory_budget == 0) return;
+  const std::uint64_t generation = registry_.generation();
+  const auto live = registry_.live_models();
+  // A handle published under several names serves them all from one cache;
+  // budget it once.
+  std::vector<const api::ModelHandle*> handles;
+  std::vector<ModelSnapshot> snapshots;
+  for (const auto& model : live) {
+    const api::ModelHandle* raw = model.handle.get();
+    if (std::find(handles.begin(), handles.end(), raw) == handles.end()) {
+      handles.push_back(raw);
+      snapshots.push_back(model.handle);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ledger_->mutex);
+    ledger_->allowance.clear();
+    if (!handles.empty()) {
+      const std::size_t share = opts_.cache_memory_budget / handles.size();
+      for (const api::ModelHandle* handle : handles) {
+        const std::size_t bytes =
+            std::max<std::size_t>(1, handle->bytes_per_entry());
+        ledger_->allowance[handle] = share / bytes;
+      }
+    }
+    ledger_->partitioned_for = generation;
+  }
+  // Install hooks and trim outside the ledger lock (the handle's cache
+  // mutex is the outer lock of the hook's path).
+  for (const ModelSnapshot& snapshot : snapshots) {
+    snapshot->set_cache_budget_hook(
+        [ledger = ledger_, raw = snapshot.get()] {
+          return ledger->allowance_for(raw);
+        });
+    snapshot->enforce_cache_budget();
+  }
+}
+
+std::vector<api::Expected<EvalResponse>> ServingEngine::evaluate(
+    const std::vector<EvalRequest>& batch) const {
+  maybe_enforce_cache_budget();
+
+  struct Prepared {
+    ModelSnapshot handle;
+    std::vector<la::Complex> unique;    // distinct points, first-seen order
+    std::vector<std::size_t> scatter;   // point i -> unique index
+    std::vector<la::CMat> values;       // one per unique point
+    std::vector<std::optional<api::Status>> errors;  // one per unique point
+    EvalResponse response;
+    api::Status status;  // non-ok: request failed before dispatch
+  };
+
+  std::vector<Prepared> prepared(batch.size());
+  struct Task {
+    std::size_t request;
+    std::size_t unique;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    Prepared& p = prepared[r];
+    auto model = registry_.acquire(batch[r].model);
+    if (!model) {
+      p.status = model.status();
+      continue;
+    }
+    p.handle = std::move(model->handle);
+    p.response.model = batch[r].model;
+    p.response.version = model->info.version;
+    std::unordered_map<la::Complex, std::size_t, api::PencilKeyHash> seen;
+    seen.reserve(batch[r].points.size());
+    p.scatter.reserve(batch[r].points.size());
+    for (const la::Complex& s : batch[r].points) {
+      const auto [it, inserted] = seen.emplace(s, p.unique.size());
+      if (inserted) p.unique.push_back(s);
+      p.scatter.push_back(it->second);
+    }
+    p.values.resize(p.unique.size());
+    p.errors.resize(p.unique.size());
+    p.response.unique_points = p.unique.size();
+    for (std::size_t u = 0; u < p.unique.size(); ++u) {
+      tasks.push_back({r, u});
+    }
+  }
+
+  // One shared fan-out for the whole batch: distinct (model, point) pairs
+  // across every request claim pool slots together.
+  pool_.run_batch(
+      tasks.size(), pool_.worker_count() + 1, [&](std::size_t t) {
+        Prepared& p = prepared[tasks[t].request];
+        const std::size_t u = tasks[t].unique;
+        try {
+          p.values[u] = p.handle->evaluate(p.unique[u]);
+        } catch (const la::SingularMatrixError& e) {
+          p.errors[u] = api::Status::numerical_error(e.what());
+        } catch (const std::exception& e) {
+          p.errors[u] = api::Status::internal(e.what());
+        }
+      });
+
+  std::vector<api::Expected<EvalResponse>> out;
+  out.reserve(batch.size());
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    Prepared& p = prepared[r];
+    if (!p.status.is_ok()) {
+      out.emplace_back(p.status);
+      continue;
+    }
+    const auto failed =
+        std::find_if(p.errors.begin(), p.errors.end(),
+                     [](const auto& e) { return e.has_value(); });
+    if (failed != p.errors.end()) {
+      out.emplace_back(**failed);
+      continue;
+    }
+    p.response.values.reserve(p.scatter.size());
+    for (const std::size_t u : p.scatter) {
+      p.response.values.push_back(p.values[u]);
+    }
+    out.emplace_back(std::move(p.response));
+  }
+  return out;
+}
+
+api::Expected<EvalResponse> ServingEngine::evaluate(
+    const EvalRequest& request) const {
+  return std::move(evaluate(std::vector<EvalRequest>{request}).front());
+}
+
+api::Expected<EvalResponse> ServingEngine::sweep(
+    const std::string& model, const std::vector<la::Real>& freqs_hz) const {
+  EvalRequest request;
+  request.model = model;
+  request.points.reserve(freqs_hz.size());
+  for (const la::Real f : freqs_hz) {
+    request.points.emplace_back(0.0, 2.0 * std::numbers::pi * f);
+  }
+  return evaluate(request);
+}
+
+ServingStats ServingEngine::stats() const {
+  ServingStats out;
+  out.memory_budget = opts_.cache_memory_budget;
+  // Dedup by handle, matching the budget partition: a handle published
+  // under several names has one cache and is counted once, so
+  // memory_bytes is comparable to memory_budget.
+  std::vector<const api::ModelHandle*> counted;
+  for (const auto& model : registry_.live_models()) {
+    ++out.models;
+    const api::ModelHandle* raw = model.handle.get();
+    if (std::find(counted.begin(), counted.end(), raw) != counted.end()) {
+      continue;
+    }
+    counted.push_back(raw);
+    const api::CacheStats stats = model.handle->cache_stats();
+    out.cache.hits += stats.hits;
+    out.cache.misses += stats.misses;
+    out.cache.evictions += stats.evictions;
+    out.cache.entries += stats.entries;
+    out.memory_bytes += model.handle->memory_footprint();
+  }
+  return out;
+}
+
+}  // namespace mfti::serving

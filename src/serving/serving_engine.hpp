@@ -1,0 +1,129 @@
+/// \file serving_engine.hpp
+/// \brief The query router of the serving subsystem: one engine, one shared
+/// thread pool, many registry models.
+///
+/// An `EvalRequest` names a registered model and the complex frequency
+/// points to evaluate. The engine resolves the model's live snapshot once
+/// per request (so a response can never mix versions), deduplicates
+/// identical points within the batch, fans the distinct evaluations out
+/// over its own `parallel::ThreadPool` — shared across every model it
+/// serves — and scatters the results back in request order.
+///
+/// Memory governance: `ServingEngineOptions::cache_memory_budget` is a
+/// global cap (bytes) on the factorization caches of all live models
+/// combined. The engine partitions it into equal per-model byte shares,
+/// installs a `CacheBudgetHook` on each live handle so inserts respect the
+/// share immediately, and trims models already above their share —
+/// over-budget models are the only ones evicted. `stats()` surfaces the
+/// aggregated `CacheStats` and footprint so the cap is observable.
+///
+/// ```cpp
+/// serving::ModelRegistry registry;
+/// registry.publish("pdn", *report);
+/// serving::ServingEngine engine(registry, {.cache_memory_budget = 64 << 20});
+/// auto response = engine.sweep("pdn", grid);
+/// ```
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/model_handle.hpp"
+#include "api/status.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serving/model_registry.hpp"
+
+namespace mfti::serving {
+
+struct ServingEngineOptions {
+  /// Background workers of the engine's pool (the calling thread always
+  /// participates, so n workers give n+1-way evaluation). 0 means
+  /// `hardware_threads() - 1`.
+  std::size_t workers = 0;
+  /// Global cap, in bytes, on the pencil caches of all live models
+  /// combined. 0 disables budget enforcement (each handle falls back to
+  /// its own `cache_capacity`).
+  std::size_t cache_memory_budget = 0;
+};
+
+/// One routed evaluation: `points` of model `model`, in caller order.
+struct EvalRequest {
+  std::string model;
+  std::vector<la::Complex> points;
+};
+
+/// The served batch. `values[i]` is `H(points[i])` of the snapshot that was
+/// live when the request was routed; every value in one response comes from
+/// that same snapshot.
+struct EvalResponse {
+  std::string model;
+  std::uint64_t version = 0;
+  std::vector<la::CMat> values;
+  /// Distinct points after in-batch deduplication (the number of
+  /// evaluations actually dispatched).
+  std::size_t unique_points = 0;
+};
+
+/// Aggregated serving-side cache telemetry across all live models.
+struct ServingStats {
+  api::CacheStats cache;  ///< hits/misses/evictions/entries, summed
+  std::size_t models = 0;
+  std::size_t memory_bytes = 0;   ///< summed `memory_footprint()`
+  std::size_t memory_budget = 0;  ///< the configured global cap (0 = off)
+};
+
+class ServingEngine {
+ public:
+  /// `registry` must outlive the engine.
+  explicit ServingEngine(ModelRegistry& registry,
+                         ServingEngineOptions opts = {});
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Route one request. Unknown models report not-found; a pole among the
+  /// points reports numerical-error; the registry is never mutated.
+  api::Expected<EvalResponse> evaluate(const EvalRequest& request) const;
+
+  /// Route a batch across models: all distinct (model, point) evaluations
+  /// of the whole batch share one pool fan-out. Responses line up with
+  /// `batch` and fail independently.
+  std::vector<api::Expected<EvalResponse>> evaluate(
+      const std::vector<EvalRequest>& batch) const;
+
+  /// `H(j 2 pi f)` of `model` over a frequency grid (Hz).
+  api::Expected<EvalResponse> sweep(const std::string& model,
+                                    const std::vector<la::Real>& freqs_hz)
+      const;
+
+  /// Re-partition the global budget across the currently live models,
+  /// (re)install the insert-time hooks and trim over-budget caches.
+  /// The request path runs this lazily — only when the registry's
+  /// generation changed since the last partition (the hooks keep an
+  /// unchanged live set within budget by construction); this method
+  /// forces it unconditionally.
+  void enforce_cache_budget() const;
+
+  /// Aggregated cache counters and footprint over the live models.
+  ServingStats stats() const;
+
+  std::size_t worker_count() const { return pool_.worker_count(); }
+
+ private:
+  struct BudgetLedger;
+
+  /// Re-partition only if the registry changed since the last partition.
+  void maybe_enforce_cache_budget() const;
+
+  ModelRegistry& registry_;
+  ServingEngineOptions opts_;
+  mutable parallel::ThreadPool pool_;
+  std::shared_ptr<BudgetLedger> ledger_;
+};
+
+}  // namespace mfti::serving

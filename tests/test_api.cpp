@@ -431,6 +431,148 @@ TEST(ModelHandle, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(stats.hits, 0u);
   EXPECT_EQ(stats.misses, 0u);
   EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(handle.memory_footprint(), 0u);
+}
+
+// cache_capacity = 0: every query refactors, including repeated points in
+// a parallel sweep, and results stay identical to the cached path.
+TEST(ModelHandle, ZeroCapacitySweepRefactorsEveryQuery) {
+  const auto sys = make_system(12, 2, 128);
+  api::ModelHandleOptions opts;
+  opts.cache_capacity = 0;
+  const api::ModelHandle uncached(sys, opts);
+  const api::ModelHandle cached(sys);
+
+  const auto base = sp::log_grid(10.0, 1e5, 7);
+  std::vector<double> freqs;
+  for (int round = 0; round < 4; ++round)
+    freqs.insert(freqs.end(), base.begin(), base.end());
+
+  const auto a = uncached.sweep(freqs, par::ExecutionPolicy::with_threads(4));
+  const auto b = cached.sweep(freqs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(max_diff(a[i], b[i]), 0.0);
+  const auto stats = uncached.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);      // nothing was ever served from cache
+  EXPECT_EQ(stats.misses, 0u);    // the cache path was never entered
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(cached.cache_stats().misses, base.size());
+}
+
+// Probes the exact LRU order through hit/miss counters: a refreshed entry
+// must be the survivor, the least-recently-used one the victim, at every
+// step of the access pattern.
+TEST(ModelHandle, LruEvictionOrderIsExact) {
+  const auto sys = make_system(8, 2, 129);
+  api::ModelHandleOptions opts;
+  opts.cache_capacity = 3;
+  const api::ModelHandle handle(sys, opts);
+
+  const auto expect_stats = [&](std::size_t hits, std::size_t misses,
+                                std::size_t evictions, const char* where) {
+    const auto stats = handle.cache_stats();
+    EXPECT_EQ(stats.hits, hits) << where;
+    EXPECT_EQ(stats.misses, misses) << where;
+    EXPECT_EQ(stats.evictions, evictions) << where;
+  };
+
+  handle.response_at(1.0);  // lru: {1}
+  handle.response_at(2.0);  // lru: {2 1}
+  handle.response_at(3.0);  // lru: {3 2 1}
+  expect_stats(0, 3, 0, "after cold fill");
+  handle.response_at(1.0);  // hit; lru: {1 3 2}
+  expect_stats(1, 3, 0, "refresh oldest");
+  handle.response_at(4.0);  // evicts 2; lru: {4 1 3}
+  expect_stats(1, 4, 1, "first eviction");
+  handle.response_at(2.0);  // miss (2 was the victim); evicts 3
+  expect_stats(1, 5, 2, "victim was LRU, not the refreshed entry");
+  handle.response_at(1.0);  // 1 survived both evictions: hit
+  handle.response_at(4.0);  // hit
+  handle.response_at(2.0);  // hit
+  expect_stats(4, 5, 2, "survivors are the recently used");
+  handle.response_at(3.0);  // miss: 3 was evicted above
+  expect_stats(4, 6, 3, "3 was evicted in step 6");
+  EXPECT_EQ(handle.cache_stats().entries, 3u);
+  EXPECT_EQ(handle.memory_footprint(), 3u * handle.bytes_per_entry());
+}
+
+// CacheStats invariants under concurrent mixed hit/miss load: more
+// distinct frequencies than capacity, many threads, interleaved repeats.
+// Counters must never lose an event and the cache must never exceed its
+// capacity, whatever the interleaving.
+TEST(ModelHandle, CacheStatsConsistentUnderConcurrentMixedLoad) {
+  const auto sys = make_system(14, 2, 130);
+  api::ModelHandleOptions opts;
+  opts.cache_capacity = 6;
+  const api::ModelHandle handle(sys, opts);
+
+  const auto freqs = sp::log_grid(10.0, 1e5, 16);  // > capacity
+  par::ThreadPool pool(4);
+  const std::size_t queries = 600;
+  std::atomic<int> mismatches{0};
+  std::vector<CMat> reference;
+  reference.reserve(freqs.size());
+  for (double f : freqs) {
+    reference.push_back(
+        ss::transfer_function(sys, Complex(0.0, 2.0 * M_PI * f)));
+  }
+  pool.run_batch(queries, 4, [&](std::size_t i) {
+    // Mixed pattern: clustered repeats (hits) interleaved with a rolling
+    // window over the full set (misses + evictions).
+    const std::size_t k = (i % 3 == 0) ? (i / 3) % freqs.size() : i % 4;
+    if (max_diff(handle.response_at(freqs[k]), reference[k]) > 1e-12) {
+      mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const auto stats = handle.cache_stats();
+  // Every query is exactly one hit or one miss.
+  EXPECT_EQ(stats.hits + stats.misses, queries);
+  // The cache can never exceed its capacity...
+  EXPECT_LE(stats.entries, 6u);
+  // ...and every miss either inserted (still cached or later evicted) or
+  // lost a concurrent factoring race (no insert). Hence:
+  EXPECT_LE(stats.entries + stats.evictions, stats.misses);
+  // At least the distinct points of the rolling window missed once.
+  EXPECT_GE(stats.misses, freqs.size());
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+// The externally-owned budget hook caps inserts immediately and
+// enforce_cache_budget trims already-cached entries, evicting in LRU
+// order; removing the hook restores the handle's own capacity.
+TEST(ModelHandle, CacheBudgetHookCapsAndTrims) {
+  const auto sys = make_system(10, 2, 131);
+  const api::ModelHandle handle(sys);
+  for (double f : sp::log_grid(10.0, 1e5, 8)) handle.response_at(f);
+  ASSERT_EQ(handle.cache_stats().entries, 8u);
+
+  handle.set_cache_budget_hook([] { return std::size_t{3}; });
+  // Hook alone does not trim; the owner decides when.
+  EXPECT_EQ(handle.cache_stats().entries, 8u);
+  handle.enforce_cache_budget();
+  auto stats = handle.cache_stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.evictions, 5u);
+
+  // Inserts now respect the budget without another enforce call.
+  for (double f : sp::log_grid(1e6, 1e7, 5)) handle.response_at(f);
+  EXPECT_LE(handle.cache_stats().entries, 3u);
+
+  // A zero budget serves uncached (miss counted, nothing stored).
+  handle.set_cache_budget_hook([] { return std::size_t{0}; });
+  handle.enforce_cache_budget();
+  handle.response_at(123.0);
+  stats = handle.cache_stats();
+  EXPECT_EQ(stats.entries, 0u);
+
+  // Removing the hook restores the handle's own capacity.
+  handle.set_cache_budget_hook({});
+  handle.response_at(456.0);
+  EXPECT_EQ(handle.cache_stats().entries, 1u);
 }
 
 TEST(ModelHandle, ServesFitReport) {

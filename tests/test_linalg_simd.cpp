@@ -238,6 +238,48 @@ TEST(SimdKernels, VectorKernelParityScalarVsAvx2) {
   }
 }
 
+// Strided real Jacobi kernels (gather-based AVX2): same 1e-13 parity bar
+// as the complex pair, across gather-width boundaries (m % 4) and both
+// phase signs, on strided columns of a wider matrix.
+TEST(SimdKernels, JacobiRealKernelParityScalarVsAvx2) {
+  if (!avx2_usable()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  const auto& sd = simd::kernels_for<double>(simd::Level::Scalar);
+  const auto& ad = simd::kernels_for<double>(simd::Level::Avx2);
+  for (std::size_t m : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                        std::size_t{5}, std::size_t{7}, std::size_t{64},
+                        std::size_t{65}}) {
+    for (double phase : {1.0, -1.0}) {
+      Mat g = random_mat<double>(m, 5, 300 + m);
+      Mat h = g;
+      const std::size_t p = 1;
+      const std::size_t q = 3;
+
+      double app_s = 0.0, aqq_s = 0.0, apq_s = 0.0;
+      double app_a = 0.0, aqq_a = 0.0, apq_a = 0.0;
+      sd.jacobi_dots(m, g.cols(), &g(0, p), &g(0, q), &app_s, &aqq_s,
+                     &apq_s);
+      ad.jacobi_dots(m, g.cols(), &g(0, p), &g(0, q), &app_a, &aqq_a,
+                     &apq_a);
+      EXPECT_NEAR(app_s, app_a, 1e-13 * (1.0 + app_s));
+      EXPECT_NEAR(aqq_s, aqq_a, 1e-13 * (1.0 + aqq_s));
+      EXPECT_NEAR(apq_s, apq_a, 1e-13 * (1.0 + std::abs(apq_s)));
+
+      sd.jacobi_rotate(m, g.cols(), &g(0, p), &g(0, q), 0.8, 0.6, phase);
+      ad.jacobi_rotate(m, h.cols(), &h(0, p), &h(0, q), 0.8, 0.6, phase);
+      for (std::size_t i = 0; i < m; ++i) {
+        EXPECT_NEAR(g(i, p), h(i, p), 1e-13 * (1.0 + std::abs(g(i, p))));
+        EXPECT_NEAR(g(i, q), h(i, q), 1e-13 * (1.0 + std::abs(g(i, q))));
+      }
+      // Untouched columns stay untouched.
+      for (std::size_t i = 0; i < m; ++i) {
+        EXPECT_EQ(g(i, 0), h(i, 0));
+        EXPECT_EQ(g(i, 2), h(i, 2));
+        EXPECT_EQ(g(i, 4), h(i, 4));
+      }
+    }
+  }
+}
+
 TEST(SimdKernels, JacobiKernelParityScalarVsAvx2) {
   if (!avx2_usable()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
   const auto& sc = simd::kernels_for<Complex>(simd::Level::Scalar);
