@@ -20,11 +20,17 @@
 // N independent ModelHandles. Engine responses must match the direct path
 // within 1e-12; the timing rows land in the JSON trajectory.
 //
+// A third section measures durability: fitting and publishing the fleet
+// into a journaled registry from scratch (cold fit) against rehydrating
+// it with ModelRegistry::open (warm restart). Restored responses must be
+// bitwise identical to the pre-restart ones.
+//
 // Usage: bench_model_serving [rounds] [--json <path>]
 
 #include <algorithm>
 #include <cstdio>
 #include <deque>
+#include <filesystem>
 #include <memory>
 #include <numbers>
 #include <string>
@@ -242,6 +248,74 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
+  // --- durability: cold fit vs warm restart ---------------------------------
+  //
+  // Cold path: fit every fleet model from samples and publish it into a
+  // durable (journaled) registry. Warm path: ModelRegistry::open replays
+  // the journal back into a serving fleet. The ratio is the restart-time
+  // win persistence buys; the restored answers must stay bitwise equal.
+
+  const std::string fleet_dir = "bench_serving_fleet";
+  std::filesystem::remove_all(fleet_dir);
+  std::vector<sp::SampleSet> fleet_data;  // "measurements", not timed
+  for (const auto& sys : fleet) {
+    fleet_data.push_back(
+        sp::sample_system(sys, sp::log_grid(10.0, 1e5, 16)));
+  }
+  std::vector<la::CMat> cold_responses;
+  double t_cold = 0.0;
+  {
+    auto durable = serving::ModelRegistry::open(fleet_dir);
+    if (!durable) {
+      std::printf("FAIL: open: %s\n", durable.status().to_string().c_str());
+      return 1;
+    }
+    sw.reset();
+    for (std::size_t m = 0; m < kFleet; ++m) {
+      const auto fit = api::Fitter().fit(fleet_data[m]);
+      if (!fit) {
+        std::printf("FAIL: cold fit: %s\n",
+                    fit.status().to_string().c_str());
+        return 1;
+      }
+      (*durable)->publish(names[m], *fit);
+    }
+    t_cold = sw.seconds();
+    for (std::size_t m = 0; m < kFleet; ++m) {
+      cold_responses.push_back(
+          (*durable)->lookup(names[m])->response_at(fleet_freqs[0]));
+    }
+  }  // the cold fleet is gone; only snapshot + journal remain
+  sw.reset();
+  auto warm = serving::ModelRegistry::open(fleet_dir);
+  const double t_warm = sw.seconds();
+  if (!warm) {
+    std::printf("FAIL: warm restart: %s\n",
+                warm.status().to_string().c_str());
+    return 1;
+  }
+  if ((*warm)->size() != kFleet) {
+    std::printf("FAIL: warm restart restored %zu of %zu models\n",
+                (*warm)->size(), kFleet);
+    ok = false;
+  }
+  for (std::size_t m = 0; m < kFleet; ++m) {
+    const auto handle = (*warm)->lookup(names[m]);
+    if (!handle ||
+        max_abs_diff(handle->response_at(fleet_freqs[0]),
+                     cold_responses[m]) != 0.0) {
+      std::printf("FAIL: '%s' not bitwise identical after restart\n",
+                  names[m].c_str());
+      ok = false;
+    }
+  }
+  std::filesystem::remove_all(fleet_dir);
+
+  std::printf("\ndurability: %zu models:\n", kFleet);
+  std::printf("  cold fit + publish      : %8.3f ms\n", 1e3 * t_cold);
+  std::printf("  warm restart (replay)   : %8.3f ms  (%.2fx)\n",
+              1e3 * t_warm, t_cold / t_warm);
+
   mfti::bench::JsonReport json("model_serving");
   json.add("naive_transfer_function",
            {{"seconds", t_naive}, {"queries", static_cast<double>(queries)}});
@@ -261,6 +335,11 @@ int main(int argc, char** argv) {
             {"cache_hits", static_cast<double>(fleet_stats.cache.hits)},
             {"cache_misses",
              static_cast<double>(fleet_stats.cache.misses)}});
+  json.add("cold_fit",
+           {{"seconds", t_cold}, {"models", static_cast<double>(kFleet)}});
+  json.add("warm_restart", {{"seconds", t_warm},
+                            {"speedup", t_cold / t_warm},
+                            {"models", static_cast<double>(kFleet)}});
   if (!json.write(args.json_path)) ok = false;
   std::printf(ok ? "OK\n" : "NOT OK\n");
   return ok ? 0 : 1;

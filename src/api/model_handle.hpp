@@ -74,6 +74,9 @@ class ModelHandle {
   explicit ModelHandle(const FitReport& report, ModelHandleOptions opts = {});
 
   const ss::DescriptorSystem& model() const { return model_; }
+  /// The serving options the handle was built with (persisted by
+  /// `io::save_model_snapshot` so a reloaded handle serves identically).
+  const ModelHandleOptions& options() const { return opts_; }
   std::size_t order() const { return evaluator_.order(); }
   std::size_t num_inputs() const { return evaluator_.num_inputs(); }
   std::size_t num_outputs() const { return evaluator_.num_outputs(); }

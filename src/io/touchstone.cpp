@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sampling/sampler.hpp"
+
 namespace mfti::io {
 
 namespace {
@@ -217,6 +219,16 @@ void write_touchstone_file(const std::string& path,
     throw std::invalid_argument("write_touchstone_file: cannot open " + path);
   }
   write_touchstone(out, data, z0);
+}
+
+void write_touchstone_model(const std::string& path,
+                            const ss::DescriptorSystem& model,
+                            const std::vector<Real>& freqs_hz, Real z0) {
+  if (freqs_hz.empty()) {
+    throw std::invalid_argument(
+        "write_touchstone_model: empty frequency grid");
+  }
+  write_touchstone_file(path, sampling::sample_system(model, freqs_hz), z0);
 }
 
 }  // namespace mfti::io

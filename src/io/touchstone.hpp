@@ -12,8 +12,10 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "sampling/dataset.hpp"
+#include "statespace/descriptor.hpp"
 
 namespace mfti::io {
 
@@ -42,5 +44,16 @@ void write_touchstone(std::ostream& out, const sampling::SampleSet& data,
 /// Write to a file path. \throws std::invalid_argument on open failure.
 void write_touchstone_file(const std::string& path,
                            const sampling::SampleSet& data, Real z0 = 50.0);
+
+/// Export a fitted model: sample `H(j 2 pi f)` of `model` at `freqs_hz`
+/// and write the response as Touchstone — the interchange surface through
+/// which downstream simulators consume a fit. Round-trip contract: a refit
+/// of the re-read file recovers the model within fit tolerance
+/// (tests/test_serving_persistence.cpp).
+/// \throws std::invalid_argument on open failure or an empty grid.
+void write_touchstone_model(const std::string& path,
+                            const ss::DescriptorSystem& model,
+                            const std::vector<Real>& freqs_hz,
+                            Real z0 = 50.0);
 
 }  // namespace mfti::io

@@ -1,22 +1,67 @@
 #include "serving/model_registry.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "io/snapshot.hpp"
+#include "serving/registry_journal.hpp"
 
 namespace mfti::serving {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// File names under the durable root (docs/persistence-format.md).
+constexpr const char* kSnapshotFile = "registry.snapshot";
+constexpr const char* kJournalFile = "registry.journal";
+
+void env_size_override(const char* name, std::size_t* value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') {
+    std::fprintf(stderr,
+                 "[mfti.serving] malformed %s='%s' (want a non-negative "
+                 "integer); keeping the default %zu\n",
+                 name, env, *value);
+    return;
+  }
+  *value = static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+RegistryPersistenceOptions RegistryPersistenceOptions::from_env() {
+  RegistryPersistenceOptions opts;
+  env_size_override("MFTI_JOURNAL_COMPACT_RECORDS",
+                    &opts.compact_min_records);
+  env_size_override("MFTI_JOURNAL_COMPACT_BYTES", &opts.compact_min_bytes);
+  return opts;
+}
 
 ModelRegistry::ModelRegistry(ModelRegistryOptions opts) : opts_(opts) {
   opts_.max_versions = std::max<std::size_t>(1, opts_.max_versions);
 }
 
+ModelRegistry::~ModelRegistry() = default;
+
+// --- mutations --------------------------------------------------------------
+
 std::uint64_t ModelRegistry::publish_locked(
     const std::string& name, ModelSnapshot handle,
     std::optional<api::Algorithm> algorithm, double fit_seconds) {
-  ++generation_;
-  Entry& entry = models_[name];
+  const auto found = models_.find(name);
   Version version;
   version.info.name = name;
-  version.info.version = entry.next_version++;
+  version.info.version =
+      found == models_.end() ? 1 : found->second.next_version;
   version.info.order = handle->order();
   version.info.num_inputs = handle->num_inputs();
   version.info.num_outputs = handle->num_outputs();
@@ -24,12 +69,31 @@ std::uint64_t ModelRegistry::publish_locked(
   version.info.fit_seconds = fit_seconds;
   version.info.published_at = std::chrono::system_clock::now();
   version.handle = std::move(handle);
+  if (journal_) {
+    JournalRecord record;
+    record.op = kRecordPublish;
+    record.seq = seq_ + 1;
+    record.name = name;
+    record.version =
+        PersistedVersion{version.info,
+                         version.handle->options().cache_capacity,
+                         version.handle->model()};
+    if (const auto status = journal_locked(record); !status.is_ok()) {
+      throw std::runtime_error("ModelRegistry::publish: " +
+                               status.to_string());
+    }
+  }
+  ++seq_;
+  ++generation_;
+  Entry& entry = models_[name];
+  entry.next_version = version.info.version + 1;
   entry.history.push_back(std::move(version));
   if (entry.history.size() > opts_.max_versions) {
     entry.history.erase(entry.history.begin(),
                         entry.history.end() - opts_.max_versions);
   }
   entry.history.back().info.history_depth = entry.history.size() - 1;
+  if (journal_) maybe_compact_locked();
   return entry.history.back().info.version;
 }
 
@@ -54,6 +118,60 @@ std::uint64_t ModelRegistry::publish(const std::string& name,
                         report.seconds);
 }
 
+api::Expected<std::uint64_t> ModelRegistry::rollback(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(name);
+  if (it == models_.end() || it->second.history.empty()) {
+    return api::Status::not_found("no model named '" + name + "'");
+  }
+  Entry& entry = it->second;
+  if (entry.history.size() < 2) {
+    return api::Status::invalid_argument(
+        "model '" + name + "' has no previous version to roll back to");
+  }
+  if (journal_) {
+    JournalRecord record;
+    record.op = kRecordRollback;
+    record.seq = seq_ + 1;
+    record.name = name;
+    record.rollback_to =
+        entry.history[entry.history.size() - 2].info.version;
+    if (const auto status = journal_locked(record); !status.is_ok()) {
+      return status;
+    }
+  }
+  ++seq_;
+  entry.history.pop_back();
+  entry.history.back().info.history_depth = entry.history.size() - 1;
+  ++generation_;
+  if (journal_) maybe_compact_locked();
+  return entry.history.back().info.version;
+}
+
+bool ModelRegistry::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(name);
+  if (it == models_.end()) return false;
+  if (journal_) {
+    JournalRecord record;
+    record.op = kRecordRemove;
+    record.seq = seq_ + 1;
+    record.name = name;
+    if (const auto status = journal_locked(record); !status.is_ok()) {
+      throw std::runtime_error("ModelRegistry::remove: " +
+                               status.to_string());
+    }
+  }
+  ++seq_;
+  models_.erase(it);
+  ++generation_;
+  if (journal_) maybe_compact_locked();
+  return true;
+}
+
+// --- queries ----------------------------------------------------------------
+
 ModelSnapshot ModelRegistry::lookup(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = models_.find(name);
@@ -76,31 +194,6 @@ api::Expected<ModelInfo> ModelRegistry::info(const std::string& name) const {
   auto model = acquire(name);
   if (!model) return model.status();
   return model->info;
-}
-
-api::Expected<std::uint64_t> ModelRegistry::rollback(
-    const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = models_.find(name);
-  if (it == models_.end() || it->second.history.empty()) {
-    return api::Status::not_found("no model named '" + name + "'");
-  }
-  Entry& entry = it->second;
-  if (entry.history.size() < 2) {
-    return api::Status::invalid_argument(
-        "model '" + name + "' has no previous version to roll back to");
-  }
-  entry.history.pop_back();
-  entry.history.back().info.history_depth = entry.history.size() - 1;
-  ++generation_;
-  return entry.history.back().info.version;
-}
-
-bool ModelRegistry::remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (models_.erase(name) == 0) return false;
-  ++generation_;
-  return true;
 }
 
 std::vector<ModelInfo> ModelRegistry::list() const {
@@ -134,6 +227,267 @@ std::size_t ModelRegistry::size() const {
 std::uint64_t ModelRegistry::generation() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return generation_;
+}
+
+std::vector<ModelRegistry::EntryState> ModelRegistry::export_state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<EntryState> out;
+  out.reserve(models_.size());
+  for (const auto& [name, entry] : models_) {
+    EntryState state;
+    state.name = name;
+    state.next_version = entry.next_version;
+    state.versions.reserve(entry.history.size());
+    for (const Version& version : entry.history) {
+      state.versions.push_back({version.handle, version.info});
+    }
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+// --- persistence ------------------------------------------------------------
+
+void ModelRegistry::restore_publish_locked(PersistedVersion&& persisted) {
+  ++generation_;
+  Entry& entry = models_[persisted.info.name];
+  Version version;
+  version.info = persisted.info;
+  api::ModelHandleOptions handle_opts;
+  handle_opts.cache_capacity = persisted.cache_capacity;
+  version.handle = std::make_shared<const api::ModelHandle>(
+      std::move(persisted.model), handle_opts);
+  entry.next_version =
+      std::max(entry.next_version, version.info.version + 1);
+  entry.history.push_back(std::move(version));
+  if (entry.history.size() > opts_.max_versions) {
+    entry.history.erase(entry.history.begin(),
+                        entry.history.end() - opts_.max_versions);
+  }
+  entry.history.back().info.history_depth = entry.history.size() - 1;
+}
+
+api::Status ModelRegistry::replay_journal_locked(
+    const std::string& journal_path) {
+  auto replay = RegistryJournal::replay(journal_path);
+  if (!replay) return replay.status();
+  for (JournalRecord& record : replay->records) {
+    if (record.seq <= seq_) continue;  // captured by the snapshot already
+    switch (record.op) {
+      case kRecordPublish:
+        try {
+          restore_publish_locked(std::move(*record.version));
+        } catch (const std::exception& e) {
+          return api::Status::internal("journal replay: publish of '" +
+                                       record.name + "': " + e.what());
+        }
+        break;
+      case kRecordRollback: {
+        const auto it = models_.find(record.name);
+        if (it == models_.end() || it->second.history.size() < 2) {
+          return api::Status::internal(
+              "journal replay: rollback of '" + record.name +
+              "' does not match the registry state (journal/snapshot "
+              "divergence)");
+        }
+        Entry& entry = it->second;
+        entry.history.pop_back();
+        entry.history.back().info.history_depth =
+            entry.history.size() - 1;
+        if (entry.history.back().info.version != record.rollback_to) {
+          return api::Status::internal(
+              "journal replay: rollback of '" + record.name +
+              "' restored v" +
+              std::to_string(entry.history.back().info.version) +
+              " where the journal recorded v" +
+              std::to_string(record.rollback_to) +
+              " (was the registry reopened with a different "
+              "max_versions?)");
+        }
+        ++generation_;
+        break;
+      }
+      case kRecordRemove:
+        if (models_.erase(record.name) == 0) {
+          return api::Status::internal(
+              "journal replay: remove of unknown model '" + record.name +
+              "' (journal/snapshot divergence)");
+        }
+        ++generation_;
+        break;
+      default:
+        return api::Status::internal("journal replay: unknown record op");
+    }
+    seq_ = record.seq;
+    ++journal_records_;
+  }
+  return api::Status::ok();
+}
+
+std::string ModelRegistry::serialize_state_locked() const {
+  io::ByteWriter payload;
+  payload.u64(seq_);
+  payload.u64(opts_.max_versions);
+  payload.u64(models_.size());
+  for (const auto& [name, entry] : models_) {
+    payload.str(name);
+    payload.u64(entry.next_version);
+    payload.u64(entry.history.size());
+    for (const Version& version : entry.history) {
+      write_persisted_version(
+          payload,
+          PersistedVersion{version.info,
+                           version.handle->options().cache_capacity,
+                           version.handle->model()});
+    }
+  }
+  return payload.take();
+}
+
+api::Status ModelRegistry::compact_locked() {
+  std::string bytes;
+  io::append_file_header(bytes, io::kSnapshotMagic,
+                         io::kSnapshotFormatVersion);
+  io::append_section(bytes, kSectionRegistry, serialize_state_locked());
+  if (auto status =
+          io::write_file_atomic(dir_ + "/" + kSnapshotFile, bytes);
+      !status.is_ok()) {
+    return status;
+  }
+  // Journal records now captured by the snapshot are skipped on replay by
+  // their sequence numbers, so a crash before (or during) this reset is
+  // harmless — the reset is an optimization, not a correctness step.
+  if (auto status = journal_->reset(); !status.is_ok()) return status;
+  journal_records_ = 0;
+  return api::Status::ok();
+}
+
+api::Status ModelRegistry::compact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!journal_) return api::Status::ok();
+  return compact_locked();
+}
+
+api::Status ModelRegistry::journal_locked(const JournalRecord& record) {
+  if (auto status = journal_->append(record); !status.is_ok()) {
+    return status;
+  }
+  ++journal_records_;
+  return api::Status::ok();
+}
+
+void ModelRegistry::maybe_compact_locked() {
+  // Must run only *after* the mutation is applied in memory: the snapshot
+  // serializes the live state, so compacting between the write-ahead
+  // append and the swap would reset away a record the snapshot does not
+  // yet contain.
+  const bool over_records = persist_.compact_min_records != 0 &&
+                            journal_records_ >= persist_.compact_min_records;
+  const bool over_bytes = persist_.compact_min_bytes != 0 &&
+                          journal_->bytes() >= persist_.compact_min_bytes;
+  if (!over_records && !over_bytes) return;
+  // Auto-compaction failure is not fatal: the journal still holds every
+  // record, so durability is intact — only the replay gets longer.
+  if (auto status = compact_locked(); !status.is_ok()) {
+    std::fprintf(stderr, "[mfti.serving] auto-compaction failed: %s\n",
+                 status.to_string().c_str());
+  }
+}
+
+api::Expected<std::unique_ptr<ModelRegistry>> ModelRegistry::open(
+    const std::string& dir, ModelRegistryOptions opts,
+    RegistryPersistenceOptions persist) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return api::Status::invalid_argument("ModelRegistry::open: cannot "
+                                         "create '" +
+                                         dir + "': " + ec.message());
+  }
+  auto registry = std::unique_ptr<ModelRegistry>(new ModelRegistry(opts));
+  registry->dir_ = dir;
+  registry->persist_ = persist;
+
+  const std::string snapshot_path = dir + "/" + kSnapshotFile;
+  const std::string journal_path = dir + "/" + kJournalFile;
+
+  if (fs::exists(snapshot_path, ec)) {
+    auto bytes = io::read_file(snapshot_path);
+    if (!bytes) return bytes.status();
+    std::size_t offset = 0;
+    std::uint32_t version = 0;
+    if (auto status = io::check_file_header(*bytes, io::kSnapshotMagic,
+                                            io::kSnapshotFormatVersion,
+                                            &offset, &version);
+        !status.is_ok()) {
+      return api::Status(status.code(),
+                         "'" + snapshot_path + "': " + status.message());
+    }
+    io::SectionView section;
+    switch (io::parse_section(*bytes, &offset, &section)) {
+      case io::SectionParse::Ok:
+        break;
+      case io::SectionParse::Truncated:
+        return api::Status::internal("'" + snapshot_path +
+                                     "': truncated registry snapshot "
+                                     "(atomic-rename should prevent this; "
+                                     "see docs/operations.md)");
+      case io::SectionParse::BadCrc:
+        return api::Status::internal("'" + snapshot_path +
+                                     "': registry snapshot checksum "
+                                     "mismatch");
+    }
+    if (section.tag != kSectionRegistry) {
+      return api::Status::internal("'" + snapshot_path +
+                                   "': unexpected section tag");
+    }
+    try {
+      io::ByteReader in(section.payload);
+      registry->seq_ = in.u64();
+      const std::uint64_t stored_max_versions = in.u64();
+      if (stored_max_versions != registry->opts_.max_versions) {
+        std::fprintf(stderr,
+                     "[mfti.serving] '%s' was written with max_versions="
+                     "%llu but reopened with %zu; histories re-trim on "
+                     "the next publish\n",
+                     snapshot_path.c_str(),
+                     static_cast<unsigned long long>(stored_max_versions),
+                     registry->opts_.max_versions);
+      }
+      const std::uint64_t num_entries = in.u64();
+      for (std::uint64_t e = 0; e < num_entries; ++e) {
+        const std::string name = in.str();
+        Entry entry;
+        entry.next_version = in.u64();
+        const std::uint64_t num_versions = in.u64();
+        for (std::uint64_t v = 0; v < num_versions; ++v) {
+          PersistedVersion persisted = read_persisted_version(in);
+          Version restored;
+          restored.info = persisted.info;
+          api::ModelHandleOptions handle_opts;
+          handle_opts.cache_capacity = persisted.cache_capacity;
+          restored.handle = std::make_shared<const api::ModelHandle>(
+              std::move(persisted.model), handle_opts);
+          entry.history.push_back(std::move(restored));
+        }
+        registry->models_[name] = std::move(entry);
+      }
+      in.expect_end();
+    } catch (const std::exception& e) {
+      return api::Status::internal("'" + snapshot_path + "': " + e.what());
+    }
+  }
+
+  if (auto status = registry->replay_journal_locked(journal_path);
+      !status.is_ok()) {
+    return status;
+  }
+
+  auto journal = RegistryJournal::open(journal_path);
+  if (!journal) return journal.status();
+  registry->journal_ =
+      std::make_unique<RegistryJournal>(std::move(*journal));
+  return registry;
 }
 
 }  // namespace mfti::serving

@@ -72,12 +72,51 @@ struct ModelRegistryOptions {
   std::size_t max_versions = 2;
 };
 
+/// Knobs of the durable (journaled) registry. Defaults come from
+/// `from_env()` so a deployed binary can be tuned without a rebuild.
+struct RegistryPersistenceOptions {
+  /// Compact (rewrite the snapshot, reset the journal) once the journal
+  /// holds at least this many live records...
+  std::size_t compact_min_records = 64;
+  /// ...or has grown to at least this many bytes, whichever comes first.
+  /// 0 disables the byte trigger.
+  std::size_t compact_min_bytes = 8u << 20;
+  /// Defaults overridden by `MFTI_JOURNAL_COMPACT_RECORDS` and
+  /// `MFTI_JOURNAL_COMPACT_BYTES` (malformed values are diagnosed on
+  /// stderr and ignored).
+  static RegistryPersistenceOptions from_env();
+};
+
+class RegistryJournal;
+struct PersistedVersion;
+struct JournalRecord;
+
 class ModelRegistry {
  public:
   explicit ModelRegistry(ModelRegistryOptions opts = {});
+  ~ModelRegistry();
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Open a *durable* registry rooted at `dir` (created when missing):
+  /// replays `registry.snapshot` + `registry.journal` back to the exact
+  /// pre-restart state — names, versions, metadata, rollback history —
+  /// then journals every later mutation write-ahead. A torn final journal
+  /// record (crash mid-append) is truncated with a stderr warning; real
+  /// corruption is reported as an error. `opts.max_versions` should match
+  /// the writing process (a mismatch is diagnosed on stderr; history is
+  /// re-trimmed on later publishes).
+  static api::Expected<std::unique_ptr<ModelRegistry>> open(
+      const std::string& dir, ModelRegistryOptions opts = {},
+      RegistryPersistenceOptions persist =
+          RegistryPersistenceOptions::from_env());
 
   /// Publish `handle` as the new live version of `name` and return the new
-  /// version number. \throws std::invalid_argument on a null handle.
+  /// version number. On a durable registry the record is journaled and
+  /// flushed *before* the in-memory swap.
+  /// \throws std::invalid_argument on a null handle, std::runtime_error
+  /// when the write-ahead append fails (the registry is left unchanged).
   std::uint64_t publish(const std::string& name, ModelSnapshot handle,
                         std::optional<api::Algorithm> algorithm = {},
                         double fit_seconds = 0.0);
@@ -103,7 +142,8 @@ class ModelRegistry {
   api::Expected<std::uint64_t> rollback(const std::string& name);
 
   /// Remove `name` entirely; false when it was not registered. Snapshots
-  /// already handed out stay valid.
+  /// already handed out stay valid. \throws std::runtime_error when the
+  /// write-ahead append fails (the model stays registered).
   bool remove(const std::string& name);
 
   /// Live-version metadata for every model, sorted by name.
@@ -117,8 +157,31 @@ class ModelRegistry {
 
   /// Monotonic counter bumped by every mutation (publish, rollback,
   /// remove). Lets observers — e.g. the engine's budget partitioner —
-  /// skip re-scanning an unchanged live set. Starts at 1.
+  /// skip re-scanning an unchanged live set. Starts at 1 and is
+  /// process-local (not persisted).
   std::uint64_t generation() const;
+
+  /// True when this registry journals its mutations (built by `open`).
+  bool durable() const { return journal_ != nullptr; }
+
+  /// The durable root, empty for an in-memory registry.
+  const std::string& directory() const { return dir_; }
+
+  /// Rewrite the snapshot from the current state and reset the journal.
+  /// Runs automatically at the `RegistryPersistenceOptions` thresholds;
+  /// call it explicitly for an operator-driven checkpoint (see
+  /// docs/operations.md). No-op ok for an in-memory registry.
+  api::Status compact();
+
+  /// Full per-entry state, sorted by name, each history oldest-first —
+  /// the registry side of the persistence layer and the byte-identity
+  /// oracle of the persistence tests.
+  struct EntryState {
+    std::string name;
+    std::uint64_t next_version = 1;
+    std::vector<VersionedModel> versions;  ///< oldest first; live at back
+  };
+  std::vector<EntryState> export_state() const;
 
  private:
   struct Version {
@@ -134,10 +197,36 @@ class ModelRegistry {
                                std::optional<api::Algorithm> algorithm,
                                double fit_seconds);
 
+  /// Journal-replay / snapshot-restore applies (no journaling, exact
+  /// metadata). Caller holds `mutex_`.
+  void restore_publish_locked(PersistedVersion&& version);
+  api::Status replay_journal_locked(const std::string& journal_path);
+
+  /// Serialize the full state as one `REGY` payload / write it as the
+  /// snapshot file + reset the journal. Caller holds `mutex_`.
+  std::string serialize_state_locked() const;
+  api::Status compact_locked();
+  /// Append one record write-ahead. Caller holds `mutex_`.
+  api::Status journal_locked(const JournalRecord& record);
+  /// Auto-compact when over threshold; called after the in-memory swap
+  /// (never between append and swap). Caller holds `mutex_`.
+  void maybe_compact_locked();
+
   ModelRegistryOptions opts_;
   mutable std::mutex mutex_;
   std::map<std::string, Entry> models_;
   std::uint64_t generation_ = 1;
+
+  // --- durable state (set by `open`) ---
+  /// Mutations applied over the registry's whole durable life; persisted
+  /// in snapshot and journal records so replay is idempotent.
+  std::uint64_t seq_ = 0;
+  std::string dir_;
+  RegistryPersistenceOptions persist_;
+  std::unique_ptr<RegistryJournal> journal_;
+  /// Records in the journal file not yet captured by the snapshot
+  /// (replayed-at-open + appended-since); drives auto-compaction.
+  std::size_t journal_records_ = 0;
 };
 
 }  // namespace mfti::serving

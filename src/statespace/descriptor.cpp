@@ -38,6 +38,10 @@ void ComplexDescriptorSystem::validate() const {
   validate_impl(e, a, b, c, d);
 }
 
+bool operator==(const DescriptorSystem& a, const DescriptorSystem& b) {
+  return a.e == b.e && a.a == b.a && a.b == b.b && a.c == b.c && a.d == b.d;
+}
+
 ComplexDescriptorSystem to_complex(const DescriptorSystem& sys) {
   return {la::to_complex(sys.e), la::to_complex(sys.a), la::to_complex(sys.b),
           la::to_complex(sys.c), la::to_complex(sys.d)};

@@ -49,6 +49,14 @@ struct ComplexDescriptorSystem {
   void validate() const;
 };
 
+/// Bitwise equality of all five matrices — the identity the persistence
+/// layer guarantees across a save/load round trip (io/snapshot.hpp).
+bool operator==(const DescriptorSystem& a, const DescriptorSystem& b);
+inline bool operator!=(const DescriptorSystem& a,
+                       const DescriptorSystem& b) {
+  return !(a == b);
+}
+
 /// Promote a real system to the complex representation.
 ComplexDescriptorSystem to_complex(const DescriptorSystem& sys);
 
