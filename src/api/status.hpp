@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -39,6 +40,13 @@ enum class StatusCode {
   /// Unanticipated internal failure (escaped exception).
   Internal,
 };
+
+/// Number of `StatusCode` values (enumerators are dense from 0). Consumers
+/// with per-code tables — e.g. the HTTP mapping in `net/status_http.hpp` —
+/// iterate `[0, kNumStatusCodes)` in tests so a new code cannot be added
+/// without extending every table.
+inline constexpr std::size_t kNumStatusCodes =
+    static_cast<std::size_t>(StatusCode::Internal) + 1;
 
 /// Human-readable name of a status code ("ok", "invalid-argument", ...).
 const char* status_code_name(StatusCode code);

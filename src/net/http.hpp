@@ -1,0 +1,137 @@
+/// \file http.hpp
+/// \brief HTTP/1.1 message layer of the serving front: incremental request
+/// parsing with strict limits, response building, and response parsing for
+/// the client side.
+///
+/// The parser is transport-agnostic — it consumes bytes from any source
+/// (`HttpRequestParser::feed`) and reports three states: needs more bytes,
+/// one complete message, or a protocol error carrying the HTTP status the
+/// server should answer with (400 malformed, 413 body too large, 431
+/// headers too large, 501 unsupported transfer encoding). Limits are
+/// explicit (`HttpLimits`) so the front can bound untrusted input before
+/// any allocation grows past them.
+///
+/// Scope: the subset the serving protocol needs. Methods GET/POST/HEAD,
+/// `Content-Length` bodies (no chunked transfer), `Connection:
+/// close|keep-alive`, headers folded to lowercase names. No TLS.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfti::net {
+
+struct HttpLimits {
+  std::size_t max_request_line = 8u << 10;
+  std::size_t max_header_bytes = 16u << 10;  ///< all header lines combined
+  std::size_t max_headers = 64;
+  std::size_t max_body_bytes = 8u << 20;
+};
+
+/// One parsed request. Header names are lowercased; values are trimmed.
+struct HttpRequest {
+  std::string method;
+  std::string target;   ///< origin-form, e.g. "/v1/eval" (query included)
+  std::string version;  ///< "HTTP/1.1"
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Header value or "" when absent (names are stored lowercased).
+  std::string_view header(std::string_view name) const;
+  /// keep-alive by HTTP/1.1 default; `Connection: close` turns it off.
+  bool keep_alive() const;
+  /// `target` without the query string.
+  std::string_view path() const;
+};
+
+/// One response to serialize (server) or the parse result (client).
+struct HttpResponse {
+  int status = 200;
+  std::string reason;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string_view header(std::string_view name) const;
+};
+
+/// Incremental request parser: call `feed` with every chunk read from the
+/// socket; once `Complete`, take `request()` and call `reset()` to reuse
+/// the parser for the next request on a keep-alive connection (leftover
+/// pipelined bytes are retained).
+class HttpRequestParser {
+ public:
+  enum class State { NeedMore, Complete, Error };
+
+  explicit HttpRequestParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Consume `bytes`; returns the state after this chunk.
+  State feed(std::string_view bytes);
+
+  State state() const { return state_; }
+  const HttpRequest& request() const { return request_; }
+  /// HTTP status to answer with when `state() == Error`.
+  int error_status() const { return error_status_; }
+  const std::string& error_detail() const { return error_; }
+
+  /// Prepare for the next message, keeping unconsumed pipelined bytes.
+  void reset();
+
+  /// Move out the unconsumed pipelined bytes (after `Complete`), for a
+  /// caller that persists them across a connection requeue instead of
+  /// keeping the parser alive.
+  std::string take_residue() { return std::move(buffer_); }
+
+ private:
+  State fail(int status, std::string detail);
+  State parse_buffer();
+
+  HttpLimits limits_;
+  State state_ = State::NeedMore;
+  std::string buffer_;
+  bool head_done_ = false;
+  std::size_t body_needed_ = 0;
+  HttpRequest request_;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+/// Serialize `response` (adds Content-Length; fills the canonical reason
+/// phrase when empty; `head_only` omits the body, for HEAD requests).
+std::string serialize_response(const HttpResponse& response,
+                               bool head_only = false);
+
+/// Serialize a request for the client side (adds Content-Length on bodies).
+std::string serialize_request(const HttpRequest& request);
+
+/// Client-side incremental response parser (Content-Length bodies only —
+/// the serving front always sends a Content-Length).
+class HttpResponseParser {
+ public:
+  enum class State { NeedMore, Complete, Error };
+
+  explicit HttpResponseParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  State feed(std::string_view bytes);
+  State state() const { return state_; }
+  const HttpResponse& response() const { return response_; }
+  const std::string& error_detail() const { return error_; }
+  void reset();
+
+ private:
+  State fail(std::string detail);
+  State parse_buffer();
+
+  HttpLimits limits_;
+  State state_ = State::NeedMore;
+  std::string buffer_;
+  bool head_done_ = false;
+  std::size_t body_needed_ = 0;
+  HttpResponse response_;
+  std::string error_;
+};
+
+}  // namespace mfti::net

@@ -1,0 +1,124 @@
+#include "net/http_metrics.hpp"
+
+#include <cstdio>
+
+namespace mfti::net {
+
+namespace {
+
+void append_value(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out->append(buf);
+}
+
+void append_line(std::string* out, const std::string& name,
+                 const std::string& labels, double value) {
+  out->append(name);
+  if (!labels.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    out->push_back('}');
+  }
+  out->push_back(' ');
+  append_value(out, value);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+void HttpMetrics::observe(const std::string& endpoint, int status,
+                          double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EndpointMetrics& m = endpoints_[endpoint];
+  ++m.by_status[status];
+  ++m.observations;
+  m.sum_seconds += seconds;
+  std::size_t bucket = kLatencyBucketsSeconds.size();
+  for (std::size_t i = 0; i < kLatencyBucketsSeconds.size(); ++i) {
+    if (seconds <= kLatencyBucketsSeconds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++m.buckets[bucket];
+}
+
+std::string HttpMetrics::render(
+    const serving::ServingStats& engine_stats) const {
+  std::string out;
+  out.reserve(4096);
+  out.append(
+      "# HELP mfti_http_requests_total Served requests by endpoint and "
+      "status.\n# TYPE mfti_http_requests_total counter\n");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [endpoint, m] : endpoints_) {
+    for (const auto& [status, count] : m.by_status) {
+      append_line(&out, "mfti_http_requests_total",
+                  "endpoint=\"" + endpoint + "\",code=\"" +
+                      std::to_string(status) + "\"",
+                  static_cast<double>(count));
+    }
+  }
+  out.append(
+      "# HELP mfti_http_request_seconds Request latency by endpoint.\n"
+      "# TYPE mfti_http_request_seconds histogram\n");
+  for (const auto& [endpoint, m] : endpoints_) {
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kLatencyBucketsSeconds.size(); ++i) {
+      cumulative += m.buckets[i];
+      char le[32];
+      std::snprintf(le, sizeof le, "%g", kLatencyBucketsSeconds[i]);
+      append_line(&out, "mfti_http_request_seconds_bucket",
+                  "endpoint=\"" + endpoint + "\",le=\"" + le + "\"",
+                  static_cast<double>(cumulative));
+    }
+    cumulative += m.buckets[kLatencyBucketsSeconds.size()];
+    append_line(&out, "mfti_http_request_seconds_bucket",
+                "endpoint=\"" + endpoint + "\",le=\"+Inf\"",
+                static_cast<double>(cumulative));
+    append_line(&out, "mfti_http_request_seconds_sum",
+                "endpoint=\"" + endpoint + "\"", m.sum_seconds);
+    append_line(&out, "mfti_http_request_seconds_count",
+                "endpoint=\"" + endpoint + "\"",
+                static_cast<double>(m.observations));
+  }
+  out.append(
+      "# HELP mfti_http_shed_total Connections shed by admission "
+      "control (queue full).\n# TYPE mfti_http_shed_total counter\n");
+  append_line(&out, "mfti_http_shed_total", "",
+              static_cast<double>(shed_total_));
+  out.append(
+      "# HELP mfti_http_rate_limited_total Requests refused by the "
+      "per-client rate limit.\n"
+      "# TYPE mfti_http_rate_limited_total counter\n");
+  append_line(&out, "mfti_http_rate_limited_total", "",
+              static_cast<double>(rate_limited_total_));
+  out.append(
+      "# HELP mfti_http_deadline_expired_total Requests whose deadline "
+      "expired before completion.\n"
+      "# TYPE mfti_http_deadline_expired_total counter\n");
+  append_line(&out, "mfti_http_deadline_expired_total", "",
+              static_cast<double>(deadline_expired_total_));
+
+  out.append(
+      "# HELP mfti_serving_cache_hits Pencil-cache hits across live "
+      "models.\n# TYPE mfti_serving_cache_hits counter\n");
+  append_line(&out, "mfti_serving_cache_hits", "",
+              static_cast<double>(engine_stats.cache.hits));
+  append_line(&out, "mfti_serving_cache_misses", "",
+              static_cast<double>(engine_stats.cache.misses));
+  append_line(&out, "mfti_serving_cache_evictions", "",
+              static_cast<double>(engine_stats.cache.evictions));
+  append_line(&out, "mfti_serving_cache_entries", "",
+              static_cast<double>(engine_stats.cache.entries));
+  append_line(&out, "mfti_serving_models", "",
+              static_cast<double>(engine_stats.models));
+  append_line(&out, "mfti_serving_cache_memory_bytes", "",
+              static_cast<double>(engine_stats.memory_bytes));
+  append_line(&out, "mfti_serving_cache_memory_budget_bytes", "",
+              static_cast<double>(engine_stats.memory_budget));
+  return out;
+}
+
+}  // namespace mfti::net

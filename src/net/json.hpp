@@ -1,0 +1,115 @@
+/// \file json.hpp
+/// \brief Minimal dependency-free JSON value model for the serving wire
+/// format: parse, build, serialize.
+///
+/// Scope is exactly what the HTTP front needs — objects, arrays, strings,
+/// finite doubles, booleans, null — with strict parsing (UTF-8 passed
+/// through verbatim, \uXXXX escapes decoded, depth and size limits) and
+/// deterministic serialization: numbers print with `%.17g`, so a double
+/// round-trips bit-exactly through the wire. That is what makes the
+/// loopback parity guarantee of `tools/mfti_client.cpp` exact rather than
+/// approximate.
+///
+/// ```cpp
+/// net::Json req = net::Json::object();
+/// req.set("model", net::Json("pdn"));
+/// auto parsed = net::parse_json(req.dump());
+/// ```
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "api/status.hpp"
+
+namespace mfti::net {
+
+/// One JSON value. Copyable; object keys are ordered (std::map) so dumps
+/// are deterministic.
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  explicit Json(bool b) : type_(Type::Bool), bool_(b) {}
+  explicit Json(double v) : type_(Type::Number), number_(v) {}
+  explicit Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  explicit Json(const char* s) : type_(Type::String), string_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; the type must match (checked by the caller through
+  /// `is_*` — out-of-type access returns the neutral value).
+  bool as_bool() const { return is_bool() ? bool_ : false; }
+  double as_number() const { return is_number() ? number_ : 0.0; }
+  const std::string& as_string() const { return string_; }
+
+  // --- arrays ---
+  std::size_t size() const { return array_.size(); }
+  const Json& at(std::size_t i) const { return array_[i]; }
+  void push_back(Json v) {
+    type_ = Type::Array;
+    array_.push_back(std::move(v));
+  }
+  const std::vector<Json>& items() const { return array_; }
+
+  // --- objects ---
+  /// Member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+  void set(std::string key, Json value) {
+    type_ = Type::Object;
+    members_[std::move(key)] = std::move(value);
+  }
+  const std::map<std::string, Json>& members() const { return members_; }
+
+  /// Serialize (compact, no whitespace). Non-finite numbers emit `null`.
+  std::string dump() const;
+  void dump_to(std::string* out) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> members_;
+};
+
+struct JsonParseLimits {
+  std::size_t max_depth = 32;       ///< nesting depth of arrays/objects
+  std::size_t max_elements = 1u << 20;  ///< total values in the document
+};
+
+/// Parse one JSON document; the whole input must be consumed (trailing
+/// non-whitespace is an error). Errors report invalid-argument with a byte
+/// offset.
+api::Expected<Json> parse_json(std::string_view text,
+                               JsonParseLimits limits = {});
+
+/// Escape `s` as a JSON string literal (with quotes) into `out`.
+void json_escape(std::string_view s, std::string* out);
+
+}  // namespace mfti::net

@@ -1,0 +1,14 @@
+/// \file net.hpp
+/// \brief Umbrella header for the HTTP serving front (`mfti::net`).
+
+#pragma once
+
+#include "net/http.hpp"          // IWYU pragma: export
+#include "net/http_metrics.hpp"  // IWYU pragma: export
+#include "net/json.hpp"          // IWYU pragma: export
+#include "net/qos.hpp"           // IWYU pragma: export
+#include "net/serving_front.hpp"  // IWYU pragma: export
+#include "net/socket.hpp"        // IWYU pragma: export
+#include "net/status_http.hpp"   // IWYU pragma: export
+
+namespace mfti::net {}

@@ -1,0 +1,140 @@
+#include "net/qos.hpp"
+
+#include <algorithm>
+
+namespace mfti::net {
+
+RateLimiter::Decision RateLimiter::admit(const std::string& key, double now) {
+  if (opts_.tokens_per_second <= 0.0) return {true, 0.0};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = buckets_.try_emplace(key);
+  Bucket& bucket = it->second;
+  if (inserted) {
+    bucket.tokens = opts_.burst;
+    bucket.last_refill = now;
+  } else {
+    const double elapsed = std::max(0.0, now - bucket.last_refill);
+    bucket.tokens = std::min(opts_.burst,
+                             bucket.tokens +
+                                 elapsed * opts_.tokens_per_second);
+    bucket.last_refill = now;
+  }
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return {true, 0.0};
+  }
+  // Opportunistic reclaim: drop buckets of other keys that have refilled
+  // back to full (stored tokens are stale — refill only happens on that
+  // key's own admits), so the map stays proportional to *active* clients.
+  for (auto scan = buckets_.begin(); scan != buckets_.end();) {
+    const double refilled =
+        scan->second.tokens + std::max(0.0, now - scan->second.last_refill) *
+                                  opts_.tokens_per_second;
+    if (scan != it && refilled >= opts_.burst) {
+      scan = buckets_.erase(scan);
+    } else {
+      ++scan;
+    }
+  }
+  const double deficit = 1.0 - bucket.tokens;
+  return {false, deficit / opts_.tokens_per_second};
+}
+
+std::size_t RateLimiter::bucket_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_.size();
+}
+
+std::size_t FairQueue::weight_of(const std::string& key) const {
+  const auto it = weights_.find(key);
+  return it == weights_.end() ? 1 : std::max<std::size_t>(1, it->second);
+}
+
+bool FairQueue::try_push(ReadyConn& conn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_ || total_ >= max_queued_) return false;
+    clients_[conn.client_key].queue.push_back(std::move(conn));
+    ++total_;
+  }
+  ready_.notify_one();
+  return true;
+}
+
+bool FairQueue::push_requeued(ReadyConn& conn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return false;  // drain in progress: caller disposes
+    clients_[conn.client_key].queue.push_back(std::move(conn));
+    ++total_;
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<ReadyConn> FairQueue::pop_locked() {
+  if (total_ == 0) return std::nullopt;
+  // Deficit round-robin across the client map, starting at the cursor:
+  // each pass tops a client's deficit up by its weight and serves as many
+  // connections as the deficit covers before moving on (here one pickup
+  // per visit; the deficit carries fractional turns across passes).
+  auto it = clients_.lower_bound(cursor_);
+  for (std::size_t scanned = 0; scanned <= 2 * clients_.size(); ++scanned) {
+    if (it == clients_.end()) it = clients_.begin();
+    PerClient& client = it->second;
+    if (client.queue.empty()) {
+      // Parked client (its only connection is being served right now):
+      // drop the idle per-key state so the map tracks live clients.
+      const auto dead = it++;
+      cursor_ = it == clients_.end() ? std::string() : it->first;
+      clients_.erase(dead);
+      if (clients_.empty()) return std::nullopt;
+      continue;
+    }
+    if (client.deficit == 0) {
+      client.deficit = weight_of(it->first);
+      ++it;
+      cursor_ = it == clients_.end() ? std::string() : it->first;
+      if (it == clients_.end()) it = clients_.begin();
+      // Revisit on the next loop iteration (possibly the same client when
+      // it is alone) with its deficit now topped up.
+      continue;
+    }
+    --client.deficit;
+    ReadyConn conn = std::move(client.queue.front());
+    client.queue.pop_front();
+    --total_;
+    if (client.deficit == 0) {
+      auto next = std::next(it);
+      cursor_ = next == clients_.end() ? std::string() : next->first;
+    } else {
+      cursor_ = it->first;
+    }
+    return conn;
+  }
+  return std::nullopt;  // unreachable with total_ > 0; defensive
+}
+
+std::optional<ReadyConn> FairQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (auto conn = pop_locked()) return conn;
+    if (shutdown_) return std::nullopt;
+    ready_.wait(lock);
+  }
+}
+
+void FairQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t FairQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+}  // namespace mfti::net

@@ -1,0 +1,134 @@
+/// \file qos.hpp
+/// \brief Admission-control primitives of the serving front: per-client
+/// token-bucket rate limiting and a weighted-fair (deficit round-robin)
+/// ready queue.
+///
+/// Both are keyed by the client's API key (the `X-API-Key` request header;
+/// absent keys share the "" bucket). The rate limiter answers "may this
+/// client run another request now, and if not, when" — the front turns a
+/// refusal into `429 Too Many Requests` with a `Retry-After` header. The
+/// fair queue decides *which* ready connection a worker serves next:
+/// clients take turns weighted by their configured share, so a client
+/// pipelining thousands of requests cannot starve one issuing a single
+/// query.
+///
+/// Time is injected (`now` parameters, monotonic seconds) so tests drive
+/// both deterministically without sleeping.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "net/socket.hpp"
+
+namespace mfti::net {
+
+struct RateLimitOptions {
+  /// Sustained tokens (requests) per second per client key. 0 disables
+  /// rate limiting entirely.
+  double tokens_per_second = 0.0;
+  /// Bucket capacity: the burst a client may issue after idling.
+  double burst = 8.0;
+};
+
+/// Thread-safe token-bucket set, one bucket per client key, created on
+/// first use. Buckets idle at full capacity are reclaimed lazily so the
+/// map cannot grow without bound under churning keys.
+class RateLimiter {
+ public:
+  explicit RateLimiter(RateLimitOptions opts) : opts_(opts) {}
+
+  struct Decision {
+    bool admitted = true;
+    /// Seconds until one token is available again (0 when admitted);
+    /// ceil()ed into `Retry-After` by the front.
+    double retry_after_seconds = 0.0;
+  };
+
+  /// Try to take one token from `key`'s bucket at monotonic time `now`.
+  Decision admit(const std::string& key, double now);
+
+  std::size_t bucket_count() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    double last_refill = 0.0;
+  };
+
+  RateLimitOptions opts_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+/// A connection ready to be served, tagged with the client key learned
+/// from its previous request ("" until the first request is read).
+struct ReadyConn {
+  Socket socket;
+  std::string client_key;
+  /// Monotonic seconds of the last served request (or the accept, for a
+  /// fresh connection); drives the keep-alive idle timeout.
+  double enqueued_at = 0.0;
+  /// Pipelined bytes already read past the previous request's end.
+  std::string pending;
+};
+
+/// Weighted-fair ready queue: one FIFO per client key, served deficit
+/// round-robin so each key's share of worker pickups is proportional to
+/// its weight (default 1). Bounded: `try_push` refuses when `max_queued`
+/// connections are already waiting — the caller sheds with 429. `pop`
+/// blocks until a connection or shutdown.
+class FairQueue {
+ public:
+  FairQueue(std::size_t max_queued,
+            std::map<std::string, std::size_t> weights)
+      : max_queued_(max_queued), weights_(std::move(weights)) {}
+
+  /// Enqueue a new connection; false when the queue is full (shed). Moves
+  /// from `conn` only on success, so the caller still owns the socket of a
+  /// refused connection and can write the 429 itself.
+  bool try_push(ReadyConn& conn);
+
+  /// Re-enqueue a keep-alive connection a worker already holds (admitted
+  /// once, so the bound does not apply). Moves from `conn` only on
+  /// success; false during shutdown, when the caller must dispose of the
+  /// connection itself (serving it one last time if bytes are pending).
+  bool push_requeued(ReadyConn& conn);
+
+  /// Next connection by deficit round-robin; blocks. Empty optional only
+  /// after `shutdown()` drained everything.
+  std::optional<ReadyConn> pop();
+
+  /// Wake every popper; subsequent pops drain the queue then return empty.
+  void shutdown();
+
+  std::size_t size() const;
+
+ private:
+  std::size_t weight_of(const std::string& key) const;
+  std::optional<ReadyConn> pop_locked();
+
+  std::size_t max_queued_;
+  std::map<std::string, std::size_t> weights_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  bool shutdown_ = false;
+  std::size_t total_ = 0;
+  struct PerClient {
+    std::deque<ReadyConn> queue;
+    std::size_t deficit = 0;
+  };
+  std::map<std::string, PerClient> clients_;
+  /// Round-robin cursor over `clients_` (key of the next candidate).
+  std::string cursor_;
+};
+
+}  // namespace mfti::net

@@ -1,0 +1,669 @@
+#include "net/serving_front.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <queue>
+#include <utility>
+
+#include "io/snapshot.hpp"
+#include "net/json.hpp"
+#include "net/status_http.hpp"
+
+namespace mfti::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void env_size_knob(const char* name, std::size_t* value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') {
+    std::fprintf(stderr,
+                 "[mfti.net] malformed %s='%s' (want a non-negative "
+                 "integer); keeping the default %zu\n",
+                 name, env, *value);
+    return;
+  }
+  *value = static_cast<std::size_t>(parsed);
+}
+
+void env_double_knob(const char* name, double* value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return;
+  char* end = nullptr;
+  const double parsed = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(parsed >= 0.0)) {
+    std::fprintf(stderr,
+                 "[mfti.net] malformed %s='%s' (want a non-negative "
+                 "number); keeping the default %g\n",
+                 name, env, *value);
+    return;
+  }
+  *value = parsed;
+}
+
+void env_string_knob(const char* name, std::string* value) {
+  const char* env = std::getenv(name);
+  if (env != nullptr && *env != '\0') *value = env;
+}
+
+/// "keyA=4,keyB=2" -> {{"keyA",4},{"keyB",2}}; malformed entries are
+/// diagnosed and skipped.
+void env_weights_knob(const char* name,
+                      std::map<std::string, std::size_t>* weights) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return;
+  std::string_view spec(env);
+  while (!spec.empty()) {
+    std::size_t comma = spec.find(',');
+    const std::string_view entry = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    const std::size_t eq = entry.find('=');
+    std::size_t weight = 0;
+    if (eq != std::string_view::npos) {
+      const std::string digits(entry.substr(eq + 1));
+      char* end = nullptr;
+      const unsigned long long parsed =
+          std::strtoull(digits.c_str(), &end, 10);
+      if (end != digits.c_str() && *end == '\0' && parsed > 0) {
+        weight = static_cast<std::size_t>(parsed);
+      }
+    }
+    if (eq == std::string_view::npos || eq == 0 || weight == 0) {
+      std::fprintf(stderr,
+                   "[mfti.net] malformed %s entry '%.*s' (want key=weight "
+                   "with weight >= 1); skipping it\n",
+                   name, static_cast<int>(entry.size()), entry.data());
+      continue;
+    }
+    (*weights)[std::string(entry.substr(0, eq))] = weight;
+  }
+}
+
+HttpResponse json_response(int status, const Json& body) {
+  HttpResponse response;
+  response.status = status;
+  response.headers["Content-Type"] = "application/json";
+  response.body = body.dump();
+  response.body.push_back('\n');
+  return response;
+}
+
+/// The one place an `api::Status` becomes a wire error: HTTP status from
+/// the `status_http.hpp` table, JSON body carrying code name and message.
+HttpResponse error_response(const api::Status& status) {
+  const HttpStatus hs = http_status_for(status.code());
+  Json inner = Json::object();
+  inner.set("code", Json(api::status_code_name(status.code())));
+  inner.set("http", Json(static_cast<double>(hs.code)));
+  inner.set("message", Json(status.message()));
+  Json body = Json::object();
+  body.set("error", std::move(inner));
+  return json_response(hs.code, body);
+}
+
+/// Protocol-level refusals with no `api::StatusCode` origin (shed, auth,
+/// malformed HTTP).
+HttpResponse http_error_response(int status, const std::string& message) {
+  Json inner = Json::object();
+  inner.set("code", Json("http"));
+  inner.set("http", Json(static_cast<double>(status)));
+  inner.set("message", Json(message));
+  Json body = Json::object();
+  body.set("error", std::move(inner));
+  return json_response(status, body);
+}
+
+Json error_entry(const api::Status& status) {
+  Json inner = Json::object();
+  inner.set("code", Json(api::status_code_name(status.code())));
+  inner.set("http",
+            Json(static_cast<double>(http_status_for(status.code()).code)));
+  inner.set("message", Json(status.message()));
+  Json entry = Json::object();
+  entry.set("error", std::move(inner));
+  return entry;
+}
+
+Json matrix_json(const la::CMat& m) {
+  Json out = Json::object();
+  out.set("rows", Json(static_cast<double>(m.rows())));
+  out.set("cols", Json(static_cast<double>(m.cols())));
+  Json re = Json::array();
+  Json im = Json::array();
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      re.push_back(Json(m(i, j).real()));
+      im.push_back(Json(m(i, j).imag()));
+    }
+  }
+  out.set("re", std::move(re));
+  out.set("im", std::move(im));
+  return out;
+}
+
+Json info_json(const serving::ModelInfo& info) {
+  Json out = Json::object();
+  out.set("name", Json(info.name));
+  out.set("version", Json(static_cast<double>(info.version)));
+  out.set("order", Json(static_cast<double>(info.order)));
+  out.set("inputs", Json(static_cast<double>(info.num_inputs)));
+  out.set("outputs", Json(static_cast<double>(info.num_outputs)));
+  if (info.algorithm) {
+    out.set("algorithm",
+            Json(std::string(api::algorithm_name(*info.algorithm))));
+  } else {
+    out.set("algorithm", Json());
+  }
+  out.set("fit_seconds", Json(info.fit_seconds));
+  out.set("published_at_unix_seconds",
+          Json(std::chrono::duration<double>(
+                   info.published_at.time_since_epoch())
+                   .count()));
+  out.set("history_depth", Json(static_cast<double>(info.history_depth)));
+  return out;
+}
+
+/// Parse the points of one eval item: either `points` as [[re, im], ...]
+/// or `freqs_hz` as [f, ...] (mapped to s = j 2 pi f).
+api::Status parse_points(const Json& item, std::vector<la::Complex>* out) {
+  const Json* points = item.find("points");
+  const Json* freqs = item.find("freqs_hz");
+  if ((points == nullptr) == (freqs == nullptr)) {
+    return api::Status::invalid_argument(
+        "eval item needs exactly one of 'points' or 'freqs_hz'");
+  }
+  if (points != nullptr) {
+    if (!points->is_array()) {
+      return api::Status::invalid_argument("'points' must be an array");
+    }
+    out->reserve(points->size());
+    for (const Json& p : points->items()) {
+      if (!p.is_array() || p.size() != 2 || !p.at(0).is_number() ||
+          !p.at(1).is_number()) {
+        return api::Status::invalid_argument(
+            "each point must be a [re, im] number pair");
+      }
+      out->emplace_back(p.at(0).as_number(), p.at(1).as_number());
+    }
+  } else {
+    if (!freqs->is_array()) {
+      return api::Status::invalid_argument("'freqs_hz' must be an array");
+    }
+    out->reserve(freqs->size());
+    for (const Json& f : freqs->items()) {
+      if (!f.is_number()) {
+        return api::Status::invalid_argument(
+            "each frequency must be a number");
+      }
+      out->emplace_back(0.0, 2.0 * 3.14159265358979323846 * f.as_number());
+    }
+  }
+  if (out->empty()) {
+    return api::Status::invalid_argument("eval item has no points");
+  }
+  return api::Status::ok();
+}
+
+}  // namespace
+
+ServingFrontOptions ServingFrontOptions::from_env() {
+  ServingFrontOptions opts;
+  std::size_t port = 0;
+  env_size_knob("MFTI_HTTP_PORT", &port);
+  opts.port = static_cast<int>(port);
+  env_string_knob("MFTI_HTTP_BIND", &opts.bind_address);
+  env_size_knob("MFTI_HTTP_WORKERS", &opts.workers);
+  env_size_knob("MFTI_HTTP_MAX_QUEUED", &opts.max_queued);
+  env_size_knob("MFTI_HTTP_IDLE_TIMEOUT_MS", &opts.idle_timeout_ms);
+  env_size_knob("MFTI_HTTP_MAX_BODY_BYTES", &opts.limits.max_body_bytes);
+  env_double_knob("MFTI_HTTP_RATE_QPS", &opts.rate.tokens_per_second);
+  env_double_knob("MFTI_HTTP_RATE_BURST", &opts.rate.burst);
+  env_weights_knob("MFTI_HTTP_CLIENT_WEIGHTS", &opts.client_weights);
+  env_string_knob("MFTI_HTTP_ADMIN_TOKEN", &opts.admin_token);
+  env_size_knob("MFTI_HTTP_DEADLINE_MS", &opts.default_deadline_ms);
+  return opts;
+}
+
+/// One background thread cancelling tokens at their deadline. Entries are
+/// fire-and-forget: a request that completes early simply leaves its entry
+/// to expire against an abandoned token (cancelling those is harmless), so
+/// the hot path never needs to deregister.
+class ServingFront::DeadlineTimer {
+ public:
+  DeadlineTimer() : thread_([this] { run(); }) {}
+  ~DeadlineTimer() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    thread_.join();
+  }
+
+  void add(api::CancellationToken token, Clock::time_point when) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      heap_.push(Entry{when, std::move(token)});
+    }
+    wake_.notify_all();
+  }
+
+ private:
+  struct Entry {
+    Clock::time_point when;
+    api::CancellationToken token;
+    bool operator>(const Entry& other) const { return when > other.when; }
+  };
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      if (heap_.empty()) {
+        wake_.wait(lock);
+        continue;
+      }
+      const Clock::time_point next = heap_.top().when;
+      if (Clock::now() < next) {
+        wake_.wait_until(lock, next);
+        continue;
+      }
+      while (!heap_.empty() && heap_.top().when <= Clock::now()) {
+        heap_.top().token.cancel();
+        heap_.pop();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::thread thread_;
+};
+
+ServingFront::ServingFront(serving::ServingEngine& engine,
+                           serving::ModelRegistry& registry,
+                           ServingFrontOptions opts)
+    : engine_(engine),
+      registry_(registry),
+      opts_(std::move(opts)),
+      queue_(opts_.max_queued, opts_.client_weights),
+      rate_limiter_(opts_.rate),
+      epoch_(Clock::now()) {}
+
+ServingFront::~ServingFront() { begin_drain(); }
+
+double ServingFront::now_seconds() const {
+  return std::chrono::duration<double>(Clock::now() - epoch_).count();
+}
+
+api::Status ServingFront::start() {
+  if (running_) return api::Status::invalid_argument("front already running");
+  const api::Status bound =
+      listener_.listen(opts_.bind_address, opts_.port);
+  if (!bound.is_ok()) return bound;
+  stop_ = false;
+  running_ = true;
+  deadlines_ = std::make_unique<DeadlineTimer>();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  const std::size_t workers = opts_.workers == 0 ? 1 : opts_.workers;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return api::Status::ok();
+}
+
+void ServingFront::begin_drain() {
+  if (!running_.exchange(false)) return;
+  stop_ = true;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  // Workers drain the queue (serving ready requests once, closing idle
+  // connections), then exit.
+  queue_.shutdown();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  deadlines_.reset();
+}
+
+void ServingFront::accept_loop() {
+  while (!stop_) {
+    auto accepted = listener_.accept(100);
+    if (!accepted) {
+      std::fprintf(stderr, "[mfti.net] accept: %s\n",
+                   accepted.status().to_string().c_str());
+      continue;
+    }
+    if (!accepted->valid()) continue;  // poll timeout: re-check stop_
+    ReadyConn conn;
+    conn.socket = std::move(*accepted);
+    conn.enqueued_at = now_seconds();
+    if (queue_.try_push(conn)) continue;
+    // Admission control: shed without ever blocking the accept loop.
+    metrics_.count_shed();
+    HttpResponse shed = http_error_response(
+        429, "server over capacity (max_queued exceeded); retry later");
+    shed.headers["Retry-After"] = "1";
+    shed.headers["Connection"] = "close";
+    conn.socket.write_nonblocking(serialize_response(shed));
+  }
+}
+
+void ServingFront::worker_loop() {
+  while (true) {
+    auto popped = queue_.pop();
+    if (!popped) return;  // shutdown and queue drained
+    ReadyConn conn = std::move(*popped);
+    const bool ready =
+        !conn.pending.empty() || conn.socket.wait_readable(1) > 0;
+    if (!ready) {
+      const double idle = now_seconds() - conn.enqueued_at;
+      if (idle * 1000.0 > static_cast<double>(opts_.idle_timeout_ms)) {
+        continue;  // keep-alive idle timeout: drop the connection
+      }
+      if (!queue_.push_requeued(conn)) {
+        // Drain in progress: one final grace poll, so a request whose
+        // bytes were in flight when the drain began is still served
+        // instead of dropped (the 1 ms readiness poll above may have
+        // missed data that arrived a moment later).
+        if (conn.socket.wait_readable(50) > 0) serve_one(conn);
+      }
+      continue;
+    }
+    if (serve_one(conn)) {
+      conn.enqueued_at = now_seconds();
+      queue_.push_requeued(conn);
+    }
+  }
+}
+
+bool ServingFront::serve_one(ReadyConn& conn) {
+  HttpRequestParser parser(opts_.limits);
+  auto state = parser.feed(conn.pending);
+  conn.pending.clear();
+  std::string chunk;
+  while (state == HttpRequestParser::State::NeedMore) {
+    chunk.clear();
+    const long n = conn.socket.read_some(
+        &chunk, static_cast<int>(opts_.read_timeout_ms));
+    if (n <= 0) return false;  // EOF, timeout or error: drop quietly
+    state = parser.feed(chunk);
+  }
+  const int write_timeout = static_cast<int>(opts_.write_timeout_ms);
+  if (state == HttpRequestParser::State::Error) {
+    HttpResponse response =
+        http_error_response(parser.error_status(), parser.error_detail());
+    response.headers["Connection"] = "close";
+    metrics_.observe("protocol", response.status, 0.0);
+    conn.socket.write_all(serialize_response(response), write_timeout);
+    return false;
+  }
+
+  const HttpRequest& request = parser.request();
+  conn.client_key = std::string(request.header("x-api-key"));
+  const double started = now_seconds();
+  std::string endpoint = "other";
+  HttpResponse response = handle_request(request, conn.client_key, &endpoint);
+  const double seconds = now_seconds() - started;
+  metrics_.observe(endpoint, response.status, seconds);
+
+  const bool draining = stop_;
+  const bool keep = request.keep_alive() && !draining &&
+                    response.headers.find("Connection") ==
+                        response.headers.end();
+  response.headers["Connection"] = keep ? "keep-alive" : "close";
+  const api::Status written = conn.socket.write_all(
+      serialize_response(response, request.method == "HEAD"), write_timeout);
+  if (!written.is_ok() || !keep) return false;
+  conn.pending = parser.take_residue();
+  return true;
+}
+
+HttpResponse ServingFront::handle_request(const HttpRequest& request,
+                                          const std::string& client_key,
+                                          std::string* endpoint) {
+  const std::string_view path = request.path();
+  const bool is_get = request.method == "GET" || request.method == "HEAD";
+
+  if (path == "/healthz") {
+    *endpoint = "healthz";
+    if (!is_get) return http_error_response(405, "use GET");
+    HttpResponse response;
+    response.headers["Content-Type"] = "text/plain";
+    response.body = "ok\n";
+    return response;
+  }
+  if (path == "/metrics") {
+    *endpoint = "metrics";
+    if (!is_get) return http_error_response(405, "use GET");
+    return handle_metrics();
+  }
+  if (path == "/v1/models" || path.starts_with("/v1/models/")) {
+    *endpoint = "models";
+    if (!is_get) return http_error_response(405, "use GET");
+    return handle_models(path);
+  }
+  if (path == "/v1/eval") {
+    *endpoint = "eval";
+    if (request.method != "POST") {
+      return http_error_response(405, "use POST");
+    }
+    const RateLimiter::Decision decision =
+        rate_limiter_.admit(client_key, now_seconds());
+    if (!decision.admitted) {
+      metrics_.count_rate_limited();
+      HttpResponse limited = http_error_response(
+          429, "client rate limit exceeded; slow down");
+      limited.headers["Retry-After"] = std::to_string(
+          static_cast<long>(std::ceil(decision.retry_after_seconds)));
+      return limited;
+    }
+    return handle_eval(request);
+  }
+  if (path.starts_with("/v1/admin/")) {
+    *endpoint = "admin";
+    if (request.method != "POST") {
+      return http_error_response(405, "use POST");
+    }
+    return handle_admin(request, path);
+  }
+  return http_error_response(404, "no such endpoint: " + std::string(path));
+}
+
+HttpResponse ServingFront::handle_eval(const HttpRequest& request) {
+  auto parsed = parse_json(request.body);
+  if (!parsed) return error_response(parsed.status());
+  const Json& root = *parsed;
+
+  // Accept {"requests": [...]} or a single bare {"model": ..., ...}.
+  std::vector<const Json*> items;
+  if (const Json* requests = root.find("requests")) {
+    if (!requests->is_array()) {
+      return error_response(api::Status::invalid_argument(
+          "'requests' must be an array"));
+    }
+    for (const Json& item : requests->items()) items.push_back(&item);
+  } else if (root.find("model") != nullptr) {
+    items.push_back(&root);
+  } else {
+    return error_response(api::Status::invalid_argument(
+        "body needs 'requests' or a single 'model' entry"));
+  }
+
+  // One deadline per HTTP request, propagated into the engine as a
+  // cancellation token so expired work stops consuming pool time.
+  std::size_t deadline_ms = opts_.default_deadline_ms;
+  const std::string_view header = request.header("x-deadline-ms");
+  if (!header.empty()) {
+    char* end = nullptr;
+    const std::string text(header);
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
+      return error_response(api::Status::invalid_argument(
+          "malformed X-Deadline-Ms header"));
+    }
+    deadline_ms = static_cast<std::size_t>(value);
+  }
+  std::optional<api::CancellationToken> token;
+  if (deadline_ms > 0) {
+    token.emplace();
+    deadlines_->add(*token,
+                    Clock::now() + std::chrono::milliseconds(deadline_ms));
+  }
+
+  // Items that fail to parse get their error entry without touching the
+  // engine; the rest dispatch as one engine batch (shared pool fan-out).
+  std::vector<Json> entries(items.size());
+  std::vector<serving::EvalRequest> batch;
+  std::vector<std::size_t> batch_slot;  // entry index of each batch element
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Json* model = items[i]->find("model");
+    if (model == nullptr || !model->is_string()) {
+      entries[i] = error_entry(api::Status::invalid_argument(
+          "eval item needs a string 'model'"));
+      continue;
+    }
+    serving::EvalRequest eval;
+    eval.model = model->as_string();
+    const api::Status points = parse_points(*items[i], &eval.points);
+    if (!points.is_ok()) {
+      entries[i] = error_entry(points);
+      continue;
+    }
+    eval.cancel = token;
+    batch_slot.push_back(i);
+    batch.push_back(std::move(eval));
+  }
+
+  const auto responses = engine_.evaluate(batch);
+  bool deadline_hit = false;
+  for (std::size_t b = 0; b < responses.size(); ++b) {
+    Json& entry = entries[batch_slot[b]];
+    if (!responses[b]) {
+      if (responses[b].status().code() == api::StatusCode::Cancelled) {
+        deadline_hit = true;
+      }
+      entry = error_entry(responses[b].status());
+      continue;
+    }
+    const serving::EvalResponse& eval = *responses[b];
+    entry = Json::object();
+    entry.set("model", Json(eval.model));
+    entry.set("version", Json(static_cast<double>(eval.version)));
+    entry.set("unique_points",
+              Json(static_cast<double>(eval.unique_points)));
+    Json values = Json::array();
+    for (const la::CMat& value : eval.values) {
+      values.push_back(matrix_json(value));
+    }
+    entry.set("values", std::move(values));
+  }
+  if (deadline_hit) metrics_.count_deadline_expired();
+
+  // Per-request error isolation: a multi-item batch always answers 200
+  // with inline per-entry errors; a single-item request takes its entry's
+  // HTTP status so plain clients see 404/422/408 directly.
+  int status = 200;
+  if (entries.size() == 1) {
+    if (const Json* error = entries[0].find("error")) {
+      if (const Json* http = error->find("http")) {
+        status = static_cast<int>(http->as_number());
+      }
+    }
+  }
+  Json body = Json::object();
+  Json list = Json::array();
+  for (Json& entry : entries) list.push_back(std::move(entry));
+  body.set("responses", std::move(list));
+  return json_response(status, body);
+}
+
+HttpResponse ServingFront::handle_models(std::string_view path) const {
+  constexpr std::string_view kPrefix = "/v1/models/";
+  if (path.size() > kPrefix.size() && path.starts_with(kPrefix)) {
+    const std::string name(path.substr(kPrefix.size()));
+    auto info = registry_.info(name);
+    if (!info) return error_response(info.status());
+    return json_response(200, info_json(*info));
+  }
+  Json models = Json::array();
+  for (const serving::ModelInfo& info : registry_.list()) {
+    models.push_back(info_json(info));
+  }
+  Json body = Json::object();
+  body.set("models", std::move(models));
+  return json_response(200, body);
+}
+
+HttpResponse ServingFront::handle_admin(const HttpRequest& request,
+                                        std::string_view path) {
+  if (opts_.admin_token.empty()) {
+    return http_error_response(
+        403, "admin endpoints disabled (no admin token configured)");
+  }
+  const std::string_view bearer = request.header("authorization");
+  const std::string_view direct = request.header("x-admin-token");
+  const std::string expected = "Bearer " + opts_.admin_token;
+  if (bearer != std::string_view(expected) &&
+      direct != std::string_view(opts_.admin_token)) {
+    return http_error_response(401, "bad or missing admin token");
+  }
+  auto parsed = parse_json(request.body);
+  if (!parsed) return error_response(parsed.status());
+  const Json* name = parsed->find("name");
+  if (name == nullptr || !name->is_string()) {
+    return error_response(
+        api::Status::invalid_argument("admin request needs a string 'name'"));
+  }
+
+  if (path == "/v1/admin/publish") {
+    const Json* snapshot = parsed->find("snapshot");
+    if (snapshot == nullptr || !snapshot->is_string()) {
+      return error_response(api::Status::invalid_argument(
+          "publish needs 'snapshot' (path to a model snapshot file)"));
+    }
+    auto handle = io::load_model_snapshot(snapshot->as_string());
+    if (!handle) return error_response(handle.status());
+    std::uint64_t version = 0;
+    try {
+      version = registry_.publish(name->as_string(), std::move(*handle));
+    } catch (const std::exception& e) {
+      return error_response(api::Status::internal(e.what()));
+    }
+    Json body = Json::object();
+    body.set("name", *name);
+    body.set("version", Json(static_cast<double>(version)));
+    return json_response(200, body);
+  }
+  if (path == "/v1/admin/rollback") {
+    auto version = registry_.rollback(name->as_string());
+    if (!version) return error_response(version.status());
+    Json body = Json::object();
+    body.set("name", *name);
+    body.set("version", Json(static_cast<double>(*version)));
+    return json_response(200, body);
+  }
+  return http_error_response(404,
+                             "no such admin action: " + std::string(path));
+}
+
+HttpResponse ServingFront::handle_metrics() const {
+  HttpResponse response;
+  response.headers["Content-Type"] = "text/plain; version=0.0.4";
+  response.body = metrics_.render(engine_.stats());
+  return response;
+}
+
+}  // namespace mfti::net

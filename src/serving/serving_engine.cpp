@@ -119,6 +119,10 @@ std::vector<api::Expected<EvalResponse>> ServingEngine::evaluate(
   std::vector<Task> tasks;
   for (std::size_t r = 0; r < batch.size(); ++r) {
     Prepared& p = prepared[r];
+    if (batch[r].cancel && batch[r].cancel->cancelled()) {
+      p.status = api::Status::cancelled("request cancelled before dispatch");
+      continue;
+    }
     auto model = registry_.acquire(batch[r].model);
     if (!model) {
       p.status = model.status();
@@ -149,6 +153,13 @@ std::vector<api::Expected<EvalResponse>> ServingEngine::evaluate(
       tasks.size(), pool_.worker_count() + 1, [&](std::size_t t) {
         Prepared& p = prepared[tasks[t].request];
         const std::size_t u = tasks[t].unique;
+        const auto& cancel = batch[tasks[t].request].cancel;
+        if (cancel && cancel->cancelled()) {
+          // Deadline expired mid-batch: skip the factorization/solve so an
+          // abandoned request stops consuming pool time.
+          p.errors[u] = api::Status::cancelled("request cancelled");
+          return;
+        }
         try {
           p.values[u] = p.handle->evaluate(p.unique[u]);
         } catch (const la::SingularMatrixError& e) {
@@ -164,6 +175,12 @@ std::vector<api::Expected<EvalResponse>> ServingEngine::evaluate(
     Prepared& p = prepared[r];
     if (!p.status.is_ok()) {
       out.emplace_back(p.status);
+      continue;
+    }
+    if (batch[r].cancel && batch[r].cancel->cancelled()) {
+      // Report cancellation deterministically even when some points had
+      // already been evaluated (or failed) before the token flipped.
+      out.emplace_back(api::Status::cancelled("request cancelled"));
       continue;
     }
     const auto failed =

@@ -29,9 +29,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "api/fit_request.hpp"
 #include "api/model_handle.hpp"
 #include "api/status.hpp"
 #include "parallel/thread_pool.hpp"
@@ -54,6 +56,19 @@ struct ServingEngineOptions {
 struct EvalRequest {
   std::string model;
   std::vector<la::Complex> points;
+  /// Optional cooperative cancellation (e.g. a request deadline owned by
+  /// the HTTP front). When set and cancelled, remaining per-point work is
+  /// skipped — an expired request stops consuming pool time — and the
+  /// request reports `StatusCode::Cancelled`. Engine behaviour is
+  /// unchanged when no token is set.
+  std::optional<api::CancellationToken> cancel;
+
+  EvalRequest() = default;
+  EvalRequest(std::string model_name, std::vector<la::Complex> eval_points,
+              std::optional<api::CancellationToken> cancel_token = {})
+      : model(std::move(model_name)),
+        points(std::move(eval_points)),
+        cancel(std::move(cancel_token)) {}
 };
 
 /// The served batch. `values[i]` is `H(points[i])` of the snapshot that was

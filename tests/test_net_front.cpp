@@ -1,0 +1,467 @@
+// End-to-end loopback tests of the HTTP serving front (net::ServingFront
+// over a real engine + registry on 127.0.0.1): eval parity (bit-exact
+// against in-process evaluation), per-request error isolation, the admin
+// token gate (publish/rollback), admission control (queue overflow sheds
+// 429 + Retry-After without stalling the accept loop; a rate-limited
+// client is refused while an unthrottled one is served), request deadlines
+// (408), and graceful drain (in-flight requests complete).
+
+#include "net/net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/snapshot.hpp"
+#include "serving/serving.hpp"
+#include "statespace/random_system.hpp"
+
+namespace api = mfti::api;
+namespace io = mfti::io;
+namespace la = mfti::la;
+namespace net = mfti::net;
+namespace serving = mfti::serving;
+namespace ss = mfti::ss;
+
+namespace {
+
+ss::DescriptorSystem make_system(std::size_t order, std::size_t ports,
+                                 std::uint64_t seed) {
+  la::Rng rng(seed);
+  ss::RandomSystemOptions opts;
+  opts.order = order;
+  opts.num_outputs = ports;
+  opts.num_inputs = ports;
+  opts.rank_d = ports;
+  opts.f_min_hz = 10.0;
+  opts.f_max_hz = 1e5;
+  return ss::random_stable_mimo(opts, rng);
+}
+
+serving::ModelSnapshot make_snapshot(std::size_t order, std::size_t ports,
+                                     std::uint64_t seed) {
+  return std::make_shared<const api::ModelHandle>(
+      make_system(order, ports, seed));
+}
+
+/// Blocking loopback request helper over a fresh or kept-alive socket.
+class TestClient {
+ public:
+  explicit TestClient(int port) : port_(port) {}
+
+  api::Expected<net::HttpResponse> request(
+      const std::string& method, const std::string& target,
+      const std::string& body = "",
+      const std::map<std::string, std::string>& headers = {}) {
+    if (!socket_.valid()) {
+      auto connected = net::Socket::connect("127.0.0.1", port_, 2000);
+      if (!connected) return connected.status();
+      socket_ = std::move(*connected);
+    }
+    net::HttpRequest req;
+    req.method = method;
+    req.target = target;
+    req.body = body;
+    req.headers = headers;
+    const api::Status sent =
+        socket_.write_all(net::serialize_request(req), 5000);
+    if (!sent.is_ok()) return sent;
+    net::HttpResponseParser parser;
+    std::string chunk;
+    while (parser.state() == net::HttpResponseParser::State::NeedMore) {
+      chunk.clear();
+      const long n = socket_.read_some(&chunk, 10000);
+      if (n <= 0) {
+        socket_ = net::Socket();
+        return api::Status::internal("connection lost mid-response");
+      }
+      parser.feed(chunk);
+    }
+    if (parser.state() == net::HttpResponseParser::State::Error) {
+      socket_ = net::Socket();
+      return api::Status::internal(parser.error_detail());
+    }
+    net::HttpResponse response = parser.response();
+    if (response.header("connection") == "close") socket_ = net::Socket();
+    return response;
+  }
+
+ private:
+  int port_;
+  net::Socket socket_;
+};
+
+std::string eval_body(const std::string& model, std::size_t points,
+                      double f0 = 100.0) {
+  net::Json item = net::Json::object();
+  item.set("model", net::Json(model));
+  net::Json freqs = net::Json::array();
+  for (std::size_t i = 0; i < points; ++i) {
+    freqs.push_back(net::Json(f0 * static_cast<double>(i + 1)));
+  }
+  item.set("freqs_hz", std::move(freqs));
+  net::Json body = net::Json::object();
+  net::Json requests = net::Json::array();
+  requests.push_back(std::move(item));
+  body.set("requests", std::move(requests));
+  return body.dump();
+}
+
+}  // namespace
+
+TEST(ServingFront, EvalParityIsBitExact) {
+  serving::ModelRegistry registry;
+  const auto snapshot = make_snapshot(24, 2, 7);
+  registry.publish("m", snapshot);
+  serving::ServingEngine engine(registry);
+  net::ServingFront front(engine, registry, {});
+  ASSERT_TRUE(front.start().is_ok());
+
+  TestClient client(front.port());
+  auto response = client.request("POST", "/v1/eval", eval_body("m", 16));
+  ASSERT_TRUE(response.has_value()) << response.status().to_string();
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto parsed = net::parse_json(response->body);
+  ASSERT_TRUE(parsed.has_value());
+  const net::Json* entry = &parsed->find("responses")->at(0);
+  EXPECT_EQ(entry->find("version")->as_number(), 1.0);
+  const net::Json* values = entry->find("values");
+  ASSERT_EQ(values->size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const double f = 100.0 * static_cast<double>(i + 1);
+    const la::CMat ref = snapshot->evaluate(
+        la::Complex(0.0, 2.0 * 3.14159265358979323846 * f));
+    const net::Json* re = values->at(i).find("re");
+    const net::Json* im = values->at(i).find("im");
+    ASSERT_EQ(re->size(), ref.rows() * ref.cols());
+    for (std::size_t r = 0; r < ref.rows(); ++r) {
+      for (std::size_t c = 0; c < ref.cols(); ++c) {
+        const std::size_t flat = r * ref.cols() + c;
+        // %.17g wire serialization: equality is exact, not approximate.
+        EXPECT_EQ(re->at(flat).as_number(), ref(r, c).real());
+        EXPECT_EQ(im->at(flat).as_number(), ref(r, c).imag());
+      }
+    }
+  }
+}
+
+TEST(ServingFront, PerRequestErrorIsolation) {
+  serving::ModelRegistry registry;
+  registry.publish("ok", make_snapshot(16, 2, 8));
+  serving::ServingEngine engine(registry);
+  net::ServingFront front(engine, registry, {});
+  ASSERT_TRUE(front.start().is_ok());
+  TestClient client(front.port());
+
+  // Multi-request batch: the ghost model fails inline, the good one is
+  // served, and the batch still answers 200.
+  net::Json body = net::Json::object();
+  net::Json requests = net::Json::array();
+  {
+    net::Json good = net::Json::object();
+    good.set("model", net::Json("ok"));
+    net::Json freqs = net::Json::array();
+    freqs.push_back(net::Json(100.0));
+    good.set("freqs_hz", std::move(freqs));
+    requests.push_back(std::move(good));
+    net::Json bad = net::Json::object();
+    bad.set("model", net::Json("ghost"));
+    net::Json freqs2 = net::Json::array();
+    freqs2.push_back(net::Json(100.0));
+    bad.set("freqs_hz", std::move(freqs2));
+    requests.push_back(std::move(bad));
+  }
+  body.set("requests", std::move(requests));
+  auto mixed = client.request("POST", "/v1/eval", body.dump());
+  ASSERT_TRUE(mixed.has_value());
+  EXPECT_EQ(mixed->status, 200);
+  auto parsed = net::parse_json(mixed->body);
+  ASSERT_TRUE(parsed.has_value());
+  const net::Json* entries = parsed->find("responses");
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ(entries->at(0).find("error"), nullptr);
+  ASSERT_NE(entries->at(1).find("error"), nullptr);
+  EXPECT_EQ(entries->at(1).find("error")->find("http")->as_number(), 404.0);
+
+  // A single unknown model surfaces its mapped status directly.
+  auto missing = client.request("POST", "/v1/eval", eval_body("ghost", 1));
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+
+  // Malformed JSON is a 400 before touching the engine.
+  auto bad = client.request("POST", "/v1/eval", "{nope");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->status, 400);
+
+  // Unknown endpoints 404; wrong method 405.
+  auto nowhere = client.request("GET", "/v2/teapot");
+  ASSERT_TRUE(nowhere.has_value());
+  EXPECT_EQ(nowhere->status, 404);
+  auto wrong = client.request("GET", "/v1/eval");
+  ASSERT_TRUE(wrong.has_value());
+  EXPECT_EQ(wrong->status, 405);
+}
+
+TEST(ServingFront, ModelsListingAndMetrics) {
+  serving::ModelRegistry registry;
+  registry.publish("alpha", make_snapshot(16, 2, 9));
+  registry.publish("beta", make_snapshot(16, 2, 10));
+  serving::ServingEngine engine(registry);
+  net::ServingFront front(engine, registry, {});
+  ASSERT_TRUE(front.start().is_ok());
+  TestClient client(front.port());
+
+  auto listing = client.request("GET", "/v1/models");
+  ASSERT_TRUE(listing.has_value());
+  ASSERT_EQ(listing->status, 200);
+  auto parsed = net::parse_json(listing->body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("models")->size(), 2u);
+
+  auto one = client.request("GET", "/v1/models/alpha");
+  ASSERT_TRUE(one.has_value());
+  ASSERT_EQ(one->status, 200);
+  auto info = net::parse_json(one->body);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->find("name")->as_string(), "alpha");
+  EXPECT_EQ(info->find("version")->as_number(), 1.0);
+
+  auto ghost = client.request("GET", "/v1/models/ghost");
+  ASSERT_TRUE(ghost.has_value());
+  EXPECT_EQ(ghost->status, 404);
+
+  auto metrics = client.request("GET", "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  ASSERT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("mfti_http_requests_total"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("mfti_serving_models 2"), std::string::npos);
+}
+
+TEST(ServingFront, AdminTokenGatesPublishAndRollback) {
+  serving::ModelRegistry registry;
+  registry.publish("m", make_snapshot(16, 2, 11));
+  serving::ServingEngine engine(registry);
+  net::ServingFrontOptions opts;
+  opts.admin_token = "sekrit";
+  net::ServingFront front(engine, registry, opts);
+  ASSERT_TRUE(front.start().is_ok());
+  TestClient client(front.port());
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mfti_front_admin").string();
+  std::filesystem::create_directories(dir);
+  const std::string snap_path = dir + "/v2.mfti";
+  ASSERT_TRUE(
+      io::save_model_snapshot(snap_path, *make_snapshot(16, 2, 12)).is_ok());
+
+  net::Json publish = net::Json::object();
+  publish.set("name", net::Json("m"));
+  publish.set("snapshot", net::Json(snap_path));
+
+  // No token -> 401; wrong token -> 401.
+  auto anon = client.request("POST", "/v1/admin/publish", publish.dump());
+  ASSERT_TRUE(anon.has_value());
+  EXPECT_EQ(anon->status, 401);
+  auto wrong = client.request("POST", "/v1/admin/publish", publish.dump(),
+                              {{"X-Admin-Token", "nope"}});
+  ASSERT_TRUE(wrong.has_value());
+  EXPECT_EQ(wrong->status, 401);
+  EXPECT_EQ(registry.info("m")->version, 1u);
+
+  // Correct token (both header forms) publishes version 2.
+  auto ok = client.request("POST", "/v1/admin/publish", publish.dump(),
+                           {{"Authorization", "Bearer sekrit"}});
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->status, 200) << ok->body;
+  EXPECT_EQ(registry.info("m")->version, 2u);
+
+  net::Json rollback = net::Json::object();
+  rollback.set("name", net::Json("m"));
+  auto rolled = client.request("POST", "/v1/admin/rollback", rollback.dump(),
+                               {{"X-Admin-Token", "sekrit"}});
+  ASSERT_TRUE(rolled.has_value());
+  EXPECT_EQ(rolled->status, 200) << rolled->body;
+  EXPECT_EQ(registry.info("m")->version, 1u);  // v1 is live again
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServingFront, AdminDisabledWithoutConfiguredToken) {
+  serving::ModelRegistry registry;
+  serving::ServingEngine engine(registry);
+  net::ServingFront front(engine, registry, {});
+  ASSERT_TRUE(front.start().is_ok());
+  TestClient client(front.port());
+  auto response = client.request("POST", "/v1/admin/rollback", "{}");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 403);
+}
+
+TEST(ServingFront, QueueOverflowShedsWith429RetryAfter) {
+  serving::ModelRegistry registry;
+  registry.publish("m", make_snapshot(16, 2, 13));
+  serving::ServingEngine engine(registry);
+  net::ServingFrontOptions opts;
+  opts.workers = 1;
+  opts.max_queued = 0;  // every connection overflows: deterministic shed
+  net::ServingFront front(engine, registry, opts);
+  ASSERT_TRUE(front.start().is_ok());
+
+  TestClient shed(front.port());
+  auto refused = shed.request("GET", "/healthz");
+  ASSERT_TRUE(refused.has_value()) << refused.status().to_string();
+  EXPECT_EQ(refused->status, 429);
+  EXPECT_FALSE(refused->header("retry-after").empty());
+
+  // The accept loop must keep accepting (and shedding) after the first
+  // overflow — a stalled accept loop would time these out.
+  for (int i = 0; i < 5; ++i) {
+    TestClient again(front.port());
+    auto r = again.request("GET", "/healthz");
+    ASSERT_TRUE(r.has_value()) << r.status().to_string();
+    EXPECT_EQ(r->status, 429);
+  }
+}
+
+TEST(ServingFront, RateLimitedClientDoesNotAffectOthers) {
+  serving::ModelRegistry registry;
+  registry.publish("m", make_snapshot(16, 2, 14));
+  serving::ServingEngine engine(registry);
+  net::ServingFrontOptions opts;
+  // Burst of 2, negligible refill: the third request of one key must be
+  // refused while a fresh key still passes.
+  opts.rate.tokens_per_second = 1e-6;
+  opts.rate.burst = 2.0;
+  net::ServingFront front(engine, registry, opts);
+  ASSERT_TRUE(front.start().is_ok());
+  TestClient client(front.port());
+
+  int saw_429 = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto r = client.request("POST", "/v1/eval", eval_body("m", 1),
+                            {{"X-API-Key", "greedy"}});
+    ASSERT_TRUE(r.has_value());
+    if (r->status == 429) {
+      ++saw_429;
+      EXPECT_FALSE(r->header("retry-after").empty());
+    }
+  }
+  EXPECT_EQ(saw_429, 1);
+
+  auto other = client.request("POST", "/v1/eval", eval_body("m", 1),
+                              {{"X-API-Key", "polite"}});
+  ASSERT_TRUE(other.has_value());
+  EXPECT_EQ(other->status, 200);
+
+  // Rate limiting never applies to the read-only endpoints.
+  auto models = client.request("GET", "/v1/models", "",
+                               {{"X-API-Key", "greedy"}});
+  ASSERT_TRUE(models.has_value());
+  EXPECT_EQ(models->status, 200);
+}
+
+TEST(ServingFront, DeadlineExpiryAnswers408) {
+  serving::ModelRegistry registry;
+  // A heavyweight model: one dense-solve per point keeps the batch busy
+  // far past the 1 ms deadline.
+  registry.publish("slow", make_snapshot(150, 4, 15));
+  serving::ServingEngine engine(registry);
+  net::ServingFront front(engine, registry, {});
+  ASSERT_TRUE(front.start().is_ok());
+  TestClient client(front.port());
+
+  auto response = client.request("POST", "/v1/eval", eval_body("slow", 400),
+                                 {{"X-Deadline-Ms", "1"}});
+  ASSERT_TRUE(response.has_value()) << response.status().to_string();
+  EXPECT_EQ(response->status, 408) << response->body;
+
+  // Without a deadline the same request completes.
+  auto fine = client.request("POST", "/v1/eval", eval_body("slow", 4));
+  ASSERT_TRUE(fine.has_value());
+  EXPECT_EQ(fine->status, 200);
+}
+
+TEST(ServingFront, DrainCompletesInFlightRequests) {
+  serving::ModelRegistry registry;
+  registry.publish("m", make_snapshot(64, 2, 16));
+  serving::ServingEngine engine(registry);
+  auto front = std::make_unique<net::ServingFront>(
+      engine, registry, net::ServingFrontOptions{});
+  ASSERT_TRUE(front->start().is_ok());
+  const int port = front->port();
+
+  // Each client first completes a healthz round trip (proving the server
+  // *accepted* its connection — a connect() alone only reaches the kernel
+  // backlog, which a drain legitimately resets), then puts a whole eval
+  // request on the wire and signals. Every request sent on an accepted
+  // connection before the drain must still receive a complete 200.
+  std::atomic<int> sent{0};
+  std::vector<std::thread> clients;
+  std::vector<int> statuses(4, -1);
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([port, i, &statuses, &sent] {
+      auto read_response =
+          [](net::Socket& socket) -> api::Expected<net::HttpResponse> {
+        net::HttpResponseParser parser;
+        std::string chunk;
+        while (parser.state() == net::HttpResponseParser::State::NeedMore) {
+          chunk.clear();
+          if (socket.read_some(&chunk, 10000) <= 0) {
+            return api::Status::internal("connection lost");
+          }
+          parser.feed(chunk);
+        }
+        if (parser.state() != net::HttpResponseParser::State::Complete) {
+          return api::Status::internal("bad response");
+        }
+        return parser.response();
+      };
+      auto socket = net::Socket::connect("127.0.0.1", port, 2000);
+      if (!socket.has_value()) {
+        ++sent;
+        return;
+      }
+      net::HttpRequest probe;
+      probe.method = "GET";
+      probe.target = "/healthz";
+      if (!socket->write_all(net::serialize_request(probe), 5000).is_ok() ||
+          !read_response(*socket).has_value()) {
+        ++sent;
+        return;
+      }
+      net::HttpRequest req;
+      req.method = "POST";
+      req.target = "/v1/eval";
+      req.body = eval_body("m", 64);
+      const api::Status written =
+          socket->write_all(net::serialize_request(req), 5000);
+      ++sent;
+      if (!written.is_ok()) return;
+      auto response = read_response(*socket);
+      if (response.has_value()) {
+        statuses[static_cast<std::size_t>(i)] = response->status;
+      }
+    });
+  }
+  while (sent.load() < 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  front->begin_drain();
+  for (auto& t : clients) t.join();
+  EXPECT_FALSE(front->running());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(statuses[static_cast<std::size_t>(i)], 200) << "client " << i;
+  }
+
+  // After the drain the port refuses connections.
+  auto gone = net::Socket::connect("127.0.0.1", port, 500);
+  EXPECT_FALSE(gone.has_value());
+}

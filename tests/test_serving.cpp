@@ -302,11 +302,13 @@ TEST(ServingEngine, RepublishUnderQueryStormNeverTearsResponses) {
   // so even publishes below are sys_b, odd ones sys_a).
   std::uint64_t publishes = 0;
   std::thread publisher([&] {
-    while (!done.load(std::memory_order_relaxed)) {
+    // do-while: at least one publish even when a loaded scheduler never
+    // runs this thread before the queriers finish.
+    do {
       const auto& sys = (publishes % 2 == 0) ? sys_b : sys_a;
       registry.publish("m", std::make_shared<const api::ModelHandle>(sys));
       ++publishes;
-    }
+    } while (!done.load(std::memory_order_relaxed));
   });
   for (auto& t : queriers) t.join();
   done.store(true);

@@ -1,0 +1,436 @@
+/// \file mfti_client.cpp
+/// \brief Smoke/bench client of the HTTP serving front, and the fleet
+/// seeder the loopback CI job uses.
+///
+///   mfti_client seed  --dir <registry-dir> [--models N]
+///   mfti_client smoke --port <n> [--host 127.0.0.1] --dir <registry-dir>
+///                     [--expect-429]
+///   mfti_client bench --port <n> [--host 127.0.0.1] [--rounds N]
+///                     [--json out.json]
+///
+/// `seed` publishes N demo models (named m0..m{N-1}) into a durable
+/// registry directory and writes `model-0.mfti` next to it, so a later
+/// `mfti_serve --dir` warm-restarts the same fleet. `smoke` asserts
+/// loopback parity — every value served over HTTP must match the
+/// in-process evaluation of the same snapshot to 1e-12 (and exactly, for
+/// the repeated points the engine answers from cache) — plus the protocol
+/// edges: models listing, 404 on unknown models, 400 on malformed JSON,
+/// and (with `--expect-429`) the rate-limit refusal. `bench` emits the
+/// standard bench JSON schema (`bench/compare_bench.py` consumes it).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/snapshot.hpp"
+#include "net/net.hpp"
+#include "serving/serving.hpp"
+#include "statespace/random_system.hpp"
+
+namespace api = mfti::api;
+namespace io = mfti::io;
+namespace la = mfti::la;
+namespace net = mfti::net;
+namespace serving = mfti::serving;
+namespace ss = mfti::ss;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Args {
+  std::string mode;
+  std::string dir;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::size_t models = 3;
+  std::size_t rounds = 50;
+  std::string json_path;
+  bool expect_429 = false;
+  bool valid = true;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args out;
+  if (argc < 2) {
+    out.valid = false;
+    return out;
+  }
+  out.mode = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--dir" && has_value) {
+      out.dir = argv[++i];
+    } else if (arg == "--host" && has_value) {
+      out.host = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      out.port = std::atoi(argv[++i]);
+    } else if (arg == "--models" && has_value) {
+      out.models = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--rounds" && has_value) {
+      out.rounds = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--json" && has_value) {
+      out.json_path = argv[++i];
+    } else if (arg == "--expect-429") {
+      out.expect_429 = true;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      out.valid = false;
+      return out;
+    }
+  }
+  return out;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mfti_client seed  --dir <d> [--models N]\n"
+      "       mfti_client smoke --port <n> --dir <d> [--host h]"
+      " [--expect-429]\n"
+      "       mfti_client bench --port <n> [--host h] [--rounds N]"
+      " [--json out.json]\n");
+  return 2;
+}
+
+ss::DescriptorSystem demo_system(std::size_t index) {
+  la::Rng rng(1000 + index);
+  ss::RandomSystemOptions opts;
+  opts.order = 24 + 8 * index;
+  opts.num_outputs = 2;
+  opts.num_inputs = 2;
+  opts.rank_d = 2;
+  opts.f_min_hz = 10.0;
+  opts.f_max_hz = 1e5;
+  return ss::random_stable_mimo(opts, rng);
+}
+
+std::vector<double> demo_freqs(std::size_t count) {
+  std::vector<double> freqs;
+  freqs.reserve(count);
+  const double lo = std::log10(10.0);
+  const double hi = std::log10(1e5);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t =
+        count == 1 ? 0.0
+                   : static_cast<double>(i) / static_cast<double>(count - 1);
+    freqs.push_back(std::pow(10.0, lo + t * (hi - lo)));
+  }
+  return freqs;
+}
+
+/// One keep-alive connection to the front; reconnects after a
+/// `Connection: close` response.
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port)
+      : host_(std::move(host)), port_(port) {}
+
+  api::Expected<net::HttpResponse> request(
+      const std::string& method, const std::string& target,
+      const std::string& body = "",
+      const std::map<std::string, std::string>& headers = {}) {
+    if (!socket_.valid()) {
+      auto connected = net::Socket::connect(host_, port_, 2000);
+      if (!connected) return connected.status();
+      socket_ = std::move(*connected);
+    }
+    net::HttpRequest req;
+    req.method = method;
+    req.target = target;
+    req.body = body;
+    req.headers = headers;
+    if (!body.empty()) req.headers["Content-Type"] = "application/json";
+    const api::Status sent =
+        socket_.write_all(net::serialize_request(req), 5000);
+    if (!sent.is_ok()) return sent;
+
+    net::HttpResponseParser parser;
+    std::string chunk;
+    while (parser.state() == net::HttpResponseParser::State::NeedMore) {
+      chunk.clear();
+      const long n = socket_.read_some(&chunk, 10000);
+      if (n <= 0) {
+        socket_ = net::Socket();
+        return api::Status::internal("connection lost mid-response");
+      }
+      parser.feed(chunk);
+    }
+    if (parser.state() == net::HttpResponseParser::State::Error) {
+      socket_ = net::Socket();
+      return api::Status::internal("bad response: " + parser.error_detail());
+    }
+    net::HttpResponse response = parser.response();
+    if (response.header("connection") == "close") socket_ = net::Socket();
+    return response;
+  }
+
+ private:
+  std::string host_;
+  int port_;
+  net::Socket socket_;
+};
+
+std::string eval_body(const std::string& model,
+                      const std::vector<double>& freqs) {
+  net::Json item = net::Json::object();
+  item.set("model", net::Json(model));
+  net::Json list = net::Json::array();
+  for (const double f : freqs) list.push_back(net::Json(f));
+  item.set("freqs_hz", std::move(list));
+  net::Json body = net::Json::object();
+  net::Json requests = net::Json::array();
+  requests.push_back(std::move(item));
+  body.set("requests", std::move(requests));
+  return body.dump();
+}
+
+#define CHECK(cond, ...)                                  \
+  do {                                                    \
+    if (!(cond)) {                                        \
+      std::fprintf(stderr, "FAIL(%d): ", __LINE__);       \
+      std::fprintf(stderr, __VA_ARGS__);                  \
+      std::fprintf(stderr, "\n");                         \
+      return 1;                                           \
+    }                                                     \
+  } while (0)
+
+int run_seed(const Args& args) {
+  auto registry = serving::ModelRegistry::open(args.dir);
+  if (!registry) {
+    std::fprintf(stderr, "cannot open registry '%s': %s\n", args.dir.c_str(),
+                 registry.status().to_string().c_str());
+    return 1;
+  }
+  for (std::size_t m = 0; m < args.models; ++m) {
+    auto handle =
+        std::make_shared<const api::ModelHandle>(demo_system(m));
+    if (m == 0) {
+      const std::string path = args.dir + "/model-0.mfti";
+      const api::Status saved = io::save_model_snapshot(path, *handle);
+      if (!saved.is_ok()) {
+        std::fprintf(stderr, "cannot save %s: %s\n", path.c_str(),
+                     saved.to_string().c_str());
+        return 1;
+      }
+    }
+    std::string name = "m";
+    name += std::to_string(m);
+    (*registry)->publish(name, std::move(handle));
+  }
+  std::printf("seeded %zu model(s) into %s\n", args.models,
+              args.dir.c_str());
+  return 0;
+}
+
+int run_smoke(const Args& args) {
+  HttpClient client(args.host, args.port);
+
+  // Liveness first: the launcher may race us against server startup.
+  api::Expected<net::HttpResponse> health =
+      client.request("GET", "/healthz");
+  for (int attempt = 0; attempt < 50 && !health; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    health = client.request("GET", "/healthz");
+  }
+  CHECK(health && health->status == 200, "healthz unreachable");
+
+  // The fleet listing must contain m0.
+  auto models = client.request("GET", "/v1/models");
+  CHECK(models && models->status == 200, "GET /v1/models failed");
+  auto listing = net::parse_json(models->body);
+  CHECK(listing && listing->find("models") != nullptr,
+        "models listing is not the expected JSON");
+  bool has_m0 = false;
+  for (const net::Json& entry : listing->find("models")->items()) {
+    const net::Json* name = entry.find("name");
+    if (name != nullptr && name->is_string() && name->as_string() == "m0") {
+      has_m0 = true;
+    }
+  }
+  CHECK(has_m0, "model m0 missing from /v1/models");
+
+  // Loopback parity: every HTTP-served value must match the in-process
+  // evaluation of the same snapshot file to 1e-12. The points repeat once
+  // so the second half is answered from the engine's pencil cache — those
+  // must match *exactly* (the cache stores the first computation).
+  auto reference = io::load_model_snapshot(args.dir + "/model-0.mfti");
+  CHECK(reference.has_value(), "cannot load reference snapshot: %s",
+        reference.status().to_string().c_str());
+  std::vector<double> freqs = demo_freqs(24);
+  const std::size_t unique = freqs.size();
+  freqs.insert(freqs.end(), freqs.begin(), freqs.end());
+
+  auto evald =
+      client.request("POST", "/v1/eval", eval_body("m0", freqs));
+  CHECK(evald && evald->status == 200, "POST /v1/eval failed (status %d)",
+        evald ? evald->status : -1);
+  auto parsed = net::parse_json(evald->body);
+  CHECK(parsed.has_value(), "eval response is not JSON");
+  const net::Json* responses = parsed->find("responses");
+  CHECK(responses != nullptr && responses->size() == 1,
+        "eval response shape");
+  const net::Json* values = responses->at(0).find("values");
+  CHECK(values != nullptr && values->size() == freqs.size(),
+        "want %zu values", freqs.size());
+  CHECK(responses->at(0).find("unique_points") != nullptr &&
+            responses->at(0).find("unique_points")->as_number() ==
+                static_cast<double>(unique),
+        "in-batch dedup not applied");
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    const la::CMat ref =
+        (*reference)->evaluate(la::Complex(0.0, 2.0 * kPi * freqs[i]));
+    const net::Json& value = values->at(i);
+    const net::Json* re = value.find("re");
+    const net::Json* im = value.find("im");
+    CHECK(re != nullptr && im != nullptr &&
+              re->size() == ref.rows() * ref.cols(),
+        "value %zu has the wrong shape", i);
+    for (std::size_t r = 0; r < ref.rows(); ++r) {
+      for (std::size_t c = 0; c < ref.cols(); ++c) {
+        const std::size_t flat = r * ref.cols() + c;
+        const double dre =
+            std::abs(re->at(flat).as_number() - ref(r, c).real());
+        const double dim =
+            std::abs(im->at(flat).as_number() - ref(r, c).imag());
+        worst = std::max({worst, dre, dim});
+        if (i >= unique) {
+          // Cached half: bitwise equality with the first computation,
+          // which itself matched `ref` (checked by `worst` below).
+          CHECK(dre == 0.0 && dim == 0.0,
+                "cached point %zu not exact (dre=%g dim=%g)", i, dre, dim);
+        }
+      }
+    }
+  }
+  CHECK(worst <= 1e-12, "loopback parity %g > 1e-12", worst);
+  std::printf("parity: worst |served - reference| = %g over %zu points\n",
+              worst, freqs.size());
+
+  // Error isolation: an unknown model answers 404 without crashing.
+  auto missing =
+      client.request("POST", "/v1/eval", eval_body("ghost", {10.0}));
+  CHECK(missing && missing->status == 404, "unknown model: want 404, got %d",
+        missing ? missing->status : -1);
+
+  // Malformed JSON answers 400.
+  auto bad = client.request("POST", "/v1/eval", "{not json");
+  CHECK(bad && bad->status == 400, "malformed JSON: want 400, got %d",
+        bad ? bad->status : -1);
+
+  if (args.expect_429) {
+    // Burst past the configured token bucket; at least one refusal with a
+    // Retry-After header must show up.
+    bool saw_429 = false;
+    for (int i = 0; i < 32 && !saw_429; ++i) {
+      auto burst = client.request("POST", "/v1/eval",
+                                  eval_body("m0", {10.0}),
+                                  {{"X-API-Key", "burster"}});
+      CHECK(burst.has_value(), "burst request failed");
+      if (burst->status == 429) {
+        CHECK(!burst->header("retry-after").empty(),
+              "429 without Retry-After");
+        saw_429 = true;
+      }
+    }
+    CHECK(saw_429, "rate limit never refused a 32-request burst");
+    std::printf("rate limit: observed 429 with Retry-After\n");
+  }
+
+  std::printf("smoke: all checks passed\n");
+  return 0;
+}
+
+int run_bench(const Args& args) {
+  HttpClient client(args.host, args.port);
+  const std::vector<double> freqs = demo_freqs(32);
+  const std::string body = eval_body("m0", freqs);
+
+  // Warmup fills the server-side pencil cache.
+  for (int i = 0; i < 3; ++i) {
+    auto r = client.request("POST", "/v1/eval", body);
+    if (!r || r->status != 200) {
+      std::fprintf(stderr, "bench warmup failed\n");
+      return 1;
+    }
+  }
+
+  std::vector<double> seconds;
+  seconds.reserve(args.rounds);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < args.rounds; ++i) {
+    const auto a = std::chrono::steady_clock::now();
+    auto r = client.request("POST", "/v1/eval", body);
+    if (!r || r->status != 200) {
+      std::fprintf(stderr, "bench round %zu failed\n", i);
+      return 1;
+    }
+    const auto b = std::chrono::steady_clock::now();
+    seconds.push_back(std::chrono::duration<double>(b - a).count());
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::sort(seconds.begin(), seconds.end());
+  const auto quantile = [&](double q) {
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(seconds.size() - 1));
+    return seconds[idx];
+  };
+  const double p50 = quantile(0.5);
+  const double p99 = quantile(0.99);
+  const double rps = static_cast<double>(args.rounds) / wall;
+  std::printf("bench: %zu rounds, %zu points/req: p50 %.3gms p99 %.3gms "
+              "(%.0f req/s)\n",
+              args.rounds, freqs.size(), p50 * 1e3, p99 * 1e3, rps);
+
+  if (!args.json_path.empty()) {
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"model_serving_http\",\n"
+                 "  \"metrics\": [\n"
+                 "    {\"name\": \"eval_roundtrip\", \"seconds\": %.12g, "
+                 "\"p99_seconds\": %.12g, \"requests_per_second\": %.12g, "
+                 "\"points\": %zu}\n  ]\n}\n",
+                 p50, p99, rps, freqs.size());
+    std::fclose(f);
+    std::printf("[json] wrote %s\n", args.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (!args.valid) return usage();
+  if (args.mode == "seed") {
+    if (args.dir.empty()) return usage();
+    return run_seed(args);
+  }
+  if (args.mode == "smoke") {
+    if (args.dir.empty() || args.port == 0) return usage();
+    return run_smoke(args);
+  }
+  if (args.mode == "bench") {
+    if (args.port == 0) return usage();
+    return run_bench(args);
+  }
+  return usage();
+}

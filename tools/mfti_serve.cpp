@@ -1,0 +1,102 @@
+/// \file mfti_serve.cpp
+/// \brief The out-of-process serving daemon: opens a durable model fleet
+/// (`serving::ModelRegistry::open`, warm restart from `--dir`) and exposes
+/// it over the HTTP/1.1 front (`net::ServingFront`).
+///
+///   mfti_serve --dir fleet/ [--port 8080] [--port-file port.txt]
+///
+/// Configuration beyond the flags comes from the `MFTI_HTTP_*` environment
+/// knobs (see docs/serving-protocol.md). `--port 0` (the default) binds an
+/// ephemeral port; `--port-file` writes the resolved port for launchers
+/// that need to discover it (the CI loopback job does). SIGTERM/SIGINT
+/// trigger a graceful drain: in-flight requests complete, then the process
+/// exits 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/net.hpp"
+#include "serving/serving.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --dir <registry-dir> [--port <n>] "
+               "[--port-file <path>]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace net = mfti::net;
+  namespace serving = mfti::serving;
+
+  std::string dir;
+  std::string port_file;
+  net::ServingFrontOptions opts = net::ServingFrontOptions::from_env();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      opts.port = std::atoi(argv[++i]);
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (dir.empty()) return usage(argv[0]);
+
+  auto registry = serving::ModelRegistry::open(dir);
+  if (!registry) {
+    std::fprintf(stderr, "mfti_serve: cannot open registry '%s': %s\n",
+                 dir.c_str(), registry.status().to_string().c_str());
+    return 1;
+  }
+  serving::ServingEngine engine(**registry);
+  net::ServingFront front(engine, **registry, opts);
+
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+
+  const mfti::api::Status started = front.start();
+  if (!started.is_ok()) {
+    std::fprintf(stderr, "mfti_serve: cannot start: %s\n",
+                 started.to_string().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "mfti_serve: serving %zu model(s) from '%s' on port %d\n",
+               (*registry)->list().size(), dir.c_str(), front.port());
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "mfti_serve: cannot write port file '%s'\n",
+                   port_file.c_str());
+      front.begin_drain();
+      return 1;
+    }
+    std::fprintf(f, "%d\n", front.port());
+    std::fclose(f);
+  }
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "mfti_serve: draining\n");
+  front.begin_drain();
+  std::fprintf(stderr, "mfti_serve: drained, exiting\n");
+  return 0;
+}
