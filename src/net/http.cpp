@@ -58,8 +58,16 @@ bool parse_header_lines(std::string_view block, std::size_t max_headers,
     const std::size_t colon = line.find(':');
     if (colon == std::string_view::npos || colon == 0) return false;
     if (headers->size() >= max_headers) return false;
-    (*headers)[lowercase(trim(line.substr(0, colon)))] =
-        std::string(trim(line.substr(colon + 1)));
+    const std::string name = lowercase(trim(line.substr(0, colon)));
+    std::string value(trim(line.substr(colon + 1)));
+    const auto [slot, inserted] = headers->try_emplace(name, value);
+    if (!inserted) {
+      // Duplicate Content-Length headers with differing values must be
+      // rejected (RFC 7230 §3.3.2): last-wins here while a proxy in front
+      // honours the first is a request-smuggling vector.
+      if (name == "content-length" && slot->second != value) return false;
+      slot->second = std::move(value);
+    }
   }
   return true;
 }

@@ -79,7 +79,14 @@ std::optional<ReadyConn> FairQueue::pop_locked() {
   // connections as the deficit covers before moving on (here one pickup
   // per visit; the deficit carries fractional turns across passes).
   auto it = clients_.lower_bound(cursor_);
-  for (std::size_t scanned = 0; scanned <= 2 * clients_.size(); ++scanned) {
+  // Termination bound, captured BEFORE the loop: with total_ > 0 every
+  // iteration either erases an empty client (at most clients_.size()
+  // times), tops a zero deficit up (at most once per client before a
+  // serve), or serves — so a serve happens within 2n + 1 visits.
+  // Re-reading clients_.size() per iteration would shrink the bound as
+  // erasures land and give up with ready connections still queued.
+  const std::size_t max_scans = 2 * clients_.size() + 2;
+  for (std::size_t scanned = 0; scanned < max_scans; ++scanned) {
     if (it == clients_.end()) it = clients_.begin();
     PerClient& client = it->second;
     if (client.queue.empty()) {

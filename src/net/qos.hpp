@@ -78,7 +78,20 @@ struct ReadyConn {
   double enqueued_at = 0.0;
   /// Pipelined bytes already read past the previous request's end.
   std::string pending;
+  /// Consecutive not-ready readiness polls since the last served request;
+  /// drives the worker's poll backoff (see `idle_poll_backoff_ms`).
+  std::size_t idle_polls = 0;
 };
+
+/// Readiness-poll wait for an idle keep-alive connection: 1, 2, 4, ... up
+/// to 32 ms as `idle_polls` grows. A flat 1 ms wait makes every idle
+/// connection cycle pop -> poll -> requeue at ~1 kHz, pinning a worker;
+/// the backoff caps the churn while data arriving mid-wait still wakes
+/// the poll immediately, so only a connection sitting unwatched in the
+/// queue ever pays the (<= 32 ms) extra latency.
+inline int idle_poll_backoff_ms(std::size_t idle_polls) {
+  return 1 << (idle_polls < 5 ? idle_polls : 5);
+}
 
 /// Weighted-fair ready queue: one FIFO per client key, served deficit
 /// round-robin so each key's share of worker pickups is proportional to

@@ -1,10 +1,12 @@
 #include "net/serving_front.hpp"
 
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <queue>
 #include <utility>
@@ -23,8 +25,12 @@ void env_size_knob(const char* name, std::size_t* value) {
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return;
   char* end = nullptr;
+  errno = 0;
   const unsigned long long parsed = std::strtoull(env, &end, 10);
-  if (end == env || *end != '\0') {
+  // strtoull "successfully" wraps negatives ('-1' -> huge) and saturates
+  // silently on overflow — reject both, not just trailing garbage.
+  if (end == env || *end != '\0' || std::strchr(env, '-') != nullptr ||
+      errno == ERANGE) {
     std::fprintf(stderr,
                  "[mfti.net] malformed %s='%s' (want a non-negative "
                  "integer); keeping the default %zu\n",
@@ -71,9 +77,11 @@ void env_weights_knob(const char* name,
     if (eq != std::string_view::npos) {
       const std::string digits(entry.substr(eq + 1));
       char* end = nullptr;
+      errno = 0;
       const unsigned long long parsed =
           std::strtoull(digits.c_str(), &end, 10);
-      if (end != digits.c_str() && *end == '\0' && parsed > 0) {
+      if (end != digits.c_str() && *end == '\0' && parsed > 0 &&
+          digits.find('-') == std::string::npos && errno != ERANGE) {
         weight = static_cast<std::size_t>(parsed);
       }
     }
@@ -86,6 +94,21 @@ void env_weights_knob(const char* name,
     }
     (*weights)[std::string(entry.substr(0, eq))] = weight;
   }
+}
+
+/// Token comparison whose timing depends only on the (attacker-known)
+/// provided length — ordinary == short-circuits on the first mismatching
+/// byte, a timing side channel for guessing the admin token remotely.
+bool equals_constant_time(std::string_view provided,
+                          std::string_view secret) {
+  unsigned char diff = provided.size() == secret.size() ? 0 : 1;
+  for (std::size_t i = 0; i < provided.size(); ++i) {
+    const unsigned char s =
+        secret.empty() ? 0
+                       : static_cast<unsigned char>(secret[i % secret.size()]);
+    diff |= static_cast<unsigned char>(provided[i]) ^ s;
+  }
+  return diff == 0;
 }
 
 HttpResponse json_response(int status, const Json& body) {
@@ -367,8 +390,10 @@ void ServingFront::worker_loop() {
     if (!popped) return;  // shutdown and queue drained
     ReadyConn conn = std::move(*popped);
     const bool ready =
-        !conn.pending.empty() || conn.socket.wait_readable(1) > 0;
+        !conn.pending.empty() ||
+        conn.socket.wait_readable(idle_poll_backoff_ms(conn.idle_polls)) > 0;
     if (!ready) {
+      ++conn.idle_polls;
       const double idle = now_seconds() - conn.enqueued_at;
       if (idle * 1000.0 > static_cast<double>(opts_.idle_timeout_ms)) {
         continue;  // keep-alive idle timeout: drop the connection
@@ -384,6 +409,7 @@ void ServingFront::worker_loop() {
     }
     if (serve_one(conn)) {
       conn.enqueued_at = now_seconds();
+      conn.idle_polls = 0;
       queue_.push_requeued(conn);
     }
   }
@@ -509,10 +535,17 @@ HttpResponse ServingFront::handle_eval(const HttpRequest& request) {
   if (!header.empty()) {
     char* end = nullptr;
     const std::string text(header);
+    errno = 0;
     const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
-    if (end == text.c_str() || *end != '\0') {
+    // strtoull wraps negatives and saturates on overflow without failing;
+    // unchecked, '-1' overflows the chrono::milliseconds below into a
+    // deadline in the past and a bogus 408. Cap at 24 h.
+    constexpr unsigned long long kMaxDeadlineMs = 86'400'000;
+    if (end == text.c_str() || *end != '\0' ||
+        text.find('-') != std::string::npos || errno == ERANGE ||
+        value > kMaxDeadlineMs) {
       return error_response(api::Status::invalid_argument(
-          "malformed X-Deadline-Ms header"));
+          "malformed X-Deadline-Ms header (want 0..86400000)"));
     }
     deadline_ms = static_cast<std::size_t>(value);
   }
@@ -616,8 +649,8 @@ HttpResponse ServingFront::handle_admin(const HttpRequest& request,
   const std::string_view bearer = request.header("authorization");
   const std::string_view direct = request.header("x-admin-token");
   const std::string expected = "Bearer " + opts_.admin_token;
-  if (bearer != std::string_view(expected) &&
-      direct != std::string_view(opts_.admin_token)) {
+  if (!equals_constant_time(bearer, expected) &&
+      !equals_constant_time(direct, opts_.admin_token)) {
     return http_error_response(401, "bad or missing admin token");
   }
   auto parsed = parse_json(request.body);

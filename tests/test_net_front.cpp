@@ -387,6 +387,15 @@ TEST(ServingFront, DeadlineExpiryAnswers408) {
   auto fine = client.request("POST", "/v1/eval", eval_body("slow", 4));
   ASSERT_TRUE(fine.has_value());
   EXPECT_EQ(fine->status, 200);
+
+  // Malformed deadlines are a 400, never a wrapped-around instant 408:
+  // strtoull parses '-1' and 20-digit values "successfully" otherwise.
+  for (const char* bad : {"-1", "99999999999999999999", "86400001", "1x"}) {
+    auto malformed = client.request("POST", "/v1/eval", eval_body("slow", 4),
+                                    {{"X-Deadline-Ms", bad}});
+    ASSERT_TRUE(malformed.has_value()) << bad;
+    EXPECT_EQ(malformed->status, 400) << bad;
+  }
 }
 
 TEST(ServingFront, DrainCompletesInFlightRequests) {

@@ -148,6 +148,23 @@ TEST(HttpParser, RejectsMalformedRequestLineWith400) {
   EXPECT_EQ(parser.error_status(), 400);
 }
 
+TEST(HttpParser, RejectsConflictingContentLengthsWith400) {
+  // Two differing Content-Length headers enable request smuggling when a
+  // proxy in front honours the other one — must refuse, not last-wins.
+  net::HttpRequestParser parser;
+  EXPECT_EQ(parser.feed("POST / HTTP/1.1\r\nContent-Length: 4\r\n"
+                        "Content-Length: 2\r\n\r\nabcd"),
+            net::HttpRequestParser::State::Error);
+  EXPECT_EQ(parser.error_status(), 400);
+
+  // Repeated but *identical* values are harmless (RFC 7230 §3.3.2).
+  net::HttpRequestParser lenient;
+  ASSERT_EQ(lenient.feed("POST / HTTP/1.1\r\nContent-Length: 4\r\n"
+                         "Content-Length: 4\r\n\r\nabcd"),
+            net::HttpRequestParser::State::Complete);
+  EXPECT_EQ(lenient.request().body, "abcd");
+}
+
 TEST(HttpParser, ResponseRoundTrip) {
   net::HttpResponse response;
   response.status = 429;
@@ -314,6 +331,38 @@ TEST(FairQueue, WeightedInterleaving) {
   }
   EXPECT_GE(small_in_first_half, 1u) << "small client starved";
   EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(FairQueue, RequeueAfterClientChurnStaysPoppable) {
+  // Regression: three clients are each served once (leaving three empty
+  // per-client entries behind), then only one connection is requeued. The
+  // scan bound used to be re-evaluated as the empty entries were erased,
+  // shrinking below the iterations needed — pop gave up with the ready
+  // connection still queued and the request hung.
+  net::FairQueue queue(8, {});
+  for (const char* key : {"a", "b", "c"}) {
+    auto conn = conn_for(key);
+    ASSERT_TRUE(queue.try_push(conn));
+  }
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(queue.pop().has_value());
+  auto keep_alive = conn_for("c");
+  ASSERT_TRUE(queue.push_requeued(keep_alive));
+  ASSERT_EQ(queue.size(), 1u);
+  // Shutdown first so a regressed pop returns empty instead of blocking
+  // this test forever on the condvar.
+  queue.shutdown();
+  auto popped = queue.pop();
+  ASSERT_TRUE(popped.has_value()) << "ready connection stuck in the queue";
+  EXPECT_EQ(popped->client_key, "c");
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(FairQueue, IdlePollBackoffGrowsAndCaps) {
+  EXPECT_EQ(net::idle_poll_backoff_ms(0), 1);
+  EXPECT_EQ(net::idle_poll_backoff_ms(1), 2);
+  EXPECT_EQ(net::idle_poll_backoff_ms(4), 16);
+  EXPECT_EQ(net::idle_poll_backoff_ms(5), 32);
+  EXPECT_EQ(net::idle_poll_backoff_ms(1000), 32);
 }
 
 TEST(FairQueue, ShutdownDrainsThenReturnsEmpty) {
