@@ -25,20 +25,31 @@
 // it with ModelRegistry::open (warm restart). Restored responses must be
 // bitwise identical to the pre-restart ones.
 //
+// A fourth section is the query storm: N reader threads query one model
+// through the engine while a publisher republishes alternating versions
+// in a tight loop. Every response is verified bitwise against the
+// reference of the version it claims (mixed-version responses are a hard
+// failure); the single- vs multi-reader throughput ratio lands in the
+// JSON trajectory as the lock-free-read scaling signal.
+//
 // Usage: bench_model_serving [rounds] [--json <path>]
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <deque>
 #include <filesystem>
 #include <memory>
 #include <numbers>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/api.hpp"
 #include "bench_common.hpp"
 #include "metrics/stopwatch.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sampling/grid.hpp"
 #include "sampling/sampler.hpp"
 #include "serving/serving.hpp"
@@ -316,6 +327,142 @@ int main(int argc, char** argv) {
   std::printf("  warm restart (replay)   : %8.3f ms  (%.2fx)\n",
               1e3 * t_warm, t_cold / t_warm);
 
+  // --- query storm: concurrent readers vs a republish loop ------------------
+  //
+  // N reader threads hammer one model through the engine while a publisher
+  // republishes alternating versions as fast as it can. Readers verify
+  // every response bitwise against the reference of the version the
+  // response claims (odd = sys_a, even = sys_b): a single mixed-version
+  // value is a hard failure. Registry reads are RCU (one atomic load), so
+  // reader throughput should scale with threads even under the publish
+  // storm — the scaling ratio is reported for multi-core runs; only
+  // correctness is asserted (a single-core container cannot scale).
+
+  const ss::DescriptorSystem storm_a = [&rng] {
+    ss::RandomSystemOptions o;
+    o.order = 24;
+    o.num_outputs = 4;
+    o.num_inputs = 4;
+    o.rank_d = 4;
+    return ss::random_stable_mimo(o, rng);
+  }();
+  const ss::DescriptorSystem storm_b = [&rng] {
+    ss::RandomSystemOptions o;
+    o.order = 24;
+    o.num_outputs = 4;
+    o.num_inputs = 4;
+    o.rank_d = 4;
+    return ss::random_stable_mimo(o, rng);
+  }();
+  std::vector<la::Complex> storm_points;
+  for (double f : sp::log_grid(10.0, 1e5, 8)) {
+    storm_points.emplace_back(0.0, 2.0 * std::numbers::pi * f);
+  }
+  std::vector<la::CMat> storm_ref_a;
+  std::vector<la::CMat> storm_ref_b;
+  for (const la::Complex& s : storm_points) {
+    storm_ref_a.push_back(ss::transfer_function(storm_a, s));
+    storm_ref_b.push_back(ss::transfer_function(storm_b, s));
+  }
+
+  const std::size_t storm_rounds = rounds * 8;
+  // Runs one storm: returns {seconds, queries, publishes, mixed}.
+  struct StormResult {
+    double seconds = 0.0;
+    std::size_t queries = 0;
+    std::uint64_t publishes = 0;
+    std::size_t mixed = 0;
+    std::uint64_t coalesced = 0;
+  };
+  const auto run_storm = [&](std::size_t readers) {
+    serving::ModelRegistry storm_registry;
+    storm_registry.publish(
+        "storm", std::make_shared<const api::ModelHandle>(storm_a));
+    serving::ServingEngine storm_engine(storm_registry);
+    StormResult result;
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> mixed{0};
+    std::atomic<std::size_t> served{0};
+    mfti::metrics::Stopwatch storm_sw;
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < readers; ++t) {
+      threads.emplace_back([&] {
+        for (std::size_t r = 0; r < storm_rounds; ++r) {
+          const auto response =
+              storm_engine.evaluate({"storm", storm_points});
+          if (!response) {
+            mixed.fetch_add(1);  // the model must never disappear
+            continue;
+          }
+          const auto& ref = (response->version % 2 == 1) ? storm_ref_a
+                                                         : storm_ref_b;
+          for (std::size_t i = 0; i < storm_points.size(); ++i) {
+            if (max_abs_diff(response->values[i], ref[i]) != 0.0) {
+              mixed.fetch_add(1);
+              break;
+            }
+          }
+          served.fetch_add(1);
+        }
+      });
+    }
+    std::uint64_t publishes = 0;
+    std::thread publisher([&] {
+      // do-while: at least one republish even if the scheduler never runs
+      // this thread before the readers finish.
+      do {
+        const auto& sys = (publishes % 2 == 0) ? storm_b : storm_a;
+        storm_registry.publish(
+            "storm", std::make_shared<const api::ModelHandle>(sys));
+        ++publishes;
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+    for (auto& t : threads) t.join();
+    result.seconds = storm_sw.seconds();
+    stop.store(true);
+    publisher.join();
+    result.queries = served.load();
+    result.publishes = publishes;
+    result.mixed = mixed.load();
+    result.coalesced = storm_engine.coalesced_total();
+    return result;
+  };
+
+  const std::size_t max_readers =
+      std::max<std::size_t>(2, mfti::parallel::hardware_threads());
+  const StormResult storm_1 = run_storm(1);
+  const StormResult storm_n = run_storm(max_readers);
+  const double qps_1 =
+      static_cast<double>(storm_1.queries) / storm_1.seconds;
+  const double qps_n =
+      static_cast<double>(storm_n.queries) / storm_n.seconds;
+
+  std::printf("\nquery storm: %zu rounds x %zu points, republish loop:\n",
+              storm_rounds, storm_points.size());
+  std::printf("  1 reader   : %8.3f ms, %9.0f q/s, %llu publishes\n",
+              1e3 * storm_1.seconds, qps_1,
+              static_cast<unsigned long long>(storm_1.publishes));
+  std::printf(
+      "  %zu readers : %8.3f ms, %9.0f q/s, %llu publishes, "
+      "%llu coalesced (%.2fx)\n",
+      max_readers, 1e3 * storm_n.seconds, qps_n,
+      static_cast<unsigned long long>(storm_n.publishes),
+      static_cast<unsigned long long>(storm_n.coalesced), qps_n / qps_1);
+  if (storm_1.mixed != 0 || storm_n.mixed != 0) {
+    std::printf("FAIL: %zu mixed-version (or failed) storm responses\n",
+                storm_1.mixed + storm_n.mixed);
+    ok = false;
+  }
+  if (storm_1.queries != storm_rounds ||
+      storm_n.queries != max_readers * storm_rounds) {
+    std::printf("FAIL: storm readers lost queries\n");
+    ok = false;
+  }
+  if (storm_1.publishes == 0 || storm_n.publishes == 0) {
+    std::printf("FAIL: the publish storm never published\n");
+    ok = false;
+  }
+
   mfti::bench::JsonReport json("model_serving");
   json.add("naive_transfer_function",
            {{"seconds", t_naive}, {"queries", static_cast<double>(queries)}});
@@ -340,6 +487,20 @@ int main(int argc, char** argv) {
   json.add("warm_restart", {{"seconds", t_warm},
                             {"speedup", t_cold / t_warm},
                             {"models", static_cast<double>(kFleet)}});
+  json.add("query_storm_single",
+           {{"seconds", storm_1.seconds},
+            {"threads", 1.0},
+            {"queries", static_cast<double>(storm_1.queries)},
+            {"qps", qps_1},
+            {"publishes", static_cast<double>(storm_1.publishes)}});
+  json.add("query_storm",
+           {{"seconds", storm_n.seconds},
+            {"threads", static_cast<double>(max_readers)},
+            {"queries", static_cast<double>(storm_n.queries)},
+            {"qps", qps_n},
+            {"publishes", static_cast<double>(storm_n.publishes)},
+            {"coalesced", static_cast<double>(storm_n.coalesced)},
+            {"reader_scaling", qps_n / qps_1}});
   if (!json.write(args.json_path)) ok = false;
   std::printf(ok ? "OK\n" : "NOT OK\n");
   return ok ? 0 : 1;

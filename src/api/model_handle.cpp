@@ -17,6 +17,16 @@ ModelHandle::ModelHandle(ss::DescriptorSystem model, ModelHandleOptions opts)
 ModelHandle::ModelHandle(const FitReport& report, ModelHandleOptions opts)
     : ModelHandle(report.model, opts) {}
 
+std::vector<la::Complex> points_from_freqs_hz(
+    const std::vector<la::Real>& freqs_hz) {
+  std::vector<la::Complex> points;
+  points.reserve(freqs_hz.size());
+  for (const la::Real f : freqs_hz) {
+    points.emplace_back(0.0, 2.0 * std::numbers::pi * f);
+  }
+  return points;
+}
+
 std::size_t PencilKeyHash::operator()(const la::Complex& s) const {
   const std::size_t h_re = std::hash<la::Real>{}(s.real());
   const std::size_t h_im = std::hash<la::Real>{}(s.imag());
@@ -105,12 +115,7 @@ std::vector<la::CMat> ModelHandle::evaluate(
 std::vector<la::CMat> ModelHandle::sweep(
     const std::vector<la::Real>& freqs_hz,
     const parallel::ExecutionPolicy& exec) const {
-  std::vector<la::Complex> points;
-  points.reserve(freqs_hz.size());
-  for (la::Real f : freqs_hz) {
-    points.emplace_back(0.0, 2.0 * std::numbers::pi * f);
-  }
-  return evaluate(points, exec);
+  return evaluate(points_from_freqs_hz(freqs_hz), exec);
 }
 
 CacheStats ModelHandle::cache_stats() const {

@@ -47,6 +47,14 @@ struct PencilKeyHash {
   std::size_t operator()(const la::Complex& s) const;
 };
 
+/// The one frequency convention of the serving stack: `s = j 2 pi f` for
+/// every `f` in Hz. `ModelHandle::sweep`, the engine's
+/// `EvalRequest::freqs_hz` vocabulary and (through it) the HTTP wire
+/// format all convert through this helper, so the same grid produces
+/// bit-identical evaluation points — and cache keys — on every path.
+std::vector<la::Complex> points_from_freqs_hz(
+    const std::vector<la::Real>& freqs_hz);
+
 /// Cumulative cache counters since construction (or `clear_cache`).
 struct CacheStats {
   std::size_t hits = 0;

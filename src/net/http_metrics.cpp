@@ -25,6 +25,25 @@ void append_line(std::string* out, const std::string& name,
   out->push_back('\n');
 }
 
+/// Prometheus label-value escaping (text format v0.0.4): backslash,
+/// double quote and newline. Model names are caller-chosen strings, so
+/// the exporter cannot assume they are label-safe.
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out.append("\\n");
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 void HttpMetrics::observe(const std::string& endpoint, int status,
@@ -118,6 +137,38 @@ std::string HttpMetrics::render(
               static_cast<double>(engine_stats.memory_bytes));
   append_line(&out, "mfti_serving_cache_memory_budget_bytes", "",
               static_cast<double>(engine_stats.memory_budget));
+  out.append(
+      "# HELP mfti_serving_coalesced_total Evaluations answered by "
+      "joining another batch's in-flight computation.\n"
+      "# TYPE mfti_serving_coalesced_total counter\n");
+  append_line(&out, "mfti_serving_coalesced_total", "",
+              static_cast<double>(engine_stats.coalesced));
+
+  // Per-model series: one row per registered name (aliases of a shared
+  // handle repeat its cache counters), labeled by model and live version
+  // so the demand-weighted partitioner is observable per model.
+  out.append(
+      "# HELP mfti_serving_model_cache_hits Pencil-cache hits of one "
+      "model.\n# TYPE mfti_serving_model_cache_hits counter\n");
+  for (const serving::ModelServingStats& row : engine_stats.per_model) {
+    const std::string labels = "model=\"" + escape_label(row.name) +
+                               "\",version=\"" +
+                               std::to_string(row.version) + "\"";
+    append_line(&out, "mfti_serving_model_cache_hits", labels,
+                static_cast<double>(row.cache.hits));
+    append_line(&out, "mfti_serving_model_cache_misses", labels,
+                static_cast<double>(row.cache.misses));
+    append_line(&out, "mfti_serving_model_cache_evictions", labels,
+                static_cast<double>(row.cache.evictions));
+    append_line(&out, "mfti_serving_model_cache_entries", labels,
+                static_cast<double>(row.cache.entries));
+    append_line(&out, "mfti_serving_model_cache_memory_bytes", labels,
+                static_cast<double>(row.memory_bytes));
+    append_line(&out, "mfti_serving_model_cache_share_bytes", labels,
+                static_cast<double>(row.share_bytes));
+    append_line(&out, "mfti_serving_model_demand_ewma", labels,
+                row.demand_ewma);
+  }
   return out;
 }
 

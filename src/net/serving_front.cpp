@@ -195,9 +195,12 @@ Json info_json(const serving::ModelInfo& info) {
   return out;
 }
 
-/// Parse the points of one eval item: either `points` as [[re, im], ...]
-/// or `freqs_hz` as [f, ...] (mapped to s = j 2 pi f).
-api::Status parse_points(const Json& item, std::vector<la::Complex>* out) {
+/// Parse the points of one eval item — either `points` as [[re, im], ...]
+/// or `freqs_hz` as [f, ...] — straight into the engine's `EvalRequest`
+/// vocabulary, which uses the same two spellings. The front never converts
+/// units: `freqs_hz` passes through and the engine applies the one shared
+/// `s = j 2 pi f` mapping (`api::points_from_freqs_hz`).
+api::Status parse_points(const Json& item, serving::EvalRequest* out) {
   const Json* points = item.find("points");
   const Json* freqs = item.find("freqs_hz");
   if ((points == nullptr) == (freqs == nullptr)) {
@@ -208,29 +211,29 @@ api::Status parse_points(const Json& item, std::vector<la::Complex>* out) {
     if (!points->is_array()) {
       return api::Status::invalid_argument("'points' must be an array");
     }
-    out->reserve(points->size());
+    out->points.reserve(points->size());
     for (const Json& p : points->items()) {
       if (!p.is_array() || p.size() != 2 || !p.at(0).is_number() ||
           !p.at(1).is_number()) {
         return api::Status::invalid_argument(
             "each point must be a [re, im] number pair");
       }
-      out->emplace_back(p.at(0).as_number(), p.at(1).as_number());
+      out->points.emplace_back(p.at(0).as_number(), p.at(1).as_number());
     }
   } else {
     if (!freqs->is_array()) {
       return api::Status::invalid_argument("'freqs_hz' must be an array");
     }
-    out->reserve(freqs->size());
+    out->freqs_hz.reserve(freqs->size());
     for (const Json& f : freqs->items()) {
       if (!f.is_number()) {
         return api::Status::invalid_argument(
             "each frequency must be a number");
       }
-      out->emplace_back(0.0, 2.0 * 3.14159265358979323846 * f.as_number());
+      out->freqs_hz.push_back(f.as_number());
     }
   }
-  if (out->empty()) {
+  if (out->points.empty() && out->freqs_hz.empty()) {
     return api::Status::invalid_argument("eval item has no points");
   }
   return api::Status::ok();
@@ -570,7 +573,7 @@ HttpResponse ServingFront::handle_eval(const HttpRequest& request) {
     }
     serving::EvalRequest eval;
     eval.model = model->as_string();
-    const api::Status points = parse_points(*items[i], &eval.points);
+    const api::Status points = parse_points(*items[i], &eval);
     if (!points.is_ok()) {
       entries[i] = error_entry(points);
       continue;

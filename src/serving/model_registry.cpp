@@ -48,20 +48,29 @@ RegistryPersistenceOptions RegistryPersistenceOptions::from_env() {
 
 ModelRegistry::ModelRegistry(ModelRegistryOptions opts) : opts_(opts) {
   opts_.max_versions = std::max<std::size_t>(1, opts_.max_versions);
+  state_.store(std::make_shared<const State>(), std::memory_order_release);
 }
 
 ModelRegistry::~ModelRegistry() = default;
 
 // --- mutations --------------------------------------------------------------
+//
+// Every mutation is the same copy-and-swap: under `mutex_`, clone the
+// current state (shallow — histories copy `shared_ptr`s, not models),
+// journal the record write-ahead (durable registries; a failure discards
+// the clone, so the registry is observably unchanged), apply the mutation
+// to the clone, release-store the clone as the new state, then consider
+// compaction. Readers racing the store see either the old or the new
+// state in full — never a partial mutation.
 
 std::uint64_t ModelRegistry::publish_locked(
-    const std::string& name, ModelSnapshot handle,
+    State& next, const std::string& name, ModelSnapshot handle,
     std::optional<api::Algorithm> algorithm, double fit_seconds) {
-  const auto found = models_.find(name);
+  const auto found = next.models.find(name);
   Version version;
   version.info.name = name;
   version.info.version =
-      found == models_.end() ? 1 : found->second.next_version;
+      found == next.models.end() ? 1 : found->second.next_version;
   version.info.order = handle->order();
   version.info.num_inputs = handle->num_inputs();
   version.info.num_outputs = handle->num_outputs();
@@ -84,8 +93,8 @@ std::uint64_t ModelRegistry::publish_locked(
     }
   }
   ++seq_;
-  ++generation_;
-  Entry& entry = models_[name];
+  ++next.generation;
+  Entry& entry = next.models[name];
   entry.next_version = version.info.version + 1;
   entry.history.push_back(std::move(version));
   if (entry.history.size() > opts_.max_versions) {
@@ -93,7 +102,6 @@ std::uint64_t ModelRegistry::publish_locked(
                         entry.history.end() - opts_.max_versions);
   }
   entry.history.back().info.history_depth = entry.history.size() - 1;
-  if (journal_) maybe_compact_locked();
   return entry.history.back().info.version;
 }
 
@@ -105,24 +113,31 @@ std::uint64_t ModelRegistry::publish(const std::string& name,
     throw std::invalid_argument("ModelRegistry::publish: null handle");
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  return publish_locked(name, std::move(handle), algorithm, fit_seconds);
+  auto next =
+      std::make_shared<State>(*state_.load(std::memory_order_relaxed));
+  const std::uint64_t version = publish_locked(
+      *next, name, std::move(handle), algorithm, fit_seconds);
+  const State& published = *next;
+  state_.store(std::move(next), std::memory_order_release);
+  if (journal_) maybe_compact_locked(published);
+  return version;
 }
 
 std::uint64_t ModelRegistry::publish(const std::string& name,
                                      const api::FitReport& report,
                                      api::ModelHandleOptions handle_opts) {
-  auto handle =
-      std::make_shared<const api::ModelHandle>(report, handle_opts);
-  std::lock_guard<std::mutex> lock(mutex_);
-  return publish_locked(name, std::move(handle), report.algorithm,
-                        report.seconds);
+  return publish(name,
+                 std::make_shared<const api::ModelHandle>(report, handle_opts),
+                 report.algorithm, report.seconds);
 }
 
 api::Expected<std::uint64_t> ModelRegistry::rollback(
     const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = models_.find(name);
-  if (it == models_.end() || it->second.history.empty()) {
+  auto next =
+      std::make_shared<State>(*state_.load(std::memory_order_relaxed));
+  const auto it = next->models.find(name);
+  if (it == next->models.end() || it->second.history.empty()) {
     return api::Status::not_found("no model named '" + name + "'");
   }
   Entry& entry = it->second;
@@ -144,15 +159,20 @@ api::Expected<std::uint64_t> ModelRegistry::rollback(
   ++seq_;
   entry.history.pop_back();
   entry.history.back().info.history_depth = entry.history.size() - 1;
-  ++generation_;
-  if (journal_) maybe_compact_locked();
-  return entry.history.back().info.version;
+  ++next->generation;
+  const std::uint64_t version = entry.history.back().info.version;
+  const State& published = *next;
+  state_.store(std::move(next), std::memory_order_release);
+  if (journal_) maybe_compact_locked(published);
+  return version;
 }
 
 bool ModelRegistry::remove(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = models_.find(name);
-  if (it == models_.end()) return false;
+  auto next =
+      std::make_shared<State>(*state_.load(std::memory_order_relaxed));
+  const auto it = next->models.find(name);
+  if (it == next->models.end()) return false;
   if (journal_) {
     JournalRecord record;
     record.op = kRecordRemove;
@@ -164,26 +184,30 @@ bool ModelRegistry::remove(const std::string& name) {
     }
   }
   ++seq_;
-  models_.erase(it);
-  ++generation_;
-  if (journal_) maybe_compact_locked();
+  next->models.erase(it);
+  ++next->generation;
+  const State& published = *next;
+  state_.store(std::move(next), std::memory_order_release);
+  if (journal_) maybe_compact_locked(published);
   return true;
 }
 
-// --- queries ----------------------------------------------------------------
+// --- queries (lock-free: one acquire-load, then a private snapshot) ---------
 
 ModelSnapshot ModelRegistry::lookup(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = models_.find(name);
-  if (it == models_.end() || it->second.history.empty()) return nullptr;
+  const StatePtr current = state();
+  const auto it = current->models.find(name);
+  if (it == current->models.end() || it->second.history.empty()) {
+    return nullptr;
+  }
   return it->second.history.back().handle;
 }
 
 api::Expected<VersionedModel> ModelRegistry::acquire(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = models_.find(name);
-  if (it == models_.end() || it->second.history.empty()) {
+  const StatePtr current = state();
+  const auto it = current->models.find(name);
+  if (it == current->models.end() || it->second.history.empty()) {
     return api::Status::not_found("no model named '" + name + "'");
   }
   const Version& live = it->second.history.back();
@@ -197,20 +221,20 @@ api::Expected<ModelInfo> ModelRegistry::info(const std::string& name) const {
 }
 
 std::vector<ModelInfo> ModelRegistry::list() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const StatePtr current = state();
   std::vector<ModelInfo> out;
-  out.reserve(models_.size());
-  for (const auto& [name, entry] : models_) {
+  out.reserve(current->models.size());
+  for (const auto& [name, entry] : current->models) {
     if (!entry.history.empty()) out.push_back(entry.history.back().info);
   }
   return out;
 }
 
 std::vector<VersionedModel> ModelRegistry::live_models() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const StatePtr current = state();
   std::vector<VersionedModel> out;
-  out.reserve(models_.size());
-  for (const auto& [name, entry] : models_) {
+  out.reserve(current->models.size());
+  for (const auto& [name, entry] : current->models) {
     if (!entry.history.empty()) {
       out.push_back(
           {entry.history.back().handle, entry.history.back().info});
@@ -219,38 +243,35 @@ std::vector<VersionedModel> ModelRegistry::live_models() const {
   return out;
 }
 
-std::size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return models_.size();
-}
+std::size_t ModelRegistry::size() const { return state()->models.size(); }
 
 std::uint64_t ModelRegistry::generation() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return generation_;
+  return state()->generation;
 }
 
 std::vector<ModelRegistry::EntryState> ModelRegistry::export_state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const StatePtr current = state();
   std::vector<EntryState> out;
-  out.reserve(models_.size());
-  for (const auto& [name, entry] : models_) {
-    EntryState state;
-    state.name = name;
-    state.next_version = entry.next_version;
-    state.versions.reserve(entry.history.size());
+  out.reserve(current->models.size());
+  for (const auto& [name, entry] : current->models) {
+    EntryState exported;
+    exported.name = name;
+    exported.next_version = entry.next_version;
+    exported.versions.reserve(entry.history.size());
     for (const Version& version : entry.history) {
-      state.versions.push_back({version.handle, version.info});
+      exported.versions.push_back({version.handle, version.info});
     }
-    out.push_back(std::move(state));
+    out.push_back(std::move(exported));
   }
   return out;
 }
 
 // --- persistence ------------------------------------------------------------
 
-void ModelRegistry::restore_publish_locked(PersistedVersion&& persisted) {
-  ++generation_;
-  Entry& entry = models_[persisted.info.name];
+void ModelRegistry::restore_publish(State& state,
+                                    PersistedVersion&& persisted) {
+  ++state.generation;
+  Entry& entry = state.models[persisted.info.name];
   Version version;
   version.info = persisted.info;
   api::ModelHandleOptions handle_opts;
@@ -267,8 +288,8 @@ void ModelRegistry::restore_publish_locked(PersistedVersion&& persisted) {
   entry.history.back().info.history_depth = entry.history.size() - 1;
 }
 
-api::Status ModelRegistry::replay_journal_locked(
-    const std::string& journal_path) {
+api::Status ModelRegistry::replay_journal(State& state,
+                                          const std::string& journal_path) {
   auto replay = RegistryJournal::replay(journal_path);
   if (!replay) return replay.status();
   for (JournalRecord& record : replay->records) {
@@ -276,15 +297,15 @@ api::Status ModelRegistry::replay_journal_locked(
     switch (record.op) {
       case kRecordPublish:
         try {
-          restore_publish_locked(std::move(*record.version));
+          restore_publish(state, std::move(*record.version));
         } catch (const std::exception& e) {
           return api::Status::internal("journal replay: publish of '" +
                                        record.name + "': " + e.what());
         }
         break;
       case kRecordRollback: {
-        const auto it = models_.find(record.name);
-        if (it == models_.end() || it->second.history.size() < 2) {
+        const auto it = state.models.find(record.name);
+        if (it == state.models.end() || it->second.history.size() < 2) {
           return api::Status::internal(
               "journal replay: rollback of '" + record.name +
               "' does not match the registry state (journal/snapshot "
@@ -304,16 +325,16 @@ api::Status ModelRegistry::replay_journal_locked(
               " (was the registry reopened with a different "
               "max_versions?)");
         }
-        ++generation_;
+        ++state.generation;
         break;
       }
       case kRecordRemove:
-        if (models_.erase(record.name) == 0) {
+        if (state.models.erase(record.name) == 0) {
           return api::Status::internal(
               "journal replay: remove of unknown model '" + record.name +
               "' (journal/snapshot divergence)");
         }
-        ++generation_;
+        ++state.generation;
         break;
       default:
         return api::Status::internal("journal replay: unknown record op");
@@ -324,12 +345,12 @@ api::Status ModelRegistry::replay_journal_locked(
   return api::Status::ok();
 }
 
-std::string ModelRegistry::serialize_state_locked() const {
+std::string ModelRegistry::serialize_state_locked(const State& state) const {
   io::ByteWriter payload;
   payload.u64(seq_);
   payload.u64(opts_.max_versions);
-  payload.u64(models_.size());
-  for (const auto& [name, entry] : models_) {
+  payload.u64(state.models.size());
+  for (const auto& [name, entry] : state.models) {
     payload.str(name);
     payload.u64(entry.next_version);
     payload.u64(entry.history.size());
@@ -344,11 +365,12 @@ std::string ModelRegistry::serialize_state_locked() const {
   return payload.take();
 }
 
-api::Status ModelRegistry::compact_locked() {
+api::Status ModelRegistry::compact_locked(const State& state) {
   std::string bytes;
   io::append_file_header(bytes, io::kSnapshotMagic,
                          io::kSnapshotFormatVersion);
-  io::append_section(bytes, kSectionRegistry, serialize_state_locked());
+  io::append_section(bytes, kSectionRegistry,
+                     serialize_state_locked(state));
   if (auto status =
           io::write_file_atomic(dir_ + "/" + kSnapshotFile, bytes);
       !status.is_ok()) {
@@ -365,10 +387,11 @@ api::Status ModelRegistry::compact_locked() {
 api::Status ModelRegistry::compact() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!journal_) return api::Status::ok();
-  return compact_locked();
+  return compact_locked(*state_.load(std::memory_order_relaxed));
 }
 
 api::Status ModelRegistry::journal_locked(const JournalRecord& record) {
+  if (persist_.before_append) persist_.before_append();
   if (auto status = journal_->append(record); !status.is_ok()) {
     return status;
   }
@@ -376,8 +399,8 @@ api::Status ModelRegistry::journal_locked(const JournalRecord& record) {
   return api::Status::ok();
 }
 
-void ModelRegistry::maybe_compact_locked() {
-  // Must run only *after* the mutation is applied in memory: the snapshot
+void ModelRegistry::maybe_compact_locked(const State& state) {
+  // Must run only *after* the mutation is swapped in: the snapshot
   // serializes the live state, so compacting between the write-ahead
   // append and the swap would reset away a record the snapshot does not
   // yet contain.
@@ -388,7 +411,7 @@ void ModelRegistry::maybe_compact_locked() {
   if (!over_records && !over_bytes) return;
   // Auto-compaction failure is not fatal: the journal still holds every
   // record, so durability is intact — only the replay gets longer.
-  if (auto status = compact_locked(); !status.is_ok()) {
+  if (auto status = compact_locked(state); !status.is_ok()) {
     std::fprintf(stderr, "[mfti.serving] auto-compaction failed: %s\n",
                  status.to_string().c_str());
   }
@@ -410,6 +433,11 @@ api::Expected<std::unique_ptr<ModelRegistry>> ModelRegistry::open(
 
   const std::string snapshot_path = dir + "/" + kSnapshotFile;
   const std::string journal_path = dir + "/" + kJournalFile;
+
+  // Rebuild the pre-restart state into one mutable `State`, then publish
+  // it with a single store — `open` has no concurrent readers, but the
+  // invariant "the atomic always holds a complete state" is kept anyway.
+  auto restored = std::make_shared<State>();
 
   if (fs::exists(snapshot_path, ec)) {
     auto bytes = io::read_file(snapshot_path);
@@ -462,15 +490,15 @@ api::Expected<std::unique_ptr<ModelRegistry>> ModelRegistry::open(
         const std::uint64_t num_versions = in.u64();
         for (std::uint64_t v = 0; v < num_versions; ++v) {
           PersistedVersion persisted = read_persisted_version(in);
-          Version restored;
-          restored.info = persisted.info;
+          Version loaded;
+          loaded.info = persisted.info;
           api::ModelHandleOptions handle_opts;
           handle_opts.cache_capacity = persisted.cache_capacity;
-          restored.handle = std::make_shared<const api::ModelHandle>(
+          loaded.handle = std::make_shared<const api::ModelHandle>(
               std::move(persisted.model), handle_opts);
-          entry.history.push_back(std::move(restored));
+          entry.history.push_back(std::move(loaded));
         }
-        registry->models_[name] = std::move(entry);
+        restored->models[name] = std::move(entry);
       }
       in.expect_end();
     } catch (const std::exception& e) {
@@ -478,10 +506,11 @@ api::Expected<std::unique_ptr<ModelRegistry>> ModelRegistry::open(
     }
   }
 
-  if (auto status = registry->replay_journal_locked(journal_path);
+  if (auto status = registry->replay_journal(*restored, journal_path);
       !status.is_ok()) {
     return status;
   }
+  registry->state_.store(std::move(restored), std::memory_order_release);
 
   auto journal = RegistryJournal::open(journal_path);
   if (!journal) return journal.status();

@@ -1,17 +1,23 @@
 /// \file model_registry.hpp
-/// \brief Thread-safe map of named, versioned serving models.
+/// \brief RCU-read map of named, versioned serving models.
 ///
 /// Each model name holds a short history of immutable snapshots
-/// (`shared_ptr<const api::ModelHandle>`). `publish` atomically swaps in a
-/// new snapshot — in-flight queries holding the previous `shared_ptr`
-/// finish against the old version untouched — and `rollback` restores the
-/// previous one. Every version carries metadata (order, ports, fitting
-/// algorithm, fit time, publish time) surfaced through `info`/`list`.
+/// (`shared_ptr<const api::ModelHandle>`). The whole registry state —
+/// every name, its history and metadata — lives in one immutable `State`
+/// object behind an atomic `shared_ptr`: readers (`lookup`, `acquire`,
+/// `list`, `live_models`, ...) perform a single acquire-load and read
+/// their private snapshot with **no lock**, so the query path never
+/// contends with writers or with other readers. Writers (`publish`,
+/// `rollback`, `remove`) serialize on a mutex, copy the current state,
+/// append the mutation to the write-ahead journal (durable registries),
+/// apply it to the copy and swap the copy in with one release-store —
+/// RCU-style copy-and-swap. A failed journal append discards the copy,
+/// leaving the registry observably unchanged.
 ///
 /// ```cpp
 /// serving::ModelRegistry registry;
 /// registry.publish("pdn", *report);              // version 1
-/// auto model = registry.acquire("pdn");          // snapshot + info
+/// auto model = registry.acquire("pdn");          // lock-free snapshot
 /// registry.publish("pdn", *better_report);       // version 2, v1 history
 /// registry.rollback("pdn");                      // v1 live again
 /// ```
@@ -22,9 +28,11 @@
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -59,8 +67,8 @@ struct ModelInfo {
   std::size_t history_depth = 0;
 };
 
-/// The live snapshot and its metadata, captured under one lock so a
-/// republish can never pair one version's handle with another's info.
+/// The live snapshot and its metadata, captured from one immutable state
+/// so a republish can never pair one version's handle with another's info.
 struct VersionedModel {
   ModelSnapshot handle;
   ModelInfo info;
@@ -81,6 +89,11 @@ struct RegistryPersistenceOptions {
   /// ...or has grown to at least this many bytes, whichever comes first.
   /// 0 disables the byte trigger.
   std::size_t compact_min_bytes = 8u << 20;
+  /// Test instrumentation: invoked (under the writer mutex) immediately
+  /// before every write-ahead journal append. Lets tests stall a publish
+  /// inside its slowest step and assert that readers stay lock-free.
+  /// Never set in production.
+  std::function<void()> before_append;
   /// Defaults overridden by `MFTI_JOURNAL_COMPACT_RECORDS` and
   /// `MFTI_JOURNAL_COMPACT_BYTES` (malformed values are diagnosed on
   /// stderr and ignored).
@@ -114,7 +127,7 @@ class ModelRegistry {
 
   /// Publish `handle` as the new live version of `name` and return the new
   /// version number. On a durable registry the record is journaled and
-  /// flushed *before* the in-memory swap.
+  /// flushed *before* the state swap.
   /// \throws std::invalid_argument on a null handle, std::runtime_error
   /// when the write-ahead append fails (the registry is left unchanged).
   std::uint64_t publish(const std::string& name, ModelSnapshot handle,
@@ -126,14 +139,16 @@ class ModelRegistry {
   std::uint64_t publish(const std::string& name, const api::FitReport& report,
                         api::ModelHandleOptions handle_opts = {});
 
-  /// The live snapshot of `name`, or nullptr when unknown. Holding the
-  /// returned pointer keeps that version alive across republishes.
+  /// The live snapshot of `name`, or nullptr when unknown. Lock-free;
+  /// holding the returned pointer keeps that version alive across
+  /// republishes.
   ModelSnapshot lookup(const std::string& name) const;
 
-  /// Live snapshot plus its metadata, atomically.
+  /// Live snapshot plus its metadata, from one atomic state load —
+  /// lock-free, and never a mix of two versions.
   api::Expected<VersionedModel> acquire(const std::string& name) const;
 
-  /// Metadata of the live version.
+  /// Metadata of the live version. Lock-free.
   api::Expected<ModelInfo> info(const std::string& name) const;
 
   /// Drop the live version and restore the previous one; returns the
@@ -146,11 +161,11 @@ class ModelRegistry {
   /// write-ahead append fails (the model stays registered).
   bool remove(const std::string& name);
 
-  /// Live-version metadata for every model, sorted by name.
+  /// Live-version metadata for every model, sorted by name. Lock-free.
   std::vector<ModelInfo> list() const;
 
   /// Live snapshots for every model, sorted by name (the budget/stats
-  /// sweep of the serving engine).
+  /// sweep of the serving engine). Lock-free.
   std::vector<VersionedModel> live_models() const;
 
   std::size_t size() const;
@@ -158,7 +173,7 @@ class ModelRegistry {
   /// Monotonic counter bumped by every mutation (publish, rollback,
   /// remove). Lets observers — e.g. the engine's budget partitioner —
   /// skip re-scanning an unchanged live set. Starts at 1 and is
-  /// process-local (not persisted).
+  /// process-local (not persisted). Lock-free.
   std::uint64_t generation() const;
 
   /// True when this registry journals its mutations (built by `open`).
@@ -192,32 +207,48 @@ class ModelRegistry {
     std::vector<Version> history;  ///< oldest first; live version at back
     std::uint64_t next_version = 1;
   };
+  /// The whole registry, immutable once published. Readers load the
+  /// current `State` with one atomic acquire and never see a partial
+  /// mutation; writers clone it (a shallow copy — the handles are shared)
+  /// under `mutex_`, mutate the clone and release-store it back.
+  struct State {
+    std::map<std::string, Entry> models;
+    std::uint64_t generation = 1;
+  };
+  using StatePtr = std::shared_ptr<const State>;
 
-  std::uint64_t publish_locked(const std::string& name, ModelSnapshot handle,
+  /// The readers' entry point: one acquire-load, no lock.
+  StatePtr state() const { return state_.load(std::memory_order_acquire); }
+
+  /// Append the publish to `next` (journaling it write-ahead first when
+  /// durable). Caller holds `mutex_` and publishes `next` afterwards.
+  std::uint64_t publish_locked(State& next, const std::string& name,
+                               ModelSnapshot handle,
                                std::optional<api::Algorithm> algorithm,
                                double fit_seconds);
 
   /// Journal-replay / snapshot-restore applies (no journaling, exact
-  /// metadata). Caller holds `mutex_`.
-  void restore_publish_locked(PersistedVersion&& version);
-  api::Status replay_journal_locked(const std::string& journal_path);
+  /// metadata) into the state being rebuilt by `open`.
+  void restore_publish(State& state, PersistedVersion&& version);
+  api::Status replay_journal(State& state, const std::string& journal_path);
 
-  /// Serialize the full state as one `REGY` payload / write it as the
+  /// Serialize the given state as one `REGY` payload / write it as the
   /// snapshot file + reset the journal. Caller holds `mutex_`.
-  std::string serialize_state_locked() const;
-  api::Status compact_locked();
+  std::string serialize_state_locked(const State& state) const;
+  api::Status compact_locked(const State& state);
   /// Append one record write-ahead. Caller holds `mutex_`.
   api::Status journal_locked(const JournalRecord& record);
-  /// Auto-compact when over threshold; called after the in-memory swap
-  /// (never between append and swap). Caller holds `mutex_`.
-  void maybe_compact_locked();
+  /// Auto-compact when over threshold; called after the state swap (never
+  /// between append and swap). Caller holds `mutex_`.
+  void maybe_compact_locked(const State& state);
 
   ModelRegistryOptions opts_;
+  /// Writer serialization only — no reader ever takes it.
   mutable std::mutex mutex_;
-  std::map<std::string, Entry> models_;
-  std::uint64_t generation_ = 1;
+  /// Current immutable state; never null after construction.
+  std::atomic<StatePtr> state_;
 
-  // --- durable state (set by `open`) ---
+  // --- durable state (set by `open`, touched only under `mutex_`) ---
   /// Mutations applied over the registry's whole durable life; persisted
   /// in snapshot and journal records so replay is idempotent.
   std::uint64_t seq_ = 0;

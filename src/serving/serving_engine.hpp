@@ -2,26 +2,35 @@
 /// \brief The query router of the serving subsystem: one engine, one shared
 /// thread pool, many registry models.
 ///
-/// An `EvalRequest` names a registered model and the complex frequency
-/// points to evaluate. The engine resolves the model's live snapshot once
-/// per request (so a response can never mix versions), deduplicates
-/// identical points within the batch, fans the distinct evaluations out
-/// over its own `parallel::ThreadPool` — shared across every model it
-/// serves — and scatters the results back in request order.
+/// An `EvalRequest` is the one evaluation vocabulary of the stack: it
+/// names a registered model and carries *either* complex Laplace `points`
+/// *or* real `freqs_hz` (the HTTP wire format; the engine converts with
+/// `api::points_from_freqs_hz`, the single source of `s = j 2 pi f`).
+/// The engine resolves the model's live snapshot once per request (so a
+/// response can never mix versions — a lock-free registry read),
+/// deduplicates identical points within the batch, coalesces identical
+/// `(model, point)` work still in flight from *other* concurrent
+/// `evaluate` calls, fans the distinct evaluations out over its own
+/// `parallel::ThreadPool` — shared across every model it serves — and
+/// scatters the results back in request order.
 ///
 /// Memory governance: `ServingEngineOptions::cache_memory_budget` is a
 /// global cap (bytes) on the factorization caches of all live models
-/// combined. The engine partitions it into equal per-model byte shares,
-/// installs a `CacheBudgetHook` on each live handle so inserts respect the
-/// share immediately, and trims models already above their share —
-/// over-budget models are the only ones evicted. `stats()` surfaces the
-/// aggregated `CacheStats` and footprint so the cap is observable.
+/// combined. The engine partitions it into per-model byte shares weighted
+/// by observed demand (an EWMA of each model's unique evaluations), with
+/// an equal floor share so cold models stay servable; with no observed
+/// demand the split degenerates to exactly equal shares. It installs a
+/// `CacheBudgetHook` on each live handle so inserts respect the share
+/// immediately, and trims models already above their share — over-budget
+/// models are the only ones evicted. `stats()` surfaces aggregated and
+/// per-model telemetry (hits, misses, footprint, share, demand) so the
+/// partitioner is observable.
 ///
 /// ```cpp
 /// serving::ModelRegistry registry;
 /// registry.publish("pdn", *report);
 /// serving::ServingEngine engine(registry, {.cache_memory_budget = 64 << 20});
-/// auto response = engine.sweep("pdn", grid);
+/// auto response = engine.evaluate(serving::EvalRequest::at_hz("pdn", grid));
 /// ```
 
 #pragma once
@@ -50,12 +59,42 @@ struct ServingEngineOptions {
   /// combined. 0 disables budget enforcement (each handle falls back to
   /// its own `cache_capacity`).
   std::size_t cache_memory_budget = 0;
+  /// Fraction of the budget handed out as equal per-model floor shares so
+  /// a cold model always keeps a servable cache; the remainder is split
+  /// proportionally to the per-model demand EWMA. Clamped to [0, 1].
+  /// With no observed demand the whole budget degenerates to exactly
+  /// equal shares.
+  double cache_floor_fraction = 0.25;
+  /// Smoothing of the demand EWMA folded at each re-partition:
+  /// `demand <- alpha * window + (1 - alpha) * demand`, where `window`
+  /// counts the model's unique evaluations since the previous partition.
+  /// Clamped to [0, 1]; larger adapts faster, smaller remembers longer.
+  double demand_ewma_alpha = 0.3;
+  /// Also re-partition after this many unique evaluations (across all
+  /// models) even when the registry is unchanged, so shares track demand
+  /// shifts on a stable fleet. 0 re-partitions only on registry changes.
+  std::size_t repartition_interval = 256;
+
+  /// Defaults overridden by the `MFTI_CACHE_*` environment knobs —
+  /// `MFTI_CACHE_BUDGET_BYTES`, `MFTI_CACHE_FLOOR_FRACTION`,
+  /// `MFTI_CACHE_EWMA_ALPHA`, `MFTI_CACHE_REPARTITION_INTERVAL` —
+  /// (malformed values are diagnosed on stderr and ignored) so a deployed
+  /// daemon tunes the cache economics without a rebuild.
+  static ServingEngineOptions from_env();
 };
 
-/// One routed evaluation: `points` of model `model`, in caller order.
+/// One routed evaluation of model `model`. Exactly one of `points`
+/// (complex Laplace points, caller order) or `freqs_hz` (real frequencies
+/// in Hz — the engine converts, callers never do) may be non-empty;
+/// setting both is an invalid-argument error. This mirrors the HTTP wire
+/// format, so the front passes either field through untouched.
 struct EvalRequest {
   std::string model;
   std::vector<la::Complex> points;
+  /// Alternative to `points`: evaluated at `s = j 2 pi f` via
+  /// `api::points_from_freqs_hz`, bit-identical to every other Hz entry
+  /// point of the stack.
+  std::vector<la::Real> freqs_hz;
   /// Optional cooperative cancellation (e.g. a request deadline owned by
   /// the HTTP front). When set and cancelled, remaining per-point work is
   /// skipped — an expired request stops consuming pool time — and the
@@ -69,11 +108,27 @@ struct EvalRequest {
       : model(std::move(model_name)),
         points(std::move(eval_points)),
         cancel(std::move(cancel_token)) {}
+
+  /// Request at explicit Laplace points.
+  static EvalRequest at(std::string model, std::vector<la::Complex> points,
+                        std::optional<api::CancellationToken> cancel = {}) {
+    return EvalRequest(std::move(model), std::move(points),
+                       std::move(cancel));
+  }
+  /// Request over a frequency grid (Hz).
+  static EvalRequest at_hz(std::string model, std::vector<la::Real> freqs_hz,
+                           std::optional<api::CancellationToken> cancel = {}) {
+    EvalRequest request;
+    request.model = std::move(model);
+    request.freqs_hz = std::move(freqs_hz);
+    request.cancel = std::move(cancel);
+    return request;
+  }
 };
 
-/// The served batch. `values[i]` is `H(points[i])` of the snapshot that was
-/// live when the request was routed; every value in one response comes from
-/// that same snapshot.
+/// The served batch. `values[i]` is the response at the request's i-th
+/// point (or frequency) of the snapshot that was live when the request
+/// was routed; every value in one response comes from that same snapshot.
 struct EvalResponse {
   std::string model;
   std::uint64_t version = 0;
@@ -83,12 +138,32 @@ struct EvalResponse {
   std::size_t unique_points = 0;
 };
 
-/// Aggregated serving-side cache telemetry across all live models.
+/// One live model's serving-side telemetry (a `stats()` row).
+struct ModelServingStats {
+  std::string name;
+  std::uint64_t version = 0;
+  api::CacheStats cache;          ///< this handle's hits/misses/evictions
+  std::size_t memory_bytes = 0;   ///< current pencil-cache footprint
+  /// Byte share of the global budget at the last partition (0 when
+  /// budgeting is off or the model was published after it).
+  std::size_t share_bytes = 0;
+  /// Demand EWMA driving the share (unique evaluations per partition
+  /// window, smoothed); updated when the budget is re-partitioned.
+  double demand_ewma = 0.0;
+};
+
+/// Aggregated serving-side cache telemetry across all live models. The
+/// aggregate counts a handle published under several names once;
+/// `per_model` has one row per *name* (sorted), so aliases are visible.
 struct ServingStats {
   api::CacheStats cache;  ///< hits/misses/evictions/entries, summed
   std::size_t models = 0;
   std::size_t memory_bytes = 0;   ///< summed `memory_footprint()`
   std::size_t memory_budget = 0;  ///< the configured global cap (0 = off)
+  /// Evaluations answered by joining another batch's in-flight
+  /// computation instead of repeating it (process lifetime).
+  std::uint64_t coalesced = 0;
+  std::vector<ModelServingStats> per_model;
 };
 
 class ServingEngine {
@@ -111,34 +186,47 @@ class ServingEngine {
   std::vector<api::Expected<EvalResponse>> evaluate(
       const std::vector<EvalRequest>& batch) const;
 
-  /// `H(j 2 pi f)` of `model` over a frequency grid (Hz).
+  /// `H(j 2 pi f)` of `model` over a frequency grid (Hz). Thin shim over
+  /// the unified vocabulary, kept for source compatibility; bit-identical
+  /// to the replacement.
+  [[deprecated(
+      "use evaluate(EvalRequest::at_hz(model, freqs_hz)) — the unified "
+      "eval vocabulary")]]
   api::Expected<EvalResponse> sweep(const std::string& model,
                                     const std::vector<la::Real>& freqs_hz)
       const;
 
-  /// Re-partition the global budget across the currently live models,
-  /// (re)install the insert-time hooks and trim over-budget caches.
-  /// The request path runs this lazily — only when the registry's
-  /// generation changed since the last partition (the hooks keep an
-  /// unchanged live set within budget by construction); this method
-  /// forces it unconditionally.
+  /// Re-partition the global budget across the currently live models by
+  /// their demand EWMA, (re)install the insert-time hooks and trim
+  /// over-budget caches. The request path runs this lazily — when the
+  /// registry's generation changed since the last partition, or every
+  /// `repartition_interval` unique evaluations; this method forces it
+  /// unconditionally.
   void enforce_cache_budget() const;
 
-  /// Aggregated cache counters and footprint over the live models.
+  /// Aggregated and per-model cache counters, footprints and shares.
   ServingStats stats() const;
+
+  /// Lifetime count of evaluations answered by joining another batch's
+  /// in-flight computation. Cheaper than `stats()` (one atomic load; no
+  /// handle locks), so pollable from tests and tight loops.
+  std::uint64_t coalesced_total() const;
 
   std::size_t worker_count() const { return pool_.worker_count(); }
 
  private:
   struct BudgetLedger;
+  struct Inflight;
 
-  /// Re-partition only if the registry changed since the last partition.
+  /// Re-partition only if the registry changed since the last partition
+  /// or enough demand accumulated.
   void maybe_enforce_cache_budget() const;
 
   ModelRegistry& registry_;
   ServingEngineOptions opts_;
   mutable parallel::ThreadPool pool_;
   std::shared_ptr<BudgetLedger> ledger_;
+  std::unique_ptr<Inflight> inflight_;
 };
 
 }  // namespace mfti::serving

@@ -243,6 +243,26 @@ TEST(ServingFront, ModelsListingAndMetrics) {
   EXPECT_NE(metrics->body.find("mfti_http_requests_total"),
             std::string::npos);
   EXPECT_NE(metrics->body.find("mfti_serving_models 2"), std::string::npos);
+
+  // Per-model series carry model/version labels; after a 4-frequency eval
+  // the alpha row reports exactly those 4 cold factorizations.
+  auto warm = client.request("POST", "/v1/eval", eval_body("alpha", 4));
+  ASSERT_TRUE(warm.has_value());
+  ASSERT_EQ(warm->status, 200) << warm->body;
+  auto labeled = client.request("GET", "/metrics");
+  ASSERT_TRUE(labeled.has_value());
+  ASSERT_EQ(labeled->status, 200);
+  EXPECT_NE(labeled->body.find("mfti_serving_coalesced_total"),
+            std::string::npos);
+  EXPECT_NE(labeled->body.find("mfti_serving_model_cache_misses{"
+                               "model=\"alpha\",version=\"1\"} 4"),
+            std::string::npos);
+  EXPECT_NE(labeled->body.find("mfti_serving_model_cache_hits{"
+                               "model=\"beta\",version=\"1\"} 0"),
+            std::string::npos);
+  EXPECT_NE(labeled->body.find("mfti_serving_model_demand_ewma{"
+                               "model=\"alpha\",version=\"1\"}"),
+            std::string::npos);
 }
 
 TEST(ServingFront, AdminTokenGatesPublishAndRollback) {

@@ -1,10 +1,12 @@
 // Tests for the multi-model serving subsystem (src/serving): registry
 // publish/rollback/version semantics, engine routing (bitwise parity with
 // direct ModelHandle evaluation, in-batch dedup, per-request error
-// isolation), atomic republish under a concurrent query storm (no
-// torn/mixed-version responses), the global cache memory budget
-// (aggregated CacheStats), and the AsyncFitter background pipeline
-// (auto-publish, cancellation leaves the registry unchanged).
+// isolation), the unified EvalRequest vocabulary (points/freqs_hz parity,
+// the deprecated sweep shim), atomic republish under a concurrent query
+// storm (no torn/mixed-version responses), cross-batch coalescing (joined
+// results are bitwise the leader's), the demand-weighted global cache
+// budget (aggregated and per-model stats), and the AsyncFitter background
+// pipeline (auto-publish, cancellation leaves the registry unchanged).
 
 #include "serving/serving.hpp"
 
@@ -12,7 +14,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <future>
+#include <limits>
 #include <numbers>
 #include <string>
 #include <thread>
@@ -239,13 +244,73 @@ TEST(ServingEngine, SweepMatchesHandleSweep) {
                    std::make_shared<const api::ModelHandle>(sys));
   serving::ServingEngine engine(registry);
   const auto freqs = sp::log_grid(10.0, 1e5, 9);
+  // sweep() is a deprecated shim over the unified vocabulary; until its
+  // removal it must stay bit-identical to the replacement.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const auto response = engine.sweep("m", freqs);
+#pragma GCC diagnostic pop
   ASSERT_TRUE(response) << response.status().to_string();
+  const auto unified =
+      engine.evaluate(serving::EvalRequest::at_hz("m", freqs));
+  ASSERT_TRUE(unified) << unified.status().to_string();
   const auto reference = ss::frequency_response(sys, freqs);
   ASSERT_EQ(response->values.size(), reference.size());
+  ASSERT_EQ(unified->values.size(), reference.size());
   for (std::size_t i = 0; i < reference.size(); ++i) {
     EXPECT_LE(max_diff(response->values[i], reference[i]), 1e-12);
+    EXPECT_EQ(max_diff(response->values[i], unified->values[i]), 0.0);
   }
+}
+
+// --- ServingEngine: unified EvalRequest vocabulary --------------------------
+
+// `freqs_hz` requests must be bit-identical to `points` requests built
+// through `api::points_from_freqs_hz` *and* to direct handle evaluation at
+// `s = j 2 pi f`: one Hz convention across every entry point, so the HTTP
+// front can pass either field through without converting.
+TEST(ServingEngine, FreqsHzVocabularyMatchesPointsBitwise) {
+  serving::ModelRegistry registry;
+  registry.publish("m", make_snapshot(12, 3, 150));
+  serving::ServingEngine engine(registry);
+  const auto freqs = sp::log_grid(10.0, 1e5, 9);
+
+  const auto by_hz = engine.evaluate(serving::EvalRequest::at_hz("m", freqs));
+  ASSERT_TRUE(by_hz) << by_hz.status().to_string();
+  const auto by_points = engine.evaluate(
+      serving::EvalRequest::at("m", api::points_from_freqs_hz(freqs)));
+  ASSERT_TRUE(by_points) << by_points.status().to_string();
+  ASSERT_EQ(by_hz->values.size(), freqs.size());
+  ASSERT_EQ(by_points->values.size(), freqs.size());
+  EXPECT_EQ(by_hz->unique_points, freqs.size());
+  const auto direct = registry.lookup("m");
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    EXPECT_EQ(max_diff(by_hz->values[i], by_points->values[i]), 0.0);
+    const Complex s(0.0, 2.0 * std::numbers::pi * freqs[i]);
+    EXPECT_EQ(max_diff(by_hz->values[i], direct->evaluate(s)), 0.0);
+  }
+}
+
+TEST(ServingEngine, PointsAndFreqsTogetherIsInvalidArgument) {
+  serving::ModelRegistry registry;
+  registry.publish("m", make_snapshot(8, 2, 151));
+  serving::ServingEngine engine(registry);
+
+  serving::EvalRequest request;
+  request.model = "m";
+  request.points = grid_points(2);
+  request.freqs_hz = {100.0};
+  const auto response = engine.evaluate(request);
+  ASSERT_FALSE(response);
+  EXPECT_EQ(response.status().code(), api::StatusCode::InvalidArgument);
+
+  // The error is per-request: a well-formed neighbour in the same batch is
+  // still served.
+  const auto batch = engine.evaluate(std::vector<serving::EvalRequest>{
+      request, serving::EvalRequest::at_hz("m", {100.0})});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_FALSE(batch[0]);
+  EXPECT_TRUE(batch[1]);
 }
 
 // --- ServingEngine: atomic republish under a query storm --------------------
@@ -403,6 +468,108 @@ TEST(ServingEngine, SharedHandleUnderTwoNamesCountedOnce) {
   EXPECT_EQ(stats.memory_bytes, shared->memory_footprint());
   EXPECT_LE(stats.memory_bytes, stats.memory_budget);
   EXPECT_EQ(stats.cache.entries, 4u);
+}
+
+// Skewed traffic re-weights the partition: the hot model's byte share
+// grows past the equal split while the floor share keeps the cold model
+// servable. Numbers (budget 16 entries, floor 25%, alpha 0.3, windows
+// 64 vs 4): floor 2 entries each, hot demand 19.2 vs cold 1.2, so the
+// re-partition lands near 13 vs 2 entries.
+TEST(ServingEngine, DemandWeightedSharesShiftTowardHotModels) {
+  serving::ModelRegistry registry;
+  registry.publish("hot", make_snapshot(16, 2, 140));
+  registry.publish("cold", make_snapshot(16, 2, 141));
+  const auto hot = registry.lookup("hot");
+  const auto cold = registry.lookup("cold");
+  const std::size_t per_entry = hot->bytes_per_entry();
+  serving::ServingEngine engine(
+      registry, {.workers = 2, .cache_memory_budget = 2 * 8 * per_entry});
+
+  // Both windows stay below the re-partition interval, so shares remain
+  // at the initial (zero-demand) equal split until the forced partition.
+  ASSERT_TRUE(engine.evaluate({"hot", grid_points(64)}));
+  ASSERT_TRUE(engine.evaluate({"cold", grid_points(4)}));
+  engine.enforce_cache_budget();  // fold demand, re-weight the shares
+
+  const auto stats = engine.stats();
+  ASSERT_EQ(stats.per_model.size(), 2u);  // name-sorted: cold, hot
+  const auto& cold_row = stats.per_model[0];
+  const auto& hot_row = stats.per_model[1];
+  ASSERT_EQ(cold_row.name, "cold");
+  ASSERT_EQ(hot_row.name, "hot");
+  EXPECT_GT(hot_row.demand_ewma, cold_row.demand_ewma);
+  EXPECT_GT(cold_row.demand_ewma, 0.0);
+  // Hot grew past the equal split; the floor keeps cold servable; the
+  // shares still fit the budget.
+  EXPECT_GT(hot_row.share_bytes, 8 * per_entry);
+  EXPECT_GE(cold_row.share_bytes, per_entry);
+  EXPECT_LE(hot_row.share_bytes + cold_row.share_bytes, 2 * 8 * per_entry);
+
+  // Inserts respect the re-weighted shares immediately: hot can now cache
+  // beyond its old equal share, cold was trimmed to its floor.
+  ASSERT_TRUE(engine.evaluate({"hot", grid_points(24)}));
+  EXPECT_GT(hot->cache_stats().entries, 8u);
+  EXPECT_LE(hot->cache_stats().entries * per_entry, hot_row.share_bytes);
+  EXPECT_LE(cold->cache_stats().entries * per_entry, cold_row.share_bytes);
+}
+
+// --- ServingEngine: cross-batch coalescing ----------------------------------
+
+// Two concurrent evaluate() calls asking for the same (model, point) must
+// share one factorization: the first claims the work, the second joins it
+// and receives the *same bits*. Deterministic interleaving: a cache budget
+// hook stalls the leader inside its insert (after it claimed the in-flight
+// cell), the follower is launched and observed to coalesce, then the
+// leader is released.
+TEST(ServingEngine, CoalescesIdenticalInFlightWorkAcrossBatches) {
+  serving::ModelRegistry registry;
+  registry.publish("m", make_snapshot(12, 2, 160));
+  serving::ServingEngine engine(registry, {.workers = 2});
+  const auto handle = registry.lookup("m");
+  const Complex s = grid_points(3)[1];
+
+  std::atomic<bool> first_insert{true};
+  std::promise<void> entered;
+  std::promise<void> release;
+  auto release_future = release.get_future().share();
+  handle->set_cache_budget_hook([&]() -> std::size_t {
+    if (first_insert.exchange(false)) {
+      entered.set_value();
+      release_future.wait();
+    }
+    return std::numeric_limits<std::size_t>::max();
+  });
+
+  std::thread leader([&] {
+    const auto response = engine.evaluate({"m", {s}});
+    ASSERT_TRUE(response) << response.status().to_string();
+  });
+  entered.get_future().wait();  // leader stalled mid-insert, cell claimed
+
+  std::thread follower([&] {
+    const auto response = engine.evaluate({"m", {s}});
+    ASSERT_TRUE(response) << response.status().to_string();
+    // The joined result is the leader's bits (== direct evaluation of an
+    // identical model, which shares the serial arithmetic).
+    const api::ModelHandle direct(make_system(12, 2, 160));
+    ASSERT_EQ(response->values.size(), 1u);
+    EXPECT_EQ(max_diff(response->values[0], direct.evaluate(s)), 0.0);
+  });
+  // The follower must register as coalesced *while* the leader still
+  // computes — proof it joined in-flight work instead of repeating it.
+  while (engine.coalesced_total() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release.set_value();
+  leader.join();
+  follower.join();
+  handle->set_cache_budget_hook({});
+
+  EXPECT_EQ(engine.coalesced_total(), 1u);
+  // One factorization total: the follower never touched the cache.
+  const auto stats = handle->cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
 }
 
 TEST(ModelRegistry, GenerationBumpsOnEveryMutation) {

@@ -5,8 +5,9 @@
 ///
 ///   mfti_serve --dir fleet/ [--port 8080] [--port-file port.txt]
 ///
-/// Configuration beyond the flags comes from the `MFTI_HTTP_*` environment
-/// knobs (see docs/serving-protocol.md). `--port 0` (the default) binds an
+/// Configuration beyond the flags comes from the `MFTI_HTTP_*` (front) and
+/// `MFTI_CACHE_*` (engine cache economics) environment knobs (see
+/// docs/serving-protocol.md and docs/operations.md). `--port 0` binds an
 /// ephemeral port; `--port-file` writes the resolved port for launchers
 /// that need to discover it (the CI loopback job does). SIGTERM/SIGINT
 /// trigger a graceful drain: in-flight requests complete, then the process
@@ -65,7 +66,8 @@ int main(int argc, char** argv) {
                  dir.c_str(), registry.status().to_string().c_str());
     return 1;
   }
-  serving::ServingEngine engine(**registry);
+  serving::ServingEngine engine(**registry,
+                                serving::ServingEngineOptions::from_env());
   net::ServingFront front(engine, **registry, opts);
 
   std::signal(SIGTERM, handle_signal);
