@@ -1,0 +1,41 @@
+#include "api/passivity.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace mfti::api {
+
+Expected<std::vector<ss::PassivityViolation>> scattering_passivity_violations(
+    const ss::DescriptorSystem& sys, la::Real f_lo_hz, la::Real f_hi_hz,
+    const ss::PassivityScanOptions& opts) {
+  try {
+    return ss::scattering_passivity_violations(sys, f_lo_hz, f_hi_hz, opts);
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument(std::string("passivity scan: ") +
+                                    e.what());
+  } catch (const la::SingularMatrixError& e) {
+    return Status::numerical_error(std::string("passivity scan: ") +
+                                   e.what());
+  } catch (const la::ConvergenceError& e) {
+    return Status::numerical_error(std::string("passivity scan: ") +
+                                   e.what());
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("passivity scan: ") + e.what());
+  }
+}
+
+Expected<bool> is_scattering_passive(const ss::DescriptorSystem& sys,
+                                     la::Real f_lo_hz, la::Real f_hi_hz,
+                                     const ss::PassivityScanOptions& opts) {
+  // Qualified: ADL on the ss:: arguments would also find the throwing
+  // ss::scattering_passivity_violations and make the call ambiguous.
+  auto violations =
+      mfti::api::scattering_passivity_violations(sys, f_lo_hz, f_hi_hz, opts);
+  if (!violations) return violations.status();
+  return violations->empty();
+}
+
+}  // namespace mfti::api

@@ -1,0 +1,35 @@
+/// \file passivity.hpp
+/// \brief `Status`-returning facade over the scattering-passivity scan.
+///
+/// `ss::scattering_passivity_violations` throws `std::invalid_argument`
+/// for a bad band — fine inside the numerics layer, fatal across a
+/// service boundary (an `AsyncFitter` worker or a publish path must never
+/// die because an operator typo'd `MFTI_VERIFY_BAND_LO_HZ`). These
+/// wrappers convert every exception into an `api::Status` at the boundary:
+/// invalid bands report `InvalidArgument`, a solver failure inside the
+/// scan (a pole pinned to the imaginary axis) reports `NumericalError`,
+/// anything else `Internal`. They never throw.
+
+#pragma once
+
+#include <vector>
+
+#include "api/status.hpp"
+#include "statespace/passivity.hpp"
+
+namespace mfti::api {
+
+/// Scan `[f_lo, f_hi]` for scattering-passivity violations
+/// (`sigma_max(H(j 2 pi f)) > 1 + tol`). Same semantics as
+/// `ss::scattering_passivity_violations`, but errors come back as a
+/// `Status` instead of an exception.
+Expected<std::vector<ss::PassivityViolation>> scattering_passivity_violations(
+    const ss::DescriptorSystem& sys, la::Real f_lo_hz, la::Real f_hi_hz,
+    const ss::PassivityScanOptions& opts = {});
+
+/// True when the scan finds no violation in the band; errors as above.
+Expected<bool> is_scattering_passive(const ss::DescriptorSystem& sys,
+                                     la::Real f_lo_hz, la::Real f_hi_hz,
+                                     const ss::PassivityScanOptions& opts = {});
+
+}  // namespace mfti::api

@@ -1,0 +1,80 @@
+#include "io/fault_injector.hpp"
+
+#include <utility>
+
+namespace mfti::io {
+
+void FaultInjector::arm(Mode mode, std::size_t skip) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  mode_ = mode;
+  skip_ = skip;
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  mode_ = Mode::None;
+  skip_ = 0;
+}
+
+FaultInjector::Mode FaultInjector::mode() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mode_;
+}
+
+std::size_t FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
+std::size_t FaultInjector::consulted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consulted_;
+}
+
+void FaultInjector::set_before_write(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  before_write_ = std::move(hook);
+}
+
+FaultInjector::Fate FaultInjector::next_write(std::size_t payload_bytes) {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hook = before_write_;
+  }
+  // The stall hook runs unlocked so a parked writer never holds the
+  // injector's mutex against the test thread.
+  if (hook) hook();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++consulted_;
+  if (mode_ == Mode::None) return {};
+  if (skip_ > 0) {
+    --skip_;
+    return {};
+  }
+  Fate fate;
+  switch (mode_) {
+    case Mode::FailOnce:
+      fate.status = api::Status::internal(
+          "injected fault: write refused (FailOnce)");
+      mode_ = Mode::None;
+      break;
+    case Mode::ShortWrite:
+      fate.status = api::Status::internal(
+          "injected fault: torn write (ShortWrite)");
+      fate.write_prefix = payload_bytes / 2;
+      mode_ = Mode::None;
+      break;
+    case Mode::NoSpace:
+      fate.status = api::Status::internal(
+          "injected fault: No space left on device (ENOSPC)");
+      break;
+    case Mode::None:
+      break;
+  }
+  if (!fate.status.is_ok()) ++fired_;
+  return fate;
+}
+
+}  // namespace mfti::io

@@ -1,0 +1,81 @@
+/// \file fault_injector.hpp
+/// \brief Deterministic fault injection for durable-write paths.
+///
+/// Generalizes the old test-only `before_append` callback of the registry
+/// persistence options into one small instrument shared by every durable
+/// writer that wants to be testable: an instrumented write path consults
+/// `next_write(bytes)` immediately before putting a payload on disk and
+/// obeys the returned `Fate` — proceed, refuse outright, or write only a
+/// prefix and then fail (a torn append). Tests arm a mode, hand the
+/// injector to the writer, and assert that the caller is observably
+/// unchanged after the refused mutation.
+///
+/// Modes:
+///   FailOnce   one write is refused (nothing reaches the disk), then the
+///              injector disarms itself — the retry path is testable.
+///   ShortWrite one write puts only half its payload on disk and reports
+///              failure (simulates a crash/torn append mid-record), then
+///              disarms.
+///   NoSpace    every write fails with an ENOSPC-style message until
+///              `disarm()` — simulates a full disk.
+///
+/// `set_before_write` keeps the old stalling-hook capability: the hook
+/// runs on every consult *before* the fate is decided, so a test can park
+/// a writer mid-append and assert that readers do not block on it.
+///
+/// Thread-safe; never set in production.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+
+#include "api/status.hpp"
+
+namespace mfti::io {
+
+class FaultInjector {
+ public:
+  enum class Mode { None, FailOnce, ShortWrite, NoSpace };
+
+  /// What the instrumented writer must do with one payload.
+  struct Fate {
+    /// Ok: perform the write normally. Otherwise: fail the operation with
+    /// this status (after writing `write_prefix` bytes, if any).
+    api::Status status = api::Status::ok();
+    /// Bytes of the payload to actually put on disk before failing —
+    /// non-zero only for `ShortWrite`, producing a torn tail on disk.
+    std::size_t write_prefix = 0;
+  };
+
+  /// Arm `mode`, letting the first `skip` consults pass unharmed (so a
+  /// test can target e.g. the third append specifically).
+  void arm(Mode mode, std::size_t skip = 0);
+  void disarm();
+
+  Mode mode() const;
+  /// Faults delivered over the injector's lifetime.
+  std::size_t fired() const;
+  /// Writes consulted (faulted or not) over the injector's lifetime.
+  std::size_t consulted() const;
+
+  /// Invoked at every consult before the fate is decided; lets a test
+  /// stall a writer inside its slowest step. Pass {} to clear.
+  void set_before_write(std::function<void()> hook);
+
+  /// Consulted by instrumented writers with the payload size about to be
+  /// written; applies the armed mode (and the stall hook) and returns the
+  /// writer's marching orders.
+  Fate next_write(std::size_t payload_bytes);
+
+ private:
+  mutable std::mutex mutex_;
+  Mode mode_ = Mode::None;
+  std::size_t skip_ = 0;
+  std::size_t fired_ = 0;
+  std::size_t consulted_ = 0;
+  std::function<void()> before_write_;
+};
+
+}  // namespace mfti::io

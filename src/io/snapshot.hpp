@@ -37,9 +37,11 @@
 namespace mfti::io {
 
 /// Bumped when the byte layout changes incompatibly. Readers reject files
-/// with a newer version; see docs/persistence-format.md for the
-/// compatibility rules.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/// with a newer version and keep decoding every older one; see
+/// docs/persistence-format.md for the compatibility rules and the
+/// per-version layouts. Version 2 added the registry quarantine block
+/// and the `JQUA`/`JPRO`/`JDSC` journal records.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /// File magics (8 bytes, not NUL-terminated on disk).
 inline constexpr char kSnapshotMagic[9] = "MFTISNAP";

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "serving/model_registry.hpp"
+
 namespace mfti::net {
 
 namespace {
@@ -168,6 +170,43 @@ std::string HttpMetrics::render(
                 static_cast<double>(row.share_bytes));
     append_line(&out, "mfti_serving_model_demand_ewma", labels,
                 row.demand_ewma);
+  }
+  return out;
+}
+
+std::string HttpMetrics::render(
+    const serving::ServingStats& engine_stats,
+    const serving::RegistryVerifyStats& verify) const {
+  std::string out = render(engine_stats);
+  out.append(
+      "# HELP mfti_registry_verify_pass_total Publishes accepted by the "
+      "verification gate.\n"
+      "# TYPE mfti_registry_verify_pass_total counter\n");
+  append_line(&out, "mfti_registry_verify_pass_total", "",
+              static_cast<double>(verify.verify_pass));
+  out.append(
+      "# HELP mfti_registry_verify_fail_total Publishes refused by the "
+      "verification gate (quarantined) plus refused promotes.\n"
+      "# TYPE mfti_registry_verify_fail_total counter\n");
+  append_line(&out, "mfti_registry_verify_fail_total", "",
+              static_cast<double>(verify.verify_fail));
+  out.append(
+      "# HELP mfti_registry_quarantined_models Model versions currently "
+      "in quarantine.\n"
+      "# TYPE mfti_registry_quarantined_models gauge\n");
+  append_line(&out, "mfti_registry_quarantined_models", "",
+              static_cast<double>(verify.quarantined));
+  out.append(
+      "# HELP mfti_registry_verify_check_seconds_total Cumulative wall "
+      "time per verification check.\n"
+      "# TYPE mfti_registry_verify_check_seconds_total counter\n");
+  for (const serving::RegistryVerifyStats::Check& check : verify.checks) {
+    const std::string labels =
+        "check=\"" + escape_label(check.name) + "\"";
+    append_line(&out, "mfti_registry_verify_check_seconds_total", labels,
+                check.seconds_total);
+    append_line(&out, "mfti_registry_verify_check_runs_total", labels,
+                static_cast<double>(check.runs));
   }
   return out;
 }

@@ -19,6 +19,10 @@
 
 #include "serving/serving_engine.hpp"
 
+namespace mfti::serving {
+struct RegistryVerifyStats;
+}  // namespace mfti::serving
+
 namespace mfti::net {
 
 /// Fixed log-spaced latency buckets (seconds), upper bounds inclusive;
@@ -47,6 +51,11 @@ class HttpMetrics {
   /// Render everything as Prometheus text format v0.0.4, including the
   /// engine stats snapshot passed in by the front.
   std::string render(const serving::ServingStats& engine_stats) const;
+
+  /// Same, plus the registry's verification-gate series
+  /// (`mfti_registry_verify_*` and the quarantine gauge).
+  std::string render(const serving::ServingStats& engine_stats,
+                     const serving::RegistryVerifyStats& verify) const;
 
  private:
   void add_counter(std::uint64_t* counter) {

@@ -503,7 +503,9 @@ HttpResponse ServingFront::handle_request(const HttpRequest& request,
   }
   if (path.starts_with("/v1/admin/")) {
     *endpoint = "admin";
-    if (request.method != "POST") {
+    // The quarantine listing is the one read-only admin endpoint.
+    const bool quarantine_listing = path == "/v1/admin/quarantine" && is_get;
+    if (!quarantine_listing && request.method != "POST") {
       return http_error_response(405, "use POST");
     }
     return handle_admin(request, path);
@@ -643,6 +645,37 @@ HttpResponse ServingFront::handle_models(std::string_view path) const {
   return json_response(200, body);
 }
 
+namespace {
+
+Json report_json(const serving::VerificationReport& report) {
+  Json out = Json::object();
+  out.set("passed", Json(report.passed));
+  out.set("summary", Json(report.summary()));
+  Json checks = Json::array();
+  for (const serving::VerificationCheck& check : report.checks) {
+    Json entry = Json::object();
+    entry.set("name", Json(check.name));
+    entry.set("passed", Json(check.passed));
+    entry.set("value", Json(check.value));
+    entry.set("threshold", Json(check.threshold));
+    entry.set("detail", Json(check.detail));
+    checks.push_back(std::move(entry));
+  }
+  out.set("checks", std::move(checks));
+  return out;
+}
+
+Json quarantined_json(const serving::QuarantinedModel& q) {
+  Json out = Json::object();
+  out.set("name", Json(q.info.name));
+  out.set("version", Json(static_cast<double>(q.info.version)));
+  out.set("order", Json(static_cast<double>(q.info.order)));
+  out.set("report", report_json(q.report));
+  return out;
+}
+
+}  // namespace
+
 HttpResponse ServingFront::handle_admin(const HttpRequest& request,
                                         std::string_view path) {
   if (opts_.admin_token.empty()) {
@@ -656,6 +689,80 @@ HttpResponse ServingFront::handle_admin(const HttpRequest& request,
       !equals_constant_time(direct, opts_.admin_token)) {
     return http_error_response(401, "bad or missing admin token");
   }
+
+  if (path == "/v1/admin/quarantine") {
+    if (request.method != "GET" && request.method != "HEAD") {
+      return http_error_response(405, "use GET");
+    }
+    Json list = Json::array();
+    for (const serving::QuarantinedModel& q : registry_.quarantined()) {
+      list.push_back(quarantined_json(q));
+    }
+    Json body = Json::object();
+    body.set("quarantined", std::move(list));
+    return json_response(200, body);
+  }
+  constexpr std::string_view kQuarantine = "/v1/admin/quarantine/";
+  if (path.starts_with(kQuarantine)) {
+    // POST /v1/admin/quarantine/{name}/{version}/promote | discard
+    const std::string_view rest = path.substr(kQuarantine.size());
+    const std::size_t action_slash = rest.rfind('/');
+    const std::size_t version_slash =
+        action_slash == std::string_view::npos
+            ? std::string_view::npos
+            : rest.rfind('/', action_slash - 1);
+    if (action_slash == std::string_view::npos ||
+        version_slash == std::string_view::npos || version_slash == 0) {
+      return error_response(api::Status::invalid_argument(
+          "want /v1/admin/quarantine/{name}/{version}/{promote|discard}"));
+    }
+    const std::string name(rest.substr(0, version_slash));
+    const std::string version_text(
+        rest.substr(version_slash + 1, action_slash - version_slash - 1));
+    const std::string_view action = rest.substr(action_slash + 1);
+    char* end = nullptr;
+    const unsigned long long version =
+        std::strtoull(version_text.c_str(), &end, 10);
+    if (end == version_text.c_str() || *end != '\0' ||
+        version_text.find('-') != std::string::npos) {
+      return error_response(api::Status::invalid_argument(
+          "malformed quarantine version '" + version_text + "'"));
+    }
+    if (action == "promote") {
+      bool force = false;
+      if (!request.body.empty()) {
+        auto parsed = parse_json(request.body);
+        if (!parsed) return error_response(parsed.status());
+        if (const Json* flag = parsed->find("force")) {
+          if (!flag->is_bool()) {
+            return error_response(api::Status::invalid_argument(
+                "'force' must be a boolean"));
+          }
+          force = flag->as_bool();
+        }
+      }
+      auto info = registry_.promote(name, version, force);
+      if (!info) return error_response(info.status());
+      Json body = Json::object();
+      body.set("name", Json(info->name));
+      body.set("version", Json(static_cast<double>(info->version)));
+      body.set("promoted", Json(true));
+      body.set("forced", Json(force));
+      return json_response(200, body);
+    }
+    if (action == "discard") {
+      const api::Status status = registry_.discard(name, version);
+      if (!status.is_ok()) return error_response(status);
+      Json body = Json::object();
+      body.set("name", Json(name));
+      body.set("version", Json(static_cast<double>(version)));
+      body.set("discarded", Json(true));
+      return json_response(200, body);
+    }
+    return http_error_response(
+        404, "no such quarantine action: " + std::string(action));
+  }
+
   auto parsed = parse_json(request.body);
   if (!parsed) return error_response(parsed.status());
   const Json* name = parsed->find("name");
@@ -672,15 +779,19 @@ HttpResponse ServingFront::handle_admin(const HttpRequest& request,
     }
     auto handle = io::load_model_snapshot(snapshot->as_string());
     if (!handle) return error_response(handle.status());
-    std::uint64_t version = 0;
+    serving::PublishResult published;
     try {
-      version = registry_.publish(name->as_string(), std::move(*handle));
+      published = registry_.publish(name->as_string(), std::move(*handle));
     } catch (const std::exception& e) {
       return error_response(api::Status::internal(e.what()));
     }
     Json body = Json::object();
     body.set("name", *name);
-    body.set("version", Json(static_cast<double>(version)));
+    body.set("version", Json(static_cast<double>(published.version)));
+    body.set("quarantined", Json(published.quarantined));
+    if (published.quarantined) {
+      body.set("report", report_json(published.verification));
+    }
     return json_response(200, body);
   }
   if (path == "/v1/admin/rollback") {
@@ -698,7 +809,7 @@ HttpResponse ServingFront::handle_admin(const HttpRequest& request,
 HttpResponse ServingFront::handle_metrics() const {
   HttpResponse response;
   response.headers["Content-Type"] = "text/plain; version=0.0.4";
-  response.body = metrics_.render(engine_.stats());
+  response.body = metrics_.render(engine_.stats(), registry_.verify_stats());
   return response;
 }
 

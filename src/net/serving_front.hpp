@@ -10,8 +10,16 @@
 ///                                never mix model versions
 ///   GET  /v1/models              live-version metadata of every model
 ///   GET  /v1/models/{name}       metadata of one model
-///   POST /v1/admin/publish       publish a model snapshot file (token)
+///   POST /v1/admin/publish       publish a model snapshot file (token);
+///                                a registry verification policy may land
+///                                it in quarantine ("quarantined": true)
 ///   POST /v1/admin/rollback      restore the previous version (token)
+///   GET  /v1/admin/quarantine    list quarantined versions + reports (token)
+///   POST /v1/admin/quarantine/{name}/{version}/promote
+///                                re-verify and promote to live; body
+///                                {"force": true} skips re-verification
+///   POST /v1/admin/quarantine/{name}/{version}/discard
+///                                drop a quarantined version (token)
 ///   GET  /metrics                Prometheus text format
 ///   GET  /healthz                liveness probe
 ///

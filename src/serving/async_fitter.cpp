@@ -83,7 +83,14 @@ void AsyncFitter::worker_loop(std::size_t slot) {
     api::Expected<api::FitReport> report = fitter_.fit(job.request);
     if (report && !job.publish_name.empty()) {
       try {
-        registry_.publish(job.publish_name, *report, opts_.handle_options);
+        // The fit samples double as the verification gate's held-out set.
+        const PublishResult published =
+            registry_.publish(job.publish_name, *report,
+                              opts_.handle_options, &job.request.samples);
+        if (published.quarantined) {
+          report = api::Status::numerical_error(
+              "model quarantined: " + published.verification.summary());
+        }
       } catch (const std::exception& e) {
         report = api::Status::internal(
             std::string("fit succeeded but publish failed: ") + e.what());

@@ -105,30 +105,203 @@ std::uint64_t ModelRegistry::publish_locked(
   return entry.history.back().info.version;
 }
 
-std::uint64_t ModelRegistry::publish(const std::string& name,
+std::uint64_t ModelRegistry::quarantine_locked(
+    State& next, const std::string& name, ModelSnapshot handle,
+    std::optional<api::Algorithm> algorithm, double fit_seconds,
+    const VerificationReport& report) {
+  const auto found = next.models.find(name);
+  QVersion q;
+  q.info.name = name;
+  q.info.version =
+      found == next.models.end() ? 1 : found->second.next_version;
+  q.info.order = handle->order();
+  q.info.num_inputs = handle->num_inputs();
+  q.info.num_outputs = handle->num_outputs();
+  q.info.algorithm = algorithm;
+  q.info.fit_seconds = fit_seconds;
+  q.info.published_at = std::chrono::system_clock::now();
+  q.handle = std::move(handle);
+  q.report = report;
+  if (journal_) {
+    JournalRecord record;
+    record.op = kRecordQuarantine;
+    record.seq = seq_ + 1;
+    record.name = name;
+    record.version = PersistedVersion{q.info,
+                                      q.handle->options().cache_capacity,
+                                      q.handle->model()};
+    record.verification = report;
+    if (const auto status = journal_locked(record); !status.is_ok()) {
+      throw std::runtime_error("ModelRegistry::publish: " +
+                               status.to_string());
+    }
+  }
+  ++seq_;
+  ++next.generation;
+  // The (possibly history-less) entry tracks next_version so quarantined
+  // and live version numbers never collide.
+  Entry& entry = next.models[name];
+  entry.next_version = std::max(entry.next_version, q.info.version + 1);
+  const std::uint64_t version = q.info.version;
+  next.quarantine[name][version] = std::move(q);
+  return version;
+}
+
+PublishResult ModelRegistry::publish(const std::string& name,
                                      ModelSnapshot handle,
                                      std::optional<api::Algorithm> algorithm,
-                                     double fit_seconds) {
+                                     double fit_seconds,
+                                     const sampling::SampleSet* held_out) {
   if (!handle) {
     throw std::invalid_argument("ModelRegistry::publish: null handle");
+  }
+  PublishResult result;
+  // Verification runs outside the writer lock: concurrent publishes (e.g.
+  // several AsyncFitter workers) verify in parallel and a slow scan never
+  // blocks another writer.
+  const VerificationPolicy* policy = opts_.verification.get();
+  if (policy != nullptr) {
+    result.verification = policy->verify(handle->model(), held_out);
+    record_verification(result.verification);
   }
   std::lock_guard<std::mutex> lock(mutex_);
   auto next =
       std::make_shared<State>(*state_.load(std::memory_order_relaxed));
-  const std::uint64_t version = publish_locked(
-      *next, name, std::move(handle), algorithm, fit_seconds);
+  if (policy != nullptr && !result.verification.passed) {
+    result.quarantined = true;
+    result.version = quarantine_locked(*next, name, std::move(handle),
+                                       algorithm, fit_seconds,
+                                       result.verification);
+  } else {
+    result.version = publish_locked(*next, name, std::move(handle),
+                                    algorithm, fit_seconds);
+  }
   const State& published = *next;
   state_.store(std::move(next), std::memory_order_release);
   if (journal_) maybe_compact_locked(published);
-  return version;
+  return result;
 }
 
-std::uint64_t ModelRegistry::publish(const std::string& name,
+PublishResult ModelRegistry::publish(const std::string& name,
                                      const api::FitReport& report,
-                                     api::ModelHandleOptions handle_opts) {
+                                     api::ModelHandleOptions handle_opts,
+                                     const sampling::SampleSet* held_out) {
   return publish(name,
                  std::make_shared<const api::ModelHandle>(report, handle_opts),
-                 report.algorithm, report.seconds);
+                 report.algorithm, report.seconds, held_out);
+}
+
+bool ModelRegistry::apply_promote(State& state, const std::string& name,
+                                  std::uint64_t version) {
+  const auto by_name = state.quarantine.find(name);
+  if (by_name == state.quarantine.end()) return false;
+  const auto by_version = by_name->second.find(version);
+  if (by_version == by_name->second.end()) return false;
+  QVersion q = std::move(by_version->second);
+  by_name->second.erase(by_version);
+  if (by_name->second.empty()) state.quarantine.erase(by_name);
+  Entry& entry = state.models[name];
+  entry.next_version = std::max(entry.next_version, q.info.version + 1);
+  Version promoted;
+  promoted.handle = std::move(q.handle);
+  promoted.info = std::move(q.info);
+  entry.history.push_back(std::move(promoted));
+  if (entry.history.size() > opts_.max_versions) {
+    entry.history.erase(entry.history.begin(),
+                        entry.history.end() - opts_.max_versions);
+  }
+  entry.history.back().info.history_depth = entry.history.size() - 1;
+  ++state.generation;
+  return true;
+}
+
+api::Expected<ModelInfo> ModelRegistry::promote(const std::string& name,
+                                                std::uint64_t version,
+                                                bool force) {
+  const VerificationPolicy* policy = opts_.verification.get();
+  if (!force && policy != nullptr) {
+    // Re-verify outside the writer lock against the quarantined handle.
+    const StatePtr current = state();
+    const auto by_name = current->quarantine.find(name);
+    if (by_name == current->quarantine.end()) {
+      return api::Status::not_found(
+          "no quarantined version " + std::to_string(version) + " of '" +
+          name + "'");
+    }
+    const auto by_version = by_name->second.find(version);
+    if (by_version == by_name->second.end()) {
+      return api::Status::not_found(
+          "no quarantined version " + std::to_string(version) + " of '" +
+          name + "'");
+    }
+    const VerificationReport report =
+        policy->verify(by_version->second.handle->model());
+    record_verification(report);
+    if (!report.passed) {
+      return api::Status::numerical_error(
+          "promote of '" + name + "' v" + std::to_string(version) +
+          " refused: " + report.summary() + " (use force to override)");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto next =
+      std::make_shared<State>(*state_.load(std::memory_order_relaxed));
+  const auto by_name = next->quarantine.find(name);
+  if (by_name == next->quarantine.end() ||
+      by_name->second.find(version) == by_name->second.end()) {
+    return api::Status::not_found(
+        "no quarantined version " + std::to_string(version) + " of '" +
+        name + "'");
+  }
+  if (journal_) {
+    JournalRecord record;
+    record.op = kRecordPromote;
+    record.seq = seq_ + 1;
+    record.name = name;
+    record.subject_version = version;
+    if (const auto status = journal_locked(record); !status.is_ok()) {
+      return status;
+    }
+  }
+  ++seq_;
+  apply_promote(*next, name, version);
+  const State& published = *next;
+  state_.store(std::move(next), std::memory_order_release);
+  if (journal_) maybe_compact_locked(published);
+  const auto it = published.models.find(name);
+  return it->second.history.back().info;
+}
+
+api::Status ModelRegistry::discard(const std::string& name,
+                                   std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto next =
+      std::make_shared<State>(*state_.load(std::memory_order_relaxed));
+  const auto by_name = next->quarantine.find(name);
+  if (by_name == next->quarantine.end() ||
+      by_name->second.find(version) == by_name->second.end()) {
+    return api::Status::not_found(
+        "no quarantined version " + std::to_string(version) + " of '" +
+        name + "'");
+  }
+  if (journal_) {
+    JournalRecord record;
+    record.op = kRecordDiscard;
+    record.seq = seq_ + 1;
+    record.name = name;
+    record.subject_version = version;
+    if (const auto status = journal_locked(record); !status.is_ok()) {
+      return status;
+    }
+  }
+  ++seq_;
+  by_name->second.erase(version);
+  if (by_name->second.empty()) next->quarantine.erase(by_name);
+  ++next->generation;
+  const State& published = *next;
+  state_.store(std::move(next), std::memory_order_release);
+  if (journal_) maybe_compact_locked(published);
+  return api::Status::ok();
 }
 
 api::Expected<std::uint64_t> ModelRegistry::rollback(
@@ -185,6 +358,7 @@ bool ModelRegistry::remove(const std::string& name) {
   }
   ++seq_;
   next->models.erase(it);
+  next->quarantine.erase(name);  // removal covers quarantined versions too
   ++next->generation;
   const State& published = *next;
   state_.store(std::move(next), std::memory_order_release);
@@ -243,7 +417,76 @@ std::vector<VersionedModel> ModelRegistry::live_models() const {
   return out;
 }
 
-std::size_t ModelRegistry::size() const { return state()->models.size(); }
+std::size_t ModelRegistry::size() const {
+  // Quarantine-only names keep a history-less entry (it tracks
+  // next_version) that must not count as a served model.
+  const StatePtr current = state();
+  std::size_t live = 0;
+  for (const auto& [name, entry] : current->models) {
+    if (!entry.history.empty()) ++live;
+  }
+  return live;
+}
+
+std::vector<QuarantinedModel> ModelRegistry::quarantined() const {
+  const StatePtr current = state();
+  std::vector<QuarantinedModel> out;
+  for (const auto& [name, versions] : current->quarantine) {
+    for (const auto& [version, q] : versions) {
+      out.push_back({q.info, q.report});
+    }
+  }
+  return out;
+}
+
+api::Expected<QuarantinedModel> ModelRegistry::quarantined(
+    const std::string& name, std::uint64_t version) const {
+  const StatePtr current = state();
+  const auto by_name = current->quarantine.find(name);
+  if (by_name != current->quarantine.end()) {
+    const auto by_version = by_name->second.find(version);
+    if (by_version != by_name->second.end()) {
+      return QuarantinedModel{by_version->second.info,
+                              by_version->second.report};
+    }
+  }
+  return api::Status::not_found("no quarantined version " +
+                                std::to_string(version) + " of '" + name +
+                                "'");
+}
+
+void ModelRegistry::record_verification(const VerificationReport& report) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (report.passed) {
+    ++verify_pass_;
+  } else {
+    ++verify_fail_;
+  }
+  for (const VerificationCheck& check : report.checks) {
+    RegistryVerifyStats::Check& stats = check_stats_[check.name];
+    stats.name = check.name;
+    ++stats.runs;
+    stats.seconds_total += check.seconds;
+  }
+}
+
+RegistryVerifyStats ModelRegistry::verify_stats() const {
+  RegistryVerifyStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out.verify_pass = verify_pass_;
+    out.verify_fail = verify_fail_;
+    out.checks.reserve(check_stats_.size());
+    for (const auto& [name, check] : check_stats_) {
+      out.checks.push_back(check);
+    }
+  }
+  const StatePtr current = state();
+  for (const auto& [name, versions] : current->quarantine) {
+    out.quarantined += versions.size();
+  }
+  return out;
+}
 
 std::uint64_t ModelRegistry::generation() const {
   return state()->generation;
@@ -286,6 +529,24 @@ void ModelRegistry::restore_publish(State& state,
                         entry.history.end() - opts_.max_versions);
   }
   entry.history.back().info.history_depth = entry.history.size() - 1;
+}
+
+void ModelRegistry::restore_quarantine(State& state,
+                                       PersistedVersion&& persisted,
+                                       VerificationReport&& report) {
+  ++state.generation;
+  QVersion q;
+  q.info = persisted.info;
+  api::ModelHandleOptions handle_opts;
+  handle_opts.cache_capacity = persisted.cache_capacity;
+  q.handle = std::make_shared<const api::ModelHandle>(
+      std::move(persisted.model), handle_opts);
+  q.report = std::move(report);
+  Entry& entry = state.models[q.info.name];
+  entry.next_version = std::max(entry.next_version, q.info.version + 1);
+  const std::string name = q.info.name;
+  const std::uint64_t version = q.info.version;
+  state.quarantine[name][version] = std::move(q);
 }
 
 api::Status ModelRegistry::replay_journal(State& state,
@@ -334,8 +595,41 @@ api::Status ModelRegistry::replay_journal(State& state,
               "journal replay: remove of unknown model '" + record.name +
               "' (journal/snapshot divergence)");
         }
+        state.quarantine.erase(record.name);
         ++state.generation;
         break;
+      case kRecordQuarantine:
+        try {
+          restore_quarantine(state, std::move(*record.version),
+                             std::move(record.verification));
+        } catch (const std::exception& e) {
+          return api::Status::internal("journal replay: quarantine of '" +
+                                       record.name + "': " + e.what());
+        }
+        break;
+      case kRecordPromote:
+        if (!apply_promote(state, record.name, record.subject_version)) {
+          return api::Status::internal(
+              "journal replay: promote of unknown quarantined '" +
+              record.name + "' v" +
+              std::to_string(record.subject_version) +
+              " (journal/snapshot divergence)");
+        }
+        break;
+      case kRecordDiscard: {
+        const auto by_name = state.quarantine.find(record.name);
+        if (by_name == state.quarantine.end() ||
+            by_name->second.erase(record.subject_version) == 0) {
+          return api::Status::internal(
+              "journal replay: discard of unknown quarantined '" +
+              record.name + "' v" +
+              std::to_string(record.subject_version) +
+              " (journal/snapshot divergence)");
+        }
+        if (by_name->second.empty()) state.quarantine.erase(by_name);
+        ++state.generation;
+        break;
+      }
       default:
         return api::Status::internal("journal replay: unknown record op");
     }
@@ -360,6 +654,20 @@ std::string ModelRegistry::serialize_state_locked(const State& state) const {
           PersistedVersion{version.info,
                            version.handle->options().cache_capacity,
                            version.handle->model()});
+    }
+  }
+  // Quarantine block (appended so snapshots from before the verification
+  // gate — which simply end here — still load).
+  payload.u64(state.quarantine.size());
+  for (const auto& [name, versions] : state.quarantine) {
+    payload.str(name);
+    payload.u64(versions.size());
+    for (const auto& [version, q] : versions) {
+      write_persisted_version(
+          payload, PersistedVersion{q.info,
+                                    q.handle->options().cache_capacity,
+                                    q.handle->model()});
+      write_verification_report(payload, q.report);
     }
   }
   return payload.take();
@@ -391,7 +699,6 @@ api::Status ModelRegistry::compact() {
 }
 
 api::Status ModelRegistry::journal_locked(const JournalRecord& record) {
-  if (persist_.before_append) persist_.before_append();
   if (auto status = journal_->append(record); !status.is_ok()) {
     return status;
   }
@@ -500,6 +807,25 @@ api::Expected<std::unique_ptr<ModelRegistry>> ModelRegistry::open(
         }
         restored->models[name] = std::move(entry);
       }
+      if (in.remaining() > 0) {
+        // Quarantine block — absent from pre-verification-gate snapshots.
+        const std::uint64_t num_quarantined_names = in.u64();
+        for (std::uint64_t q = 0; q < num_quarantined_names; ++q) {
+          const std::string name = in.str();
+          const std::uint64_t num_versions = in.u64();
+          for (std::uint64_t v = 0; v < num_versions; ++v) {
+            PersistedVersion persisted = read_persisted_version(in);
+            VerificationReport report = read_verification_report(in);
+            if (persisted.info.name != name) {
+              return api::Status::internal(
+                  "'" + snapshot_path + "': quarantine block names '" +
+                  persisted.info.name + "' under key '" + name + "'");
+            }
+            registry->restore_quarantine(*restored, std::move(persisted),
+                                         std::move(report));
+          }
+        }
+      }
       in.expect_end();
     } catch (const std::exception& e) {
       return api::Status::internal("'" + snapshot_path + "': " + e.what());
@@ -516,6 +842,7 @@ api::Expected<std::unique_ptr<ModelRegistry>> ModelRegistry::open(
   if (!journal) return journal.status();
   registry->journal_ =
       std::make_unique<RegistryJournal>(std::move(*journal));
+  registry->journal_->set_fault_injector(persist.fault_injector);
   return registry;
 }
 

@@ -14,6 +14,16 @@
 /// RCU-style copy-and-swap. A failed journal append discards the copy,
 /// leaving the registry observably unchanged.
 ///
+/// Verified publishing: when `ModelRegistryOptions::verification` holds a
+/// `VerificationPolicy`, every publish runs the policy *before* anything
+/// is journaled or swapped. A failing model lands in the **quarantine
+/// store** — a separate map that `lookup`/`acquire`/`list` never read, so
+/// a bad model is not observable by the query path at any point and the
+/// previous live version keeps serving untouched. Quarantine mutations
+/// are journaled (`JQUA`/`JPRO`/`JDSC`) and captured by compaction, so
+/// the store survives warm restart. Operators inspect via `quarantined()`
+/// and resolve via `promote` (re-verify, or `force`) / `discard`.
+///
 /// ```cpp
 /// serving::ModelRegistry registry;
 /// registry.publish("pdn", *report);              // version 1
@@ -44,6 +54,11 @@
 #include "api/fit_report.hpp"
 #include "api/model_handle.hpp"
 #include "api/status.hpp"
+#include "serving/verification.hpp"
+
+namespace mfti::io {
+class FaultInjector;
+}  // namespace mfti::io
 
 namespace mfti::serving {
 
@@ -78,6 +93,12 @@ struct ModelRegistryOptions {
   /// Total versions kept per model (the live one plus rollback history).
   /// Clamped to >= 1; 1 disables rollback.
   std::size_t max_versions = 2;
+  /// Publish-time verification gate (verification.hpp). When set, every
+  /// publish runs the policy and failing models are quarantined instead
+  /// of promoted; null leaves publishing ungated (the historical
+  /// behaviour). Shared so several registries / fit workers can use one
+  /// policy.
+  std::shared_ptr<const VerificationPolicy> verification;
 };
 
 /// Knobs of the durable (journaled) registry. Defaults come from
@@ -89,15 +110,51 @@ struct RegistryPersistenceOptions {
   /// ...or has grown to at least this many bytes, whichever comes first.
   /// 0 disables the byte trigger.
   std::size_t compact_min_bytes = 8u << 20;
-  /// Test instrumentation: invoked (under the writer mutex) immediately
-  /// before every write-ahead journal append. Lets tests stall a publish
-  /// inside its slowest step and assert that readers stay lock-free.
-  /// Never set in production.
-  std::function<void()> before_append;
+  /// Test instrumentation: consulted (under the writer mutex) immediately
+  /// before every write-ahead journal append — fail-once / short-write /
+  /// ENOSPC fault modes plus a stall hook (io/fault_injector.hpp). A
+  /// refused append leaves the registry observably unchanged. Never set
+  /// in production.
+  std::shared_ptr<io::FaultInjector> fault_injector;
   /// Defaults overridden by `MFTI_JOURNAL_COMPACT_RECORDS` and
   /// `MFTI_JOURNAL_COMPACT_BYTES` (malformed values are diagnosed on
   /// stderr and ignored).
   static RegistryPersistenceOptions from_env();
+};
+
+/// Outcome of one `publish` call. When the registry has no verification
+/// policy, `quarantined` is always false and `verification` is empty.
+struct PublishResult {
+  /// The version number allocated — live when `!quarantined`, held in the
+  /// quarantine store otherwise.
+  std::uint64_t version = 0;
+  bool quarantined = false;
+  VerificationReport verification;
+
+  /// Pre-gate call sites treat `publish` as returning the new version
+  /// number; keep them compiling.
+  operator std::uint64_t() const { return version; }
+};
+
+/// One quarantined version: its would-be metadata plus the verification
+/// report explaining why it was refused.
+struct QuarantinedModel {
+  ModelInfo info;
+  VerificationReport report;
+};
+
+/// Verification-gate telemetry (rendered as Prometheus series by the
+/// HTTP front).
+struct RegistryVerifyStats {
+  std::uint64_t verify_pass = 0;  ///< publishes that passed the policy
+  std::uint64_t verify_fail = 0;  ///< publishes quarantined by the policy
+  std::size_t quarantined = 0;    ///< versions currently in quarantine
+  struct Check {
+    std::string name;  ///< "passivity" | "stability" | "fit_error"
+    std::uint64_t runs = 0;
+    double seconds_total = 0.0;
+  };
+  std::vector<Check> checks;  ///< sorted by name
 };
 
 class RegistryJournal;
@@ -125,19 +182,24 @@ class ModelRegistry {
       RegistryPersistenceOptions persist =
           RegistryPersistenceOptions::from_env());
 
-  /// Publish `handle` as the new live version of `name` and return the new
-  /// version number. On a durable registry the record is journaled and
-  /// flushed *before* the state swap.
+  /// Publish `handle` as the new live version of `name`. With a
+  /// verification policy installed the policy runs first (outside the
+  /// writer lock; `held_out` samples, when given, enable the fit-error
+  /// check) and a failing model is quarantined instead — the live map is
+  /// untouched and the result says so. On a durable registry the record
+  /// is journaled and flushed *before* the state swap.
   /// \throws std::invalid_argument on a null handle, std::runtime_error
   /// when the write-ahead append fails (the registry is left unchanged).
-  std::uint64_t publish(const std::string& name, ModelSnapshot handle,
+  PublishResult publish(const std::string& name, ModelSnapshot handle,
                         std::optional<api::Algorithm> algorithm = {},
-                        double fit_seconds = 0.0);
+                        double fit_seconds = 0.0,
+                        const sampling::SampleSet* held_out = nullptr);
 
   /// Wrap a successful fit in a `ModelHandle` and publish it, carrying the
   /// report's algorithm and timing into the metadata.
-  std::uint64_t publish(const std::string& name, const api::FitReport& report,
-                        api::ModelHandleOptions handle_opts = {});
+  PublishResult publish(const std::string& name, const api::FitReport& report,
+                        api::ModelHandleOptions handle_opts = {},
+                        const sampling::SampleSet* held_out = nullptr);
 
   /// The live snapshot of `name`, or nullptr when unknown. Lock-free;
   /// holding the returned pointer keeps that version alive across
@@ -160,6 +222,28 @@ class ModelRegistry {
   /// already handed out stay valid. \throws std::runtime_error when the
   /// write-ahead append fails (the model stays registered).
   bool remove(const std::string& name);
+
+  /// Every quarantined version, sorted by (name, version). Lock-free.
+  std::vector<QuarantinedModel> quarantined() const;
+
+  /// One quarantined version (not-found when absent). Lock-free.
+  api::Expected<QuarantinedModel> quarantined(const std::string& name,
+                                              std::uint64_t version) const;
+
+  /// Promote a quarantined version to live. Unless `force`, the
+  /// verification policy (when installed) runs again first; a repeat
+  /// failure reports `NumericalError` and leaves the quarantine entry in
+  /// place. Journaled write-ahead like every mutation; a failed append
+  /// leaves the registry unchanged.
+  api::Expected<ModelInfo> promote(const std::string& name,
+                                   std::uint64_t version,
+                                   bool force = false);
+
+  /// Drop a quarantined version for good (not-found when absent).
+  api::Status discard(const std::string& name, std::uint64_t version);
+
+  /// Verification-gate counters plus the current quarantine size.
+  RegistryVerifyStats verify_stats() const;
 
   /// Live-version metadata for every model, sorted by name. Lock-free.
   std::vector<ModelInfo> list() const;
@@ -207,12 +291,25 @@ class ModelRegistry {
     std::vector<Version> history;  ///< oldest first; live version at back
     std::uint64_t next_version = 1;
   };
+  /// One quarantined version: handle kept so `promote` needs no refit.
+  struct QVersion {
+    ModelSnapshot handle;
+    ModelInfo info;
+    VerificationReport report;
+  };
   /// The whole registry, immutable once published. Readers load the
   /// current `State` with one atomic acquire and never see a partial
   /// mutation; writers clone it (a shallow copy — the handles are shared)
   /// under `mutex_`, mutate the clone and release-store it back.
+  /// `quarantine` is never read by the query path (`lookup` / `acquire` /
+  /// `list` / `live_models` consult `models` only), so a refused model is
+  /// unobservable to clients at every point.
   struct State {
     std::map<std::string, Entry> models;
+    /// name -> version -> quarantined model. A name may appear here with
+    /// an empty-history `models` entry (the entry tracks `next_version`
+    /// so quarantined versions and live versions never collide).
+    std::map<std::string, std::map<std::uint64_t, QVersion>> quarantine;
     std::uint64_t generation = 1;
   };
   using StatePtr = std::shared_ptr<const State>;
@@ -227,9 +324,29 @@ class ModelRegistry {
                                std::optional<api::Algorithm> algorithm,
                                double fit_seconds);
 
+  /// The quarantine counterpart of `publish_locked`: allocates the next
+  /// version number but lands the model in `next.quarantine`, journaling
+  /// a `JQUA` record write-ahead. Caller holds `mutex_`.
+  std::uint64_t quarantine_locked(State& next, const std::string& name,
+                                  ModelSnapshot handle,
+                                  std::optional<api::Algorithm> algorithm,
+                                  double fit_seconds,
+                                  const VerificationReport& report);
+
+  /// Move a quarantined version into the live history (shared by
+  /// `promote` and journal replay). False when the entry is missing.
+  bool apply_promote(State& state, const std::string& name,
+                     std::uint64_t version);
+
+  /// Fold one verification outcome into the pass/fail and per-check
+  /// latency counters.
+  void record_verification(const VerificationReport& report);
+
   /// Journal-replay / snapshot-restore applies (no journaling, exact
   /// metadata) into the state being rebuilt by `open`.
   void restore_publish(State& state, PersistedVersion&& version);
+  void restore_quarantine(State& state, PersistedVersion&& version,
+                          VerificationReport&& report);
   api::Status replay_journal(State& state, const std::string& journal_path);
 
   /// Serialize the given state as one `REGY` payload / write it as the
@@ -245,6 +362,12 @@ class ModelRegistry {
   ModelRegistryOptions opts_;
   /// Writer serialization only — no reader ever takes it.
   mutable std::mutex mutex_;
+  /// Verification-gate counters (taken by `record_verification` and
+  /// `verify_stats` only — never on the query path).
+  mutable std::mutex stats_mutex_;
+  std::uint64_t verify_pass_ = 0;
+  std::uint64_t verify_fail_ = 0;
+  std::map<std::string, RegistryVerifyStats::Check> check_stats_;
   /// Current immutable state; never null after construction.
   std::atomic<StatePtr> state_;
 

@@ -1,11 +1,14 @@
 #include "serving/registry_journal.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
 #include <utility>
+
+#include "io/fault_injector.hpp"
 
 namespace mfti::serving {
 
@@ -69,6 +72,49 @@ PersistedVersion read_persisted_version(io::ByteReader& in) {
   return version;
 }
 
+void write_verification_report(io::ByteWriter& out,
+                               const VerificationReport& report) {
+  out.u8(report.passed ? 1 : 0);
+  out.u64(report.checks.size());
+  for (const VerificationCheck& check : report.checks) {
+    out.str(check.name);
+    out.u8(check.passed ? 1 : 0);
+    out.u32(static_cast<std::uint32_t>(check.status.code()));
+    out.str(check.status.message());
+    out.f64(check.value);
+    out.f64(check.threshold);
+    out.str(check.detail);
+    out.f64(check.seconds);
+  }
+}
+
+VerificationReport read_verification_report(io::ByteReader& in) {
+  VerificationReport report;
+  report.passed = in.u8() != 0;
+  const std::uint64_t num_checks = in.u64();
+  report.checks.reserve(static_cast<std::size_t>(num_checks));
+  for (std::uint64_t c = 0; c < num_checks; ++c) {
+    VerificationCheck check;
+    check.name = in.str();
+    check.passed = in.u8() != 0;
+    const std::uint32_t code = in.u32();
+    if (code >= api::kNumStatusCodes) {
+      throw io::SnapshotFormatError(
+          "verification report: unknown status code " +
+          std::to_string(code));
+    }
+    std::string message = in.str();
+    check.status =
+        api::Status(static_cast<api::StatusCode>(code), std::move(message));
+    check.value = in.f64();
+    check.threshold = in.f64();
+    check.detail = in.str();
+    check.seconds = in.f64();
+    report.checks.push_back(std::move(check));
+  }
+  return report;
+}
+
 // --- record framing ---------------------------------------------------------
 
 namespace {
@@ -86,6 +132,15 @@ std::string encode_record(const JournalRecord& record) {
       break;
     case kRecordRemove:
       payload.str(record.name);
+      break;
+    case kRecordQuarantine:
+      write_persisted_version(payload, *record.version);
+      write_verification_report(payload, record.verification);
+      break;
+    case kRecordPromote:
+    case kRecordDiscard:
+      payload.str(record.name);
+      payload.u64(record.subject_version);
       break;
     default:
       throw io::SnapshotFormatError("journal: unencodable record op");
@@ -111,6 +166,16 @@ JournalRecord decode_record(const io::SectionView& section) {
       break;
     case kRecordRemove:
       record.name = in.str();
+      break;
+    case kRecordQuarantine:
+      record.version = read_persisted_version(in);
+      record.name = record.version->info.name;
+      record.verification = read_verification_report(in);
+      break;
+    case kRecordPromote:
+    case kRecordDiscard:
+      record.name = in.str();
+      record.subject_version = in.u64();
       break;
     default:
       throw io::SnapshotFormatError("journal: unknown record tag");
@@ -233,6 +298,23 @@ api::Status RegistryJournal::append(const JournalRecord& record) {
   } catch (const std::exception& e) {
     return api::Status::internal(std::string("journal: ") + e.what());
   }
+  if (faults_) {
+    const io::FaultInjector::Fate fate = faults_->next_write(bytes.size());
+    if (!fate.status.is_ok()) {
+      if (fate.write_prefix > 0) {
+        // Simulated crash mid-append: the torn prefix stays on disk so
+        // the next open's replay exercises torn-tail recovery.
+        std::ofstream torn(path_, std::ios::binary | std::ios::app);
+        if (torn) {
+          torn.write(bytes.data(),
+                     static_cast<std::streamsize>(
+                         std::min(fate.write_prefix, bytes.size())));
+          torn.flush();
+        }
+      }
+      return fate.status;
+    }
+  }
   std::ofstream out(path_, std::ios::binary | std::ios::app);
   if (!out) {
     return api::Status::internal("journal '" + path_ +
@@ -241,6 +323,17 @@ api::Status RegistryJournal::append(const JournalRecord& record) {
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   out.flush();
   if (!out) {
+    // Drop any partially-written tail now, while the writer is alive —
+    // otherwise a *later* successful append would bury the torn record
+    // mid-file, which replay must treat as corruption, not a torn tail.
+    std::error_code ec;
+    fs::resize_file(path_, bytes_, ec);
+    if (ec) {
+      std::fprintf(stderr,
+                   "[mfti.serving] journal '%s': failed append left a torn "
+                   "tail that could not be truncated: %s\n",
+                   path_.c_str(), ec.message().c_str());
+    }
     return api::Status::internal("journal '" + path_ + "': short append");
   }
   bytes_ += bytes.size();

@@ -7,7 +7,9 @@
 /// On-disk layout (docs/persistence-format.md is normative): the shared
 /// 12-byte header (`MFTIJRNL` + format version) followed by one section
 /// per record — `tag | payload length | payload | CRC32(payload)` with
-/// tags `JPUB` / `JRBK` / `JREM`. Replay handles a torn trailing record
+/// tags `JPUB` / `JRBK` / `JREM` / `JQUA` / `JPRO` / `JDSC` (the last
+/// three are the verification gate's quarantine / promote / discard
+/// mutations). Replay handles a torn trailing record
 /// (a crash mid-append) by truncating the file back to the last complete
 /// record and warning on stderr — it never crashes and never drops a
 /// record that was fully flushed. A checksum mismatch *before* the final
@@ -23,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,7 +33,12 @@
 #include "api/status.hpp"
 #include "io/snapshot.hpp"
 #include "serving/model_registry.hpp"
+#include "serving/verification.hpp"
 #include "statespace/descriptor.hpp"
+
+namespace mfti::io {
+class FaultInjector;
+}  // namespace mfti::io
 
 namespace mfti::serving {
 
@@ -41,6 +49,16 @@ inline constexpr std::uint32_t kRecordRollback =
     io::fourcc('J', 'R', 'B', 'K');
 inline constexpr std::uint32_t kRecordRemove =
     io::fourcc('J', 'R', 'E', 'M');
+/// A publish refused by the verification policy: the model lands in the
+/// quarantine store, never the live map.
+inline constexpr std::uint32_t kRecordQuarantine =
+    io::fourcc('J', 'Q', 'U', 'A');
+/// A quarantined version promoted to live (re-verified or forced).
+inline constexpr std::uint32_t kRecordPromote =
+    io::fourcc('J', 'P', 'R', 'O');
+/// A quarantined version discarded.
+inline constexpr std::uint32_t kRecordDiscard =
+    io::fourcc('J', 'D', 'S', 'C');
 
 /// Registry-snapshot section tag (the compaction file).
 inline constexpr std::uint32_t kSectionRegistry =
@@ -56,7 +74,7 @@ struct PersistedVersion {
 
 /// One replayed mutation.
 struct JournalRecord {
-  std::uint32_t op = 0;  ///< kRecordPublish / kRecordRollback / kRecordRemove
+  std::uint32_t op = 0;  ///< one of the kRecord* tags above
   /// Registry mutation sequence number (monotonic across the registry's
   /// whole life). The compaction snapshot stores the sequence it captured,
   /// and replay skips records at or below it — which is what makes the
@@ -64,12 +82,17 @@ struct JournalRecord {
   /// surviving a crash between the two steps are simply skipped.
   std::uint64_t seq = 0;
   std::string name;
-  /// Filled for publish records only.
+  /// Filled for publish and quarantine records only.
   std::optional<PersistedVersion> version;
   /// Rollback records carry the version expected live after the pop, so
   /// replay can detect writer/reader divergence (e.g. a different
   /// `max_versions`).
   std::uint64_t rollback_to = 0;
+  /// Quarantine records carry the failed verification, persisted so an
+  /// operator can inspect *why* after a restart.
+  VerificationReport verification;
+  /// Promote / discard records: the quarantined version acted on.
+  std::uint64_t subject_version = 0;
 };
 
 /// Payload encodings shared by the journal and the registry snapshot.
@@ -78,6 +101,9 @@ ModelInfo read_model_info(io::ByteReader& in);
 void write_persisted_version(io::ByteWriter& out,
                              const PersistedVersion& version);
 PersistedVersion read_persisted_version(io::ByteReader& in);
+void write_verification_report(io::ByteWriter& out,
+                               const VerificationReport& report);
+VerificationReport read_verification_report(io::ByteReader& in);
 
 /// Append-only handle on one journal file.
 class RegistryJournal {
@@ -107,6 +133,13 @@ class RegistryJournal {
   /// Truncate back to a bare header (after a successful compaction).
   api::Status reset();
 
+  /// Install a fault injector consulted before every append (tests).
+  /// A refused append fails without committing; an injected short write
+  /// leaves a torn prefix on disk, as a crash mid-append would.
+  void set_fault_injector(std::shared_ptr<io::FaultInjector> faults) {
+    faults_ = std::move(faults);
+  }
+
   std::size_t records_appended() const { return records_; }
   std::size_t bytes() const { return bytes_; }
   const std::string& path() const { return path_; }
@@ -118,6 +151,7 @@ class RegistryJournal {
   std::string path_;
   std::size_t records_ = 0;  ///< appended through this handle only
   std::size_t bytes_ = 0;    ///< current file size
+  std::shared_ptr<io::FaultInjector> faults_;
 };
 
 }  // namespace mfti::serving

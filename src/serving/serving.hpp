@@ -12,3 +12,4 @@
 #include "serving/model_registry.hpp"    // IWYU pragma: export
 #include "serving/registry_journal.hpp"  // IWYU pragma: export
 #include "serving/serving_engine.hpp"    // IWYU pragma: export
+#include "serving/verification.hpp"      // IWYU pragma: export

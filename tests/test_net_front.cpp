@@ -51,6 +51,26 @@ serving::ModelSnapshot make_snapshot(std::size_t order, std::size_t ports,
       make_system(order, ports, seed));
 }
 
+/// A trivially passive/non-passive 1-port: H(s) = g / (s/w0 + 1).
+serving::ModelSnapshot gain_snapshot(double g) {
+  const double w0 = 2.0 * 3.14159265358979323846 * 1e3;
+  return std::make_shared<const api::ModelHandle>(ss::DescriptorSystem{
+      la::Mat{{1.0 / w0}}, la::Mat{{-1}}, la::Mat{{1}}, la::Mat{{g}},
+      la::Mat{{0}}});
+}
+
+/// Registry options with the verification gate on (fixture-sized band).
+serving::ModelRegistryOptions gated_options() {
+  serving::VerificationOptions verify;
+  verify.band_lo_hz = 1.0;
+  verify.band_hi_hz = 1e6;
+  verify.grid_points = 100;
+  serving::ModelRegistryOptions opts;
+  opts.verification =
+      std::make_shared<const serving::VerificationPolicy>(verify);
+  return opts;
+}
+
 /// Blocking loopback request helper over a fresh or kept-alive socket.
 class TestClient {
  public:
@@ -310,6 +330,124 @@ TEST(ServingFront, AdminTokenGatesPublishAndRollback) {
   ASSERT_TRUE(rolled.has_value());
   EXPECT_EQ(rolled->status, 200) << rolled->body;
   EXPECT_EQ(registry.info("m")->version, 1u);  // v1 is live again
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServingFront, QuarantineAdminLifecycleOverHttp) {
+  serving::ModelRegistry registry(gated_options());
+  registry.publish("m", gain_snapshot(0.8));  // v1 live (passes the gate)
+  serving::ServingEngine engine(registry);
+  net::ServingFrontOptions opts;
+  opts.admin_token = "sekrit";
+  net::ServingFront front(engine, registry, opts);
+  ASSERT_TRUE(front.start().is_ok());
+  TestClient client(front.port());
+  const std::map<std::string, std::string> token{{"X-Admin-Token", "sekrit"}};
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mfti_front_quarantine")
+          .string();
+  std::filesystem::create_directories(dir);
+  const std::string snap_path = dir + "/bad.mfti";
+  ASSERT_TRUE(
+      io::save_model_snapshot(snap_path, *gain_snapshot(1.3)).is_ok());
+
+  // Publishing a non-passive snapshot succeeds (200) but reports the
+  // quarantine outcome with the verification report attached.
+  net::Json publish = net::Json::object();
+  publish.set("name", net::Json("m"));
+  publish.set("snapshot", net::Json(snap_path));
+  auto published =
+      client.request("POST", "/v1/admin/publish", publish.dump(), token);
+  ASSERT_TRUE(published.has_value());
+  ASSERT_EQ(published->status, 200) << published->body;
+  auto outcome = net::parse_json(published->body);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->find("quarantined")->as_bool());
+  EXPECT_EQ(outcome->find("version")->as_number(), 2.0);
+  ASSERT_NE(outcome->find("report"), nullptr);
+  EXPECT_FALSE(outcome->find("report")->find("passed")->as_bool());
+
+  // The live version is untouched; eval still serves v1.
+  EXPECT_EQ(registry.info("m")->version, 1u);
+  auto eval = client.request("POST", "/v1/eval", eval_body("m", 3));
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_EQ(eval->status, 200) << eval->body;
+
+  // The listing is token-gated and GET-only.
+  auto anon = client.request("GET", "/v1/admin/quarantine");
+  ASSERT_TRUE(anon.has_value());
+  EXPECT_EQ(anon->status, 401);
+  auto wrong_method =
+      client.request("POST", "/v1/admin/quarantine", "{}", token);
+  ASSERT_TRUE(wrong_method.has_value());
+  EXPECT_EQ(wrong_method->status, 405);
+  auto listing = client.request("GET", "/v1/admin/quarantine", "", token);
+  ASSERT_TRUE(listing.has_value());
+  ASSERT_EQ(listing->status, 200) << listing->body;
+  auto parsed = net::parse_json(listing->body);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->find("quarantined")->size(), 1u);
+  const net::Json& entry = parsed->find("quarantined")->at(0);
+  EXPECT_EQ(entry.find("name")->as_string(), "m");
+  EXPECT_EQ(entry.find("version")->as_number(), 2.0);
+  EXPECT_FALSE(entry.find("report")->find("passed")->as_bool());
+
+  // Unforced promote re-verifies and is refused with 422.
+  auto refused = client.request(
+      "POST", "/v1/admin/quarantine/m/2/promote", "{}", token);
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_EQ(refused->status, 422) << refused->body;
+  EXPECT_EQ(registry.info("m")->version, 1u);
+
+  // Forced promote goes live; eval serves the promoted version.
+  auto forced = client.request("POST", "/v1/admin/quarantine/m/2/promote",
+                               "{\"force\": true}", token);
+  ASSERT_TRUE(forced.has_value());
+  ASSERT_EQ(forced->status, 200) << forced->body;
+  auto promoted = net::parse_json(forced->body);
+  ASSERT_TRUE(promoted.has_value());
+  EXPECT_TRUE(promoted->find("promoted")->as_bool());
+  EXPECT_TRUE(promoted->find("forced")->as_bool());
+  EXPECT_EQ(registry.info("m")->version, 2u);
+
+  // Discard: quarantine another bad version, drop it, and see NotFound on
+  // a repeat.
+  registry.publish("m", gain_snapshot(1.2));
+  auto discarded = client.request(
+      "POST", "/v1/admin/quarantine/m/3/discard", "", token);
+  ASSERT_TRUE(discarded.has_value());
+  EXPECT_EQ(discarded->status, 200) << discarded->body;
+  auto again = client.request(
+      "POST", "/v1/admin/quarantine/m/3/discard", "", token);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->status, 404);
+
+  // Malformed version / unknown action are client errors, not crashes.
+  auto bad_version = client.request(
+      "POST", "/v1/admin/quarantine/m/abc/promote", "{}", token);
+  ASSERT_TRUE(bad_version.has_value());
+  EXPECT_EQ(bad_version->status, 400);
+  auto bad_action = client.request(
+      "POST", "/v1/admin/quarantine/m/2/frobnicate", "{}", token);
+  ASSERT_TRUE(bad_action.has_value());
+  EXPECT_EQ(bad_action->status, 404);
+
+  // The verification counters surface on /metrics.
+  auto metrics = client.request("GET", "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  ASSERT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("mfti_registry_verify_pass_total 1"),
+            std::string::npos);
+  // Two refused publishes plus the refused re-verification on promote.
+  EXPECT_NE(metrics->body.find("mfti_registry_verify_fail_total 3"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("mfti_registry_quarantined_models 0"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find(
+                "mfti_registry_verify_check_runs_total{check=\"passivity\"}"),
+            std::string::npos);
 
   std::filesystem::remove_all(dir);
 }

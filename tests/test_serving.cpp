@@ -148,7 +148,7 @@ TEST(ModelRegistry, RepublishKeepsOldSnapshotAliveAndRollbackRestoresIt) {
 }
 
 TEST(ModelRegistry, MaxVersionsBoundsRollbackHistory) {
-  serving::ModelRegistry registry({.max_versions = 2});
+  serving::ModelRegistry registry({.max_versions = 2, .verification = nullptr});
   registry.publish("m", make_snapshot(6, 2, 20));
   registry.publish("m", make_snapshot(7, 2, 21));
   registry.publish("m", make_snapshot(8, 2, 22));  // v1 dropped

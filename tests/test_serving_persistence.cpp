@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "io/fault_injector.hpp"
 #include "io/snapshot.hpp"
 #include "io/touchstone.hpp"
 #include "metrics/error.hpp"
@@ -398,6 +399,65 @@ TEST(DurableRegistry, ReplaySkipsRecordsAlreadyInSnapshot) {
   EXPECT_EQ((*reopened)->publish("pdn", make_snapshot(8, 2, 63)), 2u);
 }
 
+TEST(DurableRegistry, FormatVersion1FilesStillOpen) {
+  // Backward compatibility pin for the version-1 -> version-2 bump
+  // (version 2 added the registry quarantine block and the JQUA/JPRO/
+  // JDSC journal records; see docs/persistence-format.md). A version-1
+  // file pair is synthesized by downgrading freshly written files: the
+  // v2 additions are purely trailing for a quarantine-free fleet, so
+  // stripping the empty quarantine block and re-stamping the headers
+  // reproduces the v1 bytes exactly.
+  TempDir dir("v1compat");
+  std::vector<serving::ModelRegistry::EntryState> before;
+  {
+    auto registry =
+        serving::ModelRegistry::open(dir.str(), {}, no_compaction());
+    ASSERT_TRUE(registry) << registry.status().to_string();
+    (*registry)->publish("pdn", make_snapshot(8, 2, 71));
+    (*registry)->publish("pdn", make_snapshot(8, 2, 72));
+    (*registry)->publish("pkg", make_snapshot(6, 2, 73));
+    ASSERT_TRUE((*registry)->compact().is_ok());
+    // One post-compaction mutation so the journal holds a JPUB record
+    // (its encoding is unchanged between the versions).
+    (*registry)->publish("pkg", make_snapshot(6, 2, 74));
+    before = (*registry)->export_state();
+  }
+
+  // Downgrade the snapshot: drop the trailing `u64 quarantine_count`
+  // (zero — no quarantine) from the REGY payload and re-frame.
+  const fs::path snap_path = dir.path() / "registry.snapshot";
+  const std::string snap = read_bytes(snap_path);
+  ASSERT_GE(snap.size(), 12u + 12u + 8u + 4u);
+  io::ByteReader frame(std::string_view(snap).substr(16, 8));
+  const std::uint64_t payload_len = frame.u64();
+  const std::string payload = snap.substr(24, payload_len);
+  ASSERT_EQ(payload.substr(payload.size() - 8),
+            std::string(8, '\0'));  // empty quarantine block
+  std::string v1;
+  io::append_file_header(v1, io::kSnapshotMagic, 1);
+  io::append_section(
+      v1, io::fourcc('R', 'E', 'G', 'Y'),
+      std::string_view(payload).substr(0, payload.size() - 8));
+  write_bytes(snap_path, v1);
+
+  // Downgrade the journal: only the header version differs for a
+  // journal holding pre-v2 record types.
+  const fs::path journal_path = dir.path() / "registry.journal";
+  std::string journal = read_bytes(journal_path);
+  ASSERT_GE(journal.size(), 12u);
+  journal[8] = '\x01';  // LE u32 version field: 2 -> 1
+  write_bytes(journal_path, journal);
+
+  auto reopened =
+      serving::ModelRegistry::open(dir.str(), {}, no_compaction());
+  ASSERT_TRUE(reopened) << reopened.status().to_string();
+  expect_states_identical(before, (*reopened)->export_state());
+  EXPECT_TRUE((*reopened)->quarantined().empty());
+  // The reopened registry writes version-2 files from here on.
+  ASSERT_TRUE((*reopened)->compact().is_ok());
+  EXPECT_EQ(read_bytes(snap_path)[8], '\x02');
+}
+
 TEST(DurableRegistry, AutoCompactionAtRecordThreshold) {
   TempDir dir("autocompact");
   serving::RegistryPersistenceOptions persist;
@@ -457,11 +517,12 @@ TEST(DurableRegistry, ReadersNeverBlockOnSlowJournalAppend) {
   std::promise<void> release;
   auto release_future = release.get_future().share();
   serving::RegistryPersistenceOptions persist;
-  persist.before_append = [&] {
+  persist.fault_injector = std::make_shared<io::FaultInjector>();
+  persist.fault_injector->set_before_write([&] {
     if (!armed.load()) return;
     if (!signalled.exchange(true)) entered.set_value();
     release_future.wait();
-  };
+  });
   auto opened = serving::ModelRegistry::open(dir.str(), {}, persist);
   ASSERT_TRUE(opened) << opened.status().to_string();
   serving::ModelRegistry& registry = **opened;
@@ -496,6 +557,117 @@ TEST(DurableRegistry, ReadersNeverBlockOnSlowJournalAppend) {
   publisher.join();
   EXPECT_EQ(registry.info("m")->version, 2u);
   EXPECT_EQ(registry.lookup("m")->order(), 10u);
+}
+
+// --- fault injection --------------------------------------------------------
+
+// A refused write-ahead append must leave the registry *observably*
+// unchanged: the mutation throws (or errors), no version is consumed, and
+// every reader keeps seeing the pre-fault state — on disk and in memory.
+TEST(FaultInjection, RefusedAppendLeavesRegistryUnchanged) {
+  TempDir dir("fail_once");
+  serving::RegistryPersistenceOptions persist = no_compaction();
+  persist.fault_injector = std::make_shared<io::FaultInjector>();
+  auto opened = serving::ModelRegistry::open(dir.str(), {}, persist);
+  ASSERT_TRUE(opened) << opened.status().to_string();
+  serving::ModelRegistry& registry = **opened;
+  registry.publish("m", make_snapshot(8, 2, 101));
+  const auto before = registry.export_state();
+  const auto generation = registry.generation();
+
+  persist.fault_injector->arm(io::FaultInjector::Mode::FailOnce);
+  EXPECT_THROW(registry.publish("m", make_snapshot(10, 2, 102)),
+               std::runtime_error);
+  EXPECT_EQ(persist.fault_injector->fired(), 1u);
+  expect_states_identical(before, registry.export_state());
+  EXPECT_EQ(registry.generation(), generation);
+  EXPECT_EQ(registry.info("m")->version, 1u);
+  EXPECT_EQ(registry.lookup("m")->order(), 8u);
+
+  // FailOnce auto-disarms: the retry consumes the version the refused
+  // publish never got.
+  EXPECT_EQ(registry.publish("m", make_snapshot(10, 2, 102)), 2u);
+  EXPECT_EQ(registry.info("m")->version, 2u);
+
+  // A refused rollback reports instead of throwing, and changes nothing.
+  persist.fault_injector->arm(io::FaultInjector::Mode::FailOnce);
+  const auto rolled = registry.rollback("m");
+  ASSERT_FALSE(rolled);
+  EXPECT_EQ(rolled.status().code(), api::StatusCode::Internal);
+  EXPECT_EQ(registry.info("m")->version, 2u);
+
+  // Durability: the fault never reached the file, so a reopen agrees.
+  const auto after = registry.export_state();
+  auto reopened =
+      serving::ModelRegistry::open(dir.str(), {}, no_compaction());
+  ASSERT_TRUE(reopened) << reopened.status().to_string();
+  expect_states_identical(after, (*reopened)->export_state());
+}
+
+// An injected short write models a crash mid-append: the torn prefix
+// stays on disk (the failed publish never went live) and the next open
+// truncates it away, recovering everything flushed before it.
+TEST(FaultInjection, ShortWriteTornPrefixRecoversOnReopen) {
+  TempDir dir("short_write");
+  std::vector<serving::ModelRegistry::EntryState> before;
+  const fs::path journal = dir.path() / "registry.journal";
+  std::size_t clean_size = 0;
+  {
+    serving::RegistryPersistenceOptions persist = no_compaction();
+    persist.fault_injector = std::make_shared<io::FaultInjector>();
+    auto opened = serving::ModelRegistry::open(dir.str(), {}, persist);
+    ASSERT_TRUE(opened) << opened.status().to_string();
+    serving::ModelRegistry& registry = **opened;
+    registry.publish("m", make_snapshot(8, 2, 111));
+    registry.publish("n", make_snapshot(6, 2, 112));
+    before = registry.export_state();
+    clean_size = static_cast<std::size_t>(fs::file_size(journal));
+
+    persist.fault_injector->arm(io::FaultInjector::Mode::ShortWrite);
+    EXPECT_THROW(registry.publish("m", make_snapshot(10, 2, 113)),
+                 std::runtime_error);
+    expect_states_identical(before, registry.export_state());
+  }  // "crash": the torn prefix is still in the file
+  EXPECT_GT(fs::file_size(journal), clean_size);
+  auto reopened =
+      serving::ModelRegistry::open(dir.str(), {}, no_compaction());
+  ASSERT_TRUE(reopened) << reopened.status().to_string();
+  expect_states_identical(before, (*reopened)->export_state());
+  // Recovery truncated the torn bytes, so the journal is clean again and
+  // the fleet keeps mutating normally.
+  EXPECT_EQ(fs::file_size(journal), clean_size);
+  EXPECT_EQ((*reopened)->publish("m", make_snapshot(10, 2, 113)), 2u);
+}
+
+// ENOSPC persists until space is freed: every mutation is refused (and
+// harmless), then all succeed after disarm.
+TEST(FaultInjection, NoSpaceRefusesEveryMutationUntilDisarmed) {
+  TempDir dir("enospc");
+  serving::RegistryPersistenceOptions persist = no_compaction();
+  persist.fault_injector = std::make_shared<io::FaultInjector>();
+  auto opened = serving::ModelRegistry::open(dir.str(), {}, persist);
+  ASSERT_TRUE(opened) << opened.status().to_string();
+  serving::ModelRegistry& registry = **opened;
+  registry.publish("m", make_snapshot(8, 2, 121));
+  const auto before = registry.export_state();
+
+  persist.fault_injector->arm(io::FaultInjector::Mode::NoSpace);
+  EXPECT_THROW(registry.publish("m", make_snapshot(10, 2, 122)),
+               std::runtime_error);
+  EXPECT_THROW(registry.publish("x", make_snapshot(4, 2, 123)),
+               std::runtime_error);
+  EXPECT_THROW(registry.remove("m"), std::runtime_error);
+  EXPECT_GE(persist.fault_injector->fired(), 3u);
+  expect_states_identical(before, registry.export_state());
+
+  persist.fault_injector->disarm();
+  EXPECT_EQ(registry.publish("m", make_snapshot(10, 2, 122)), 2u);
+  EXPECT_TRUE(registry.remove("m"));
+  auto reopened =
+      serving::ModelRegistry::open(dir.str(), {}, no_compaction());
+  ASSERT_TRUE(reopened) << reopened.status().to_string();
+  expect_states_identical(registry.export_state(),
+                          (*reopened)->export_state());
 }
 
 // --- Touchstone export ------------------------------------------------------

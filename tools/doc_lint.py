@@ -42,7 +42,8 @@ MD_GLOBS = ["README.md", "docs/*.md"]
 SOURCE_GLOBS = [
     "src/**/*.cpp", "src/**/*.hpp", "bench/**/*.cpp", "bench/**/*.hpp",
     "bench/**/*.py", "tests/**/*.cpp", "examples/**/*.cpp",
-    "tools/**/*.py", "CMakeLists.txt", ".github/workflows/*.yml",
+    "tools/**/*.py", "tools/**/*.cpp", "CMakeLists.txt",
+    ".github/workflows/*.yml",
 ]
 PATH_PREFIXES = ("src/", "docs/", "tests/", "examples/", "bench/",
                  "tools/", ".github/")

@@ -2,11 +2,12 @@
 /// \brief Smoke/bench client of the HTTP serving front, and the fleet
 /// seeder the loopback CI job uses.
 ///
-///   mfti_client seed  --dir <registry-dir> [--models N]
-///   mfti_client smoke --port <n> [--host 127.0.0.1] --dir <registry-dir>
-///                     [--expect-429]
-///   mfti_client bench --port <n> [--host 127.0.0.1] [--rounds N]
-///                     [--json out.json]
+///   mfti_client seed       --dir <registry-dir> [--models N]
+///   mfti_client smoke      --port <n> [--host 127.0.0.1] --dir <dir>
+///                          [--expect-429]
+///   mfti_client bench      --port <n> [--host 127.0.0.1] [--rounds N]
+///                          [--json out.json]
+///   mfti_client quarantine --port <n> --dir <dir> [--admin-token t]
 ///
 /// `seed` publishes N demo models (named m0..m{N-1}) into a durable
 /// registry directory and writes `model-0.mfti` next to it, so a later
@@ -17,10 +18,22 @@
 /// edges: models listing, 404 on unknown models, 400 on malformed JSON,
 /// and (with `--expect-429`) the rate-limit refusal. `bench` emits the
 /// standard bench JSON schema (`bench/compare_bench.py` consumes it).
+/// `quarantine` drives the verification gate end-to-end against a server
+/// running with `MFTI_VERIFY=1`: publish a deliberately non-passive model,
+/// assert it quarantines (404 on eval, listed by the admin API), assert an
+/// unforced promote is refused, force-promote, assert it serves, then
+/// quarantine-and-discard a second copy.
+///
+/// Transient failures: every mode retries refused connections and `429`
+/// responses with exponential backoff + deterministic jitter, honoring
+/// `Retry-After` (`--max-retries`, `--backoff-ms`; the `--expect-429`
+/// burst bypasses the retry layer on purpose). Bench JSON reports the
+/// retry count.
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +67,9 @@ struct Args {
   std::size_t models = 3;
   std::size_t rounds = 50;
   std::string json_path;
+  std::string admin_token;  ///< defaults to $MFTI_HTTP_ADMIN_TOKEN
+  std::size_t max_retries = 3;
+  std::size_t backoff_ms = 100;
   bool expect_429 = false;
   bool valid = true;
 };
@@ -80,6 +96,12 @@ Args parse_args(int argc, char** argv) {
       out.rounds = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--json" && has_value) {
       out.json_path = argv[++i];
+    } else if (arg == "--admin-token" && has_value) {
+      out.admin_token = argv[++i];
+    } else if (arg == "--max-retries" && has_value) {
+      out.max_retries = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--backoff-ms" && has_value) {
+      out.backoff_ms = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--expect-429") {
       out.expect_429 = true;
     } else {
@@ -88,17 +110,24 @@ Args parse_args(int argc, char** argv) {
       return out;
     }
   }
+  if (out.admin_token.empty()) {
+    const char* env = std::getenv("MFTI_HTTP_ADMIN_TOKEN");
+    if (env != nullptr) out.admin_token = env;
+  }
   return out;
 }
 
 int usage() {
   std::fprintf(
       stderr,
-      "usage: mfti_client seed  --dir <d> [--models N]\n"
-      "       mfti_client smoke --port <n> --dir <d> [--host h]"
+      "usage: mfti_client seed       --dir <d> [--models N]\n"
+      "       mfti_client smoke      --port <n> --dir <d> [--host h]"
       " [--expect-429]\n"
-      "       mfti_client bench --port <n> [--host h] [--rounds N]"
-      " [--json out.json]\n");
+      "       mfti_client bench      --port <n> [--host h] [--rounds N]"
+      " [--json out.json]\n"
+      "       mfti_client quarantine --port <n> --dir <d>"
+      " [--admin-token t]\n"
+      "common: [--max-retries N] [--backoff-ms M]\n");
   return 2;
 }
 
@@ -180,6 +209,60 @@ class HttpClient {
   net::Socket socket_;
 };
 
+/// Bounded-retry wrapper around `HttpClient::request`: transport errors
+/// (connection refused, connection lost) and `429` responses are retried
+/// with exponential backoff plus deterministic jitter; a `Retry-After`
+/// header stretches the wait when it asks for more. Any other response —
+/// including 4xx/5xx — returns immediately: only *transient* conditions
+/// are worth a retry, and a deterministic error would just repeat.
+class RetryingClient {
+ public:
+  RetryingClient(HttpClient& client, std::size_t max_retries,
+                 std::size_t backoff_ms)
+      : client_(client), max_retries_(max_retries), backoff_ms_(backoff_ms) {}
+
+  api::Expected<net::HttpResponse> request(
+      const std::string& method, const std::string& target,
+      const std::string& body = "",
+      const std::map<std::string, std::string>& headers = {}) {
+    for (std::size_t attempt = 0;; ++attempt) {
+      auto response = client_.request(method, target, body, headers);
+      const bool transient =
+          !response.has_value() ||
+          (response.has_value() && response->status == 429);
+      if (!transient || attempt >= max_retries_) return response;
+      double delay_ms = static_cast<double>(backoff_ms_) *
+                        std::pow(2.0, static_cast<double>(attempt));
+      // Deterministic jitter (0..25%, keyed on the attempt counter):
+      // staggers a fleet of identical clients without a shared RNG, and
+      // keeps test runs reproducible.
+      delay_ms *= 1.0 + 0.25 * static_cast<double>((total_retries_ *
+                                                    2654435761ULL) %
+                                                   100ULL) /
+                            100.0;
+      if (response.has_value()) {
+        const std::string retry_after(response->header("retry-after"));
+        if (!retry_after.empty()) {
+          const double server_ms = std::atof(retry_after.c_str()) * 1000.0;
+          delay_ms = std::max(delay_ms, server_ms);
+        }
+      }
+      delay_ms = std::min(delay_ms, 5000.0);
+      ++total_retries_;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          delay_ms));
+    }
+  }
+
+  std::uint64_t total_retries() const { return total_retries_; }
+
+ private:
+  HttpClient& client_;
+  std::size_t max_retries_;
+  std::size_t backoff_ms_;
+  std::uint64_t total_retries_ = 0;
+};
+
 std::string eval_body(const std::string& model,
                       const std::vector<double>& freqs) {
   net::Json item = net::Json::object();
@@ -234,6 +317,7 @@ int run_seed(const Args& args) {
 
 int run_smoke(const Args& args) {
   HttpClient client(args.host, args.port);
+  RetryingClient retry(client, args.max_retries, args.backoff_ms);
 
   // Liveness first: the launcher may race us against server startup.
   api::Expected<net::HttpResponse> health =
@@ -245,7 +329,7 @@ int run_smoke(const Args& args) {
   CHECK(health && health->status == 200, "healthz unreachable");
 
   // The fleet listing must contain m0.
-  auto models = client.request("GET", "/v1/models");
+  auto models = retry.request("GET", "/v1/models");
   CHECK(models && models->status == 200, "GET /v1/models failed");
   auto listing = net::parse_json(models->body);
   CHECK(listing && listing->find("models") != nullptr,
@@ -271,7 +355,7 @@ int run_smoke(const Args& args) {
   freqs.insert(freqs.end(), freqs.begin(), freqs.end());
 
   auto evald =
-      client.request("POST", "/v1/eval", eval_body("m0", freqs));
+      retry.request("POST", "/v1/eval", eval_body("m0", freqs));
   CHECK(evald && evald->status == 200, "POST /v1/eval failed (status %d)",
         evald ? evald->status : -1);
   auto parsed = net::parse_json(evald->body);
@@ -331,7 +415,9 @@ int run_smoke(const Args& args) {
 
   if (args.expect_429) {
     // Burst past the configured token bucket; at least one refusal with a
-    // Retry-After header must show up.
+    // Retry-After header must show up. Deliberately bypasses the retry
+    // layer — retrying-with-backoff would wait out the bucket and hide
+    // the very refusal this asserts.
     bool saw_429 = false;
     for (int i = 0; i < 32 && !saw_429; ++i) {
       auto burst = client.request("POST", "/v1/eval",
@@ -354,12 +440,13 @@ int run_smoke(const Args& args) {
 
 int run_bench(const Args& args) {
   HttpClient client(args.host, args.port);
+  RetryingClient retry(client, args.max_retries, args.backoff_ms);
   const std::vector<double> freqs = demo_freqs(32);
   const std::string body = eval_body("m0", freqs);
 
   // Warmup fills the server-side pencil cache.
   for (int i = 0; i < 3; ++i) {
-    auto r = client.request("POST", "/v1/eval", body);
+    auto r = retry.request("POST", "/v1/eval", body);
     if (!r || r->status != 200) {
       std::fprintf(stderr, "bench warmup failed\n");
       return 1;
@@ -371,7 +458,7 @@ int run_bench(const Args& args) {
   const auto t0 = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < args.rounds; ++i) {
     const auto a = std::chrono::steady_clock::now();
-    auto r = client.request("POST", "/v1/eval", body);
+    auto r = retry.request("POST", "/v1/eval", body);
     if (!r || r->status != 200) {
       std::fprintf(stderr, "bench round %zu failed\n", i);
       return 1;
@@ -393,8 +480,9 @@ int run_bench(const Args& args) {
   const double p99 = quantile(0.99);
   const double rps = static_cast<double>(args.rounds) / wall;
   std::printf("bench: %zu rounds, %zu points/req: p50 %.3gms p99 %.3gms "
-              "(%.0f req/s)\n",
-              args.rounds, freqs.size(), p50 * 1e3, p99 * 1e3, rps);
+              "(%.0f req/s, %llu retries)\n",
+              args.rounds, freqs.size(), p50 * 1e3, p99 * 1e3, rps,
+              static_cast<unsigned long long>(retry.total_retries()));
 
   if (!args.json_path.empty()) {
     std::FILE* f = std::fopen(args.json_path.c_str(), "w");
@@ -407,11 +495,148 @@ int run_bench(const Args& args) {
                  "  \"metrics\": [\n"
                  "    {\"name\": \"eval_roundtrip\", \"seconds\": %.12g, "
                  "\"p99_seconds\": %.12g, \"requests_per_second\": %.12g, "
-                 "\"points\": %zu}\n  ]\n}\n",
-                 p50, p99, rps, freqs.size());
+                 "\"points\": %zu, \"retries\": %llu}\n  ]\n}\n",
+                 p50, p99, rps, freqs.size(),
+                 static_cast<unsigned long long>(retry.total_retries()));
     std::fclose(f);
     std::printf("[json] wrote %s\n", args.json_path.c_str());
   }
+  return 0;
+}
+
+/// End-to-end drive of the verification gate (server must run with
+/// `MFTI_VERIFY=1` and an admin token). Asserts the quarantine lifecycle:
+/// refused publish is never servable, promote is re-verified, force wins,
+/// discard drops.
+int run_quarantine(const Args& args) {
+  CHECK(!args.admin_token.empty(),
+        "quarantine mode needs --admin-token or $MFTI_HTTP_ADMIN_TOKEN");
+  HttpClient client(args.host, args.port);
+  RetryingClient retry(client, args.max_retries, args.backoff_ms);
+  const std::map<std::string, std::string> admin = {
+      {"X-Admin-Token", args.admin_token}};
+
+  // Wait out server startup.
+  api::Expected<net::HttpResponse> health =
+      client.request("GET", "/healthz");
+  for (int attempt = 0; attempt < 50 && !health; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    health = client.request("GET", "/healthz");
+  }
+  CHECK(health && health->status == 200, "healthz unreachable");
+
+  // A deliberately non-passive model: scaling C inflates sigma_max(H)
+  // far past 1 without touching the (stable) pencil eigenvalues.
+  ss::DescriptorSystem bad = demo_system(0);
+  for (std::size_t r = 0; r < bad.c.rows(); ++r) {
+    for (std::size_t c = 0; c < bad.c.cols(); ++c) {
+      bad.c(r, c) *= 100.0;
+    }
+  }
+  const std::string snapshot_path = args.dir + "/nonpassive.mfti";
+  const api::ModelHandle bad_handle(bad);
+  const api::Status saved = io::save_model_snapshot(snapshot_path, bad_handle);
+  CHECK(saved.is_ok(), "cannot save %s: %s", snapshot_path.c_str(),
+        saved.to_string().c_str());
+
+  const auto publish_body = [&snapshot_path](const std::string& name) {
+    net::Json body = net::Json::object();
+    body.set("name", net::Json(name));
+    body.set("snapshot", net::Json(snapshot_path));
+    return body.dump();
+  };
+
+  // 1. Publish → the gate must quarantine it.
+  auto published = retry.request("POST", "/v1/admin/publish",
+                                 publish_body("q0"), admin);
+  CHECK(published && published->status == 200,
+        "admin publish failed (status %d)",
+        published ? published->status : -1);
+  auto publish_json = net::parse_json(published->body);
+  CHECK(publish_json.has_value(), "publish response is not JSON");
+  const net::Json* quarantined_flag = publish_json->find("quarantined");
+  CHECK(quarantined_flag != nullptr && quarantined_flag->is_bool() &&
+            quarantined_flag->as_bool(),
+        "non-passive publish was NOT quarantined");
+  const net::Json* version_field = publish_json->find("version");
+  CHECK(version_field != nullptr, "publish response lacks 'version'");
+  const std::uint64_t version =
+      static_cast<std::uint64_t>(version_field->as_number());
+
+  // 2. Never observable via eval: 404, not the quarantined model.
+  auto ghost = retry.request("POST", "/v1/eval", eval_body("q0", {100.0}));
+  CHECK(ghost && ghost->status == 404,
+        "quarantined model answered eval with %d (want 404)",
+        ghost ? ghost->status : -1);
+
+  // 3. Listed by the admin API, with the failed report attached.
+  auto listing = retry.request("GET", "/v1/admin/quarantine", "", admin);
+  CHECK(listing && listing->status == 200, "quarantine listing failed");
+  auto listing_json = net::parse_json(listing->body);
+  CHECK(listing_json.has_value(), "quarantine listing is not JSON");
+  const net::Json* entries = listing_json->find("quarantined");
+  CHECK(entries != nullptr && entries->size() == 1,
+        "want exactly one quarantined version");
+  const net::Json* report = entries->at(0).find("report");
+  CHECK(report != nullptr && report->find("passed") != nullptr &&
+            !report->find("passed")->as_bool(),
+        "quarantine report should say passed=false");
+
+  // 4. Unforced promote re-verifies and must refuse (422).
+  const std::string action_base =
+      "/v1/admin/quarantine/q0/" + std::to_string(version);
+  auto refused =
+      retry.request("POST", action_base + "/promote", "", admin);
+  CHECK(refused && refused->status == 422,
+        "unforced promote of a non-passive model: want 422, got %d",
+        refused ? refused->status : -1);
+  auto still_ghost =
+      retry.request("POST", "/v1/eval", eval_body("q0", {100.0}));
+  CHECK(still_ghost && still_ghost->status == 404,
+        "refused promote leaked the model into serving");
+
+  // 5. Forced promote goes live; eval serves it.
+  auto forced = retry.request("POST", action_base + "/promote",
+                              "{\"force\": true}", admin);
+  CHECK(forced && forced->status == 200, "forced promote failed (%d)",
+        forced ? forced->status : -1);
+  auto served = retry.request("POST", "/v1/eval", eval_body("q0", {100.0}));
+  CHECK(served && served->status == 200,
+        "promoted model not serving (%d)", served ? served->status : -1);
+
+  // 6. Second copy: quarantine again, then discard.
+  auto again = retry.request("POST", "/v1/admin/publish",
+                             publish_body("q0"), admin);
+  CHECK(again && again->status == 200, "second publish failed");
+  auto again_json = net::parse_json(again->body);
+  CHECK(again_json && again_json->find("quarantined") != nullptr &&
+            again_json->find("quarantined")->as_bool(),
+        "second publish not quarantined");
+  const std::uint64_t version2 = static_cast<std::uint64_t>(
+      again_json->find("version")->as_number());
+  CHECK(version2 > version, "quarantine version did not advance");
+  auto discarded = retry.request(
+      "POST",
+      "/v1/admin/quarantine/q0/" + std::to_string(version2) + "/discard",
+      "", admin);
+  CHECK(discarded && discarded->status == 200, "discard failed (%d)",
+        discarded ? discarded->status : -1);
+  auto empty = retry.request("GET", "/v1/admin/quarantine", "", admin);
+  CHECK(empty && empty->status == 200, "final listing failed");
+  auto empty_json = net::parse_json(empty->body);
+  CHECK(empty_json && empty_json->find("quarantined") != nullptr &&
+            empty_json->find("quarantined")->size() == 0,
+        "quarantine should be empty after promote + discard");
+  // The discarded version never replaced the promoted one.
+  auto final_eval =
+      retry.request("POST", "/v1/eval", eval_body("q0", {100.0}));
+  CHECK(final_eval && final_eval->status == 200,
+        "live model lost after discard");
+
+  std::printf("quarantine: all checks passed (quarantined v%llu, "
+              "force-promoted, discarded v%llu)\n",
+              static_cast<unsigned long long>(version),
+              static_cast<unsigned long long>(version2));
   return 0;
 }
 
@@ -431,6 +656,10 @@ int main(int argc, char** argv) {
   if (args.mode == "bench") {
     if (args.port == 0) return usage();
     return run_bench(args);
+  }
+  if (args.mode == "quarantine") {
+    if (args.dir.empty() || args.port == 0) return usage();
+    return run_quarantine(args);
   }
   return usage();
 }

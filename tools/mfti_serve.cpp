@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -60,7 +61,16 @@ int main(int argc, char** argv) {
   }
   if (dir.empty()) return usage(argv[0]);
 
-  auto registry = serving::ModelRegistry::open(dir);
+  serving::ModelRegistryOptions registry_opts;
+  if (auto policy = serving::verification_policy_from_env()) {
+    registry_opts.verification =
+        std::make_shared<const serving::VerificationPolicy>(
+            std::move(*policy));
+    std::fprintf(stderr,
+                 "mfti_serve: publish verification gate enabled "
+                 "(MFTI_VERIFY)\n");
+  }
+  auto registry = serving::ModelRegistry::open(dir, registry_opts);
   if (!registry) {
     std::fprintf(stderr, "mfti_serve: cannot open registry '%s': %s\n",
                  dir.c_str(), registry.status().to_string().c_str());
