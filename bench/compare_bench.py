@@ -88,10 +88,19 @@ def gflops(metric):
     return flops / seconds / 1e9
 
 
+def p99_column(metric):
+    """Tail latency for metrics that carry a `p99_seconds` field (the HTTP
+    roundtrip rows of mfti_client bench); '-' otherwise."""
+    p99 = metric.get("p99_seconds")
+    if p99 is None:
+        return f"{'-':>9}"
+    return f"{p99 * 1e3:>7.2f}ms"
+
+
 def print_comparison(merged, baseline):
     table = index_baseline(baseline) if baseline else {}
     header = (f"{'bench/metric':<52} {'baseline':>12} {'current':>12} "
-              f"{'ratio':>8} {'GFLOP/s':>9}")
+              f"{'ratio':>8} {'GFLOP/s':>9} {'p99':>9}")
     print(header)
     print("-" * len(header))
     for bench in merged["benches"]:
@@ -103,14 +112,15 @@ def print_comparison(merged, baseline):
             base = table.get((bench.get("bench"), metric_key(metric)))
             rate = gflops(metric)
             rate_col = f"{rate:>9.2f}" if rate is not None else f"{'-':>9}"
+            p99_col = p99_column(metric)
             if base and base.get("seconds"):
                 ratio = seconds / base["seconds"]
                 flag = "" if ratio < 1.25 else "  <-- slower"
                 print(f"{label:<52} {base['seconds']:>12.4f} {seconds:>12.4f} "
-                      f"{ratio:>7.2f}x {rate_col}{flag}")
+                      f"{ratio:>7.2f}x {rate_col} {p99_col}{flag}")
             else:
                 print(f"{label:<52} {'-':>12} {seconds:>12.4f} {'new':>8} "
-                      f"{rate_col}")
+                      f"{rate_col} {p99_col}")
     print()
 
 

@@ -32,12 +32,22 @@
 // failure); the single- vs multi-reader throughput ratio lands in the
 // JSON trajectory as the lock-free-read scaling signal.
 //
+// A fifth section measures the request-tracing overhead on the cached
+// engine path: the same warm fleet batches with no obs::TraceContext
+// attached (the production default when MFTI_TRACE=0, and the fast path
+// every untraced request takes) against the same batches carrying a live
+// context that records every span. Both rows land in the JSON; when
+// MFTI_TRACE_OVERHEAD_GATE is set (a max on/off ratio, e.g. 1.02), the
+// ratio is enforced and the bench fails past it — unset, it only reports,
+// so the ctest smoke run cannot flake on a loaded machine.
+//
 // Usage: bench_model_serving [rounds] [--json <path>]
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <filesystem>
 #include <memory>
@@ -49,6 +59,7 @@
 #include "api/api.hpp"
 #include "bench_common.hpp"
 #include "metrics/stopwatch.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sampling/grid.hpp"
 #include "sampling/sampler.hpp"
@@ -58,6 +69,7 @@
 
 namespace api = mfti::api;
 namespace la = mfti::la;
+namespace obs = mfti::obs;
 namespace serving = mfti::serving;
 namespace sp = mfti::sampling;
 namespace ss = mfti::ss;
@@ -463,6 +475,79 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
+  // --- tracing overhead: cached engine eval, no context vs live context -----
+  //
+  // The fleet engine's cache is warm from the multi-model section, so both
+  // runs measure the pure serving path: registry acquire + cache hit +
+  // solve per point. The untraced run is the exact code path a production
+  // request takes with tracing disabled (trace == nullptr skips every
+  // clock read); the traced run pays begin/record/finish per batch. Each
+  // variant runs five interleaved passes in alternating order and keeps
+  // its best: the per-variant minimum converges to the machine's floor,
+  // so a scheduler hiccup or frequency ramp hits individual samples, not
+  // the ratio of floors the gate reads.
+
+  obs::TraceOptions trace_opts;  // defaults: enabled, ring 128
+  obs::TraceCollector trace_collector(trace_opts);
+  const std::size_t trace_rounds = rounds * 4;
+  const auto eval_rounds = [&](bool traced) {
+    mfti::metrics::Stopwatch trace_sw;
+    for (std::size_t r = 0; r < trace_rounds; ++r) {
+      std::shared_ptr<obs::TraceContext> ctx;
+      if (traced) ctx = trace_collector.begin("");
+      std::vector<serving::EvalRequest> batch;
+      batch.reserve(kFleet);
+      for (std::size_t m = 0; m < kFleet; ++m) {
+        serving::EvalRequest request{names[m], fleet_points};
+        request.trace = ctx;
+        batch.push_back(std::move(request));
+      }
+      for (const auto& response : engine.evaluate(batch)) {
+        if (!response) {
+          std::printf("FAIL: traced engine eval: %s\n",
+                      response.status().to_string().c_str());
+          std::exit(1);
+        }
+      }
+      if (traced) trace_collector.finish(ctx, "/bench", 200, 0.0);
+    }
+    return trace_sw.seconds();
+  };
+  double t_trace_off = 0.0;
+  double t_trace_on = 0.0;
+  for (int pass = 0; pass < 5; ++pass) {
+    const bool on_first = (pass % 2) != 0;
+    const double first = eval_rounds(on_first);
+    const double second = eval_rounds(!on_first);
+    const double on = on_first ? first : second;
+    const double off = on_first ? second : first;
+    t_trace_off = pass == 0 ? off : std::min(t_trace_off, off);
+    t_trace_on = pass == 0 ? on : std::min(t_trace_on, on);
+  }
+  const double trace_ratio = t_trace_on / t_trace_off;
+
+  std::printf("\ntracing overhead: %zu rounds x %zu models x %zu points "
+              "(warm cache):\n",
+              trace_rounds, kFleet, fleet_points.size());
+  std::printf("  tracing off (no context): %8.3f ms\n", 1e3 * t_trace_off);
+  std::printf("  tracing on  (full spans): %8.3f ms  (%.4fx)\n",
+              1e3 * t_trace_on, trace_ratio);
+  if (const char* gate = std::getenv("MFTI_TRACE_OVERHEAD_GATE")) {
+    const double max_ratio = std::atof(gate);
+    if (max_ratio <= 1.0) {
+      std::printf("FAIL: MFTI_TRACE_OVERHEAD_GATE='%s' is not a ratio > 1\n",
+                  gate);
+      ok = false;
+    } else if (trace_ratio > max_ratio) {
+      std::printf("FAIL: tracing overhead %.4fx exceeds the %.4fx gate\n",
+                  trace_ratio, max_ratio);
+      ok = false;
+    } else {
+      std::printf("  gate: %.4fx <= %.4fx (MFTI_TRACE_OVERHEAD_GATE)\n",
+                  trace_ratio, max_ratio);
+    }
+  }
+
   mfti::bench::JsonReport json("model_serving");
   json.add("naive_transfer_function",
            {{"seconds", t_naive}, {"queries", static_cast<double>(queries)}});
@@ -501,6 +586,13 @@ int main(int argc, char** argv) {
             {"publishes", static_cast<double>(storm_n.publishes)},
             {"coalesced", static_cast<double>(storm_n.coalesced)},
             {"reader_scaling", qps_n / qps_1}});
+  json.add("cached_eval_trace_off",
+           {{"seconds", t_trace_off},
+            {"models", static_cast<double>(kFleet)}});
+  json.add("cached_eval_trace_on",
+           {{"seconds", t_trace_on},
+            {"models", static_cast<double>(kFleet)},
+            {"overhead_ratio", trace_ratio}});
   if (!json.write(args.json_path)) ok = false;
   std::printf(ok ? "OK\n" : "NOT OK\n");
   return ok ? 0 : 1;

@@ -1,6 +1,7 @@
 #include "api/model_handle.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -60,16 +61,18 @@ void ModelHandle::evict_to(std::size_t capacity) const {
 }
 
 std::shared_ptr<const ModelHandle::Factorization>
-ModelHandle::factorization_for(la::Complex s) const {
+ModelHandle::factorization_for(la::Complex s, bool* cache_hit) const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = cache_.find(s);
     if (it != cache_.end()) {
       ++stats_.hits;
+      if (cache_hit != nullptr) *cache_hit = true;
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
       return it->second.lu;
     }
     ++stats_.misses;
+    if (cache_hit != nullptr) *cache_hit = false;
   }
   // Factor outside the lock: concurrent misses on distinct frequencies must
   // not serialize their O(n^3) work.
@@ -97,6 +100,33 @@ la::CMat ModelHandle::evaluate(la::Complex s) const {
   // Identical arithmetic to the one-shot evaluation: LU-solve all port
   // columns of B against the (cached) factorization, then C X + D.
   return sys.c * lu->solve(sys.b) + sys.d;
+}
+
+la::CMat ModelHandle::evaluate(la::Complex s,
+                               EvalBreakdown* breakdown) const {
+  if (breakdown == nullptr) return evaluate(s);
+  using TraceClock = std::chrono::steady_clock;
+  const auto elapsed = [](TraceClock::time_point from,
+                          TraceClock::time_point to) {
+    return std::chrono::duration<double>(to - from).count();
+  };
+  const auto t0 = TraceClock::now();
+  if (opts_.cache_capacity == 0) {
+    // Uncached: the evaluator fuses factor and solve; attribute the whole
+    // cost to the factorization (the dominant term).
+    la::CMat out = evaluator_.evaluate(s);
+    breakdown->cache_hit = false;
+    breakdown->factor_seconds = elapsed(t0, TraceClock::now());
+    breakdown->solve_seconds = 0.0;
+    return out;
+  }
+  const auto lu = factorization_for(s, &breakdown->cache_hit);
+  const auto t1 = TraceClock::now();
+  const auto& sys = evaluator_.system();
+  la::CMat out = sys.c * lu->solve(sys.b) + sys.d;
+  breakdown->factor_seconds = elapsed(t0, t1);
+  breakdown->solve_seconds = elapsed(t1, TraceClock::now());
+  return out;
 }
 
 la::CMat ModelHandle::response_at(la::Real f_hz) const {

@@ -63,6 +63,19 @@ struct CacheStats {
   std::size_t entries = 0;  ///< current number of cached factorizations
 };
 
+/// Per-call timing split of one `evaluate`, filled through the traced
+/// overload below — the span hook of the observability layer
+/// (src/obs/trace.hpp maps it onto `cache_hit` / `factorize` / `solve`
+/// spans). `factor_seconds` covers obtaining the factorization: the cache
+/// probe alone on a hit, probe + O(n^3) LU on a miss. On a handle with
+/// caching disabled the evaluator fuses factor and solve; the whole cost
+/// is then reported as `factor_seconds`.
+struct EvalBreakdown {
+  bool cache_hit = false;
+  double factor_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
 /// External cache-budget provider (installed by an owner such as
 /// `serving::ServingEngine`): returns the number of cached factorizations
 /// this handle may currently keep, *in addition to* the handle's own
@@ -93,6 +106,11 @@ class ModelHandle {
   /// when `s` was queried before.
   /// \throws la::SingularMatrixError when `s` is (numerically) a pole.
   la::CMat evaluate(la::Complex s) const;
+
+  /// Same evaluation, reporting where the time went. A null `breakdown`
+  /// is exactly `evaluate(s)` — the serving engine passes null whenever
+  /// the request carries no trace, so tracing-off costs one branch.
+  la::CMat evaluate(la::Complex s, EvalBreakdown* breakdown) const;
 
   /// `H(j 2 pi f)` at one frequency (Hz).
   la::CMat response_at(la::Real f_hz) const;
@@ -140,7 +158,9 @@ class ModelHandle {
     std::list<la::Complex>::iterator lru_pos;
   };
 
-  std::shared_ptr<const Factorization> factorization_for(la::Complex s) const;
+  /// `cache_hit` (optional) reports whether the probe found the entry.
+  std::shared_ptr<const Factorization> factorization_for(
+      la::Complex s, bool* cache_hit = nullptr) const;
   Factorization factor_pencil(la::Complex s) const;
   /// min(cache_capacity, budget hook). Caller must hold `mutex_`.
   std::size_t effective_capacity() const;

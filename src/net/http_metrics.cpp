@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/build_info.hpp"
 #include "serving/model_registry.hpp"
 
 namespace mfti::net {
@@ -69,6 +70,19 @@ std::string HttpMetrics::render(
     const serving::ServingStats& engine_stats) const {
   std::string out;
   out.reserve(4096);
+  // Identity of the running binary: version, compiler, and the SIMD
+  // dispatch level actually active in this process (value is always 1 —
+  // the information lives in the labels, the Prometheus convention for
+  // build metadata).
+  const obs::BuildInfo build = obs::build_info();
+  out.append(
+      "# HELP mfti_build_info Identity of the serving binary.\n"
+      "# TYPE mfti_build_info gauge\n");
+  append_line(&out, "mfti_build_info",
+              "version=\"" + escape_label(build.version) +
+                  "\",compiler=\"" + escape_label(build.compiler) +
+                  "\",simd=\"" + escape_label(build.simd) + "\"",
+              1.0);
   out.append(
       "# HELP mfti_http_requests_total Served requests by endpoint and "
       "status.\n# TYPE mfti_http_requests_total counter\n");
@@ -207,6 +221,37 @@ std::string HttpMetrics::render(
                 check.seconds_total);
     append_line(&out, "mfti_registry_verify_check_runs_total", labels,
                 static_cast<double>(check.runs));
+  }
+  return out;
+}
+
+std::string HttpMetrics::render(const serving::ServingStats& engine_stats,
+                                const serving::RegistryVerifyStats& verify,
+                                const obs::StageSnapshot& stages) const {
+  std::string out = render(engine_stats, verify);
+  out.append(
+      "# HELP mfti_stage_seconds Per-stage latency of the serving path "
+      "(trace spans).\n# TYPE mfti_stage_seconds histogram\n");
+  for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+    const obs::StageSnapshot::Series& series = stages.stages[s];
+    const std::string stage =
+        std::string("stage=\"") +
+        obs::stage_name(static_cast<obs::Stage>(s)) + "\"";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < obs::kStageBucketsSeconds.size(); ++b) {
+      cumulative += series.buckets[b];
+      char le[32];
+      std::snprintf(le, sizeof le, "%g", obs::kStageBucketsSeconds[b]);
+      append_line(&out, "mfti_stage_seconds_bucket",
+                  stage + ",le=\"" + le + "\"",
+                  static_cast<double>(cumulative));
+    }
+    cumulative += series.buckets[obs::kStageBucketsSeconds.size()];
+    append_line(&out, "mfti_stage_seconds_bucket", stage + ",le=\"+Inf\"",
+                static_cast<double>(cumulative));
+    append_line(&out, "mfti_stage_seconds_sum", stage, series.sum_seconds);
+    append_line(&out, "mfti_stage_seconds_count", stage,
+                static_cast<double>(series.observations));
   }
   return out;
 }

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "serving/serving_engine.hpp"
 
 namespace mfti::serving {
@@ -56,6 +57,13 @@ class HttpMetrics {
   /// (`mfti_registry_verify_*` and the quarantine gauge).
   std::string render(const serving::ServingStats& engine_stats,
                      const serving::RegistryVerifyStats& verify) const;
+
+  /// Full scrape: everything above plus the tracing layer's per-stage
+  /// latency histograms (`mfti_stage_seconds{stage=...}`, the queue-wait
+  /// series among them).
+  std::string render(const serving::ServingStats& engine_stats,
+                     const serving::RegistryVerifyStats& verify,
+                     const obs::StageSnapshot& stages) const;
 
  private:
   void add_counter(std::uint64_t* counter) {

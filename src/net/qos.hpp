@@ -76,6 +76,11 @@ struct ReadyConn {
   /// Monotonic seconds of the last served request (or the accept, for a
   /// fresh connection); drives the keep-alive idle timeout.
   double enqueued_at = 0.0;
+  /// Monotonic seconds of the last (re)enqueue — reset on every idle
+  /// requeue too, unlike `enqueued_at`, so `serve_start - queued_at` is
+  /// the genuine ready-queue wait and not the client's think time. Feeds
+  /// the `queue` trace span and `mfti_stage_seconds{stage="queue"}`.
+  double queued_at = 0.0;
   /// Pipelined bytes already read past the previous request's end.
   std::string pending;
   /// Consecutive not-ready readiness polls since the last served request;

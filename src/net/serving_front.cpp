@@ -1,5 +1,7 @@
 #include "net/serving_front.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -256,6 +258,7 @@ ServingFrontOptions ServingFrontOptions::from_env() {
   env_weights_knob("MFTI_HTTP_CLIENT_WEIGHTS", &opts.client_weights);
   env_string_knob("MFTI_HTTP_ADMIN_TOKEN", &opts.admin_token);
   env_size_knob("MFTI_HTTP_DEADLINE_MS", &opts.default_deadline_ms);
+  opts.trace = obs::TraceOptions::from_env();
   return opts;
 }
 
@@ -324,6 +327,7 @@ ServingFront::ServingFront(serving::ServingEngine& engine,
       opts_(std::move(opts)),
       queue_(opts_.max_queued, opts_.client_weights),
       rate_limiter_(opts_.rate),
+      collector_(opts_.trace),
       epoch_(Clock::now()) {}
 
 ServingFront::~ServingFront() { begin_drain(); }
@@ -376,6 +380,7 @@ void ServingFront::accept_loop() {
     ReadyConn conn;
     conn.socket = std::move(*accepted);
     conn.enqueued_at = now_seconds();
+    conn.queued_at = conn.enqueued_at;
     if (queue_.try_push(conn)) continue;
     // Admission control: shed without ever blocking the accept loop.
     metrics_.count_shed();
@@ -401,6 +406,9 @@ void ServingFront::worker_loop() {
       if (idle * 1000.0 > static_cast<double>(opts_.idle_timeout_ms)) {
         continue;  // keep-alive idle timeout: drop the connection
       }
+      // Re-anchor the queue-wait clock: the connection was idle (the
+      // client's think time), not waiting for a worker.
+      conn.queued_at = now_seconds();
       if (!queue_.push_requeued(conn)) {
         // Drain in progress: one final grace poll, so a request whose
         // bytes were in flight when the drain began is still served
@@ -412,6 +420,7 @@ void ServingFront::worker_loop() {
     }
     if (serve_one(conn)) {
       conn.enqueued_at = now_seconds();
+      conn.queued_at = conn.enqueued_at;
       conn.idle_polls = 0;
       queue_.push_requeued(conn);
     }
@@ -443,10 +452,36 @@ bool ServingFront::serve_one(ReadyConn& conn) {
   const HttpRequest& request = parser.request();
   conn.client_key = std::string(request.header("x-api-key"));
   const double started = now_seconds();
+  // Queue wait: (re)enqueue to the start of handling — the span the fair
+  // queue adds on top of pure service time (includes the readiness poll
+  // and the request read). `queued_at` was measured but dropped before
+  // tracing existed; it now feeds the queue span of every trace.
+  const double queue_wait = std::max(0.0, started - conn.queued_at);
+  // Anchor the trace timeline at queue entry so the queue span starts at
+  // offset 0 and the engine's spans line up after it.
+  std::shared_ptr<obs::TraceContext> trace = collector_.begin(
+      request.header("x-request-id"),
+      obs::TraceContext::Clock::now() -
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(queue_wait)));
+  if (trace != nullptr) {
+    trace->record_offset(obs::Stage::Queue, 0.0, queue_wait);
+  }
   std::string endpoint = "other";
-  HttpResponse response = handle_request(request, conn.client_key, &endpoint);
+  HttpResponse response =
+      handle_request(request, conn.client_key, &endpoint, trace);
   const double seconds = now_seconds() - started;
   metrics_.observe(endpoint, response.status, seconds);
+  if (trace != nullptr) {
+    // Echo (or mint) the request id so clients and logs correlate with
+    // the ring; then retire the trace — histograms + ring retention.
+    response.headers["X-Request-Id"] = trace->id();
+    collector_.finish(trace, endpoint, response.status,
+                      queue_wait + seconds);
+  } else if (!request.header("x-request-id").empty()) {
+    response.headers["X-Request-Id"] =
+        std::string(request.header("x-request-id").substr(0, 128));
+  }
 
   const bool draining = stop_;
   const bool keep = request.keep_alive() && !draining &&
@@ -460,9 +495,10 @@ bool ServingFront::serve_one(ReadyConn& conn) {
   return true;
 }
 
-HttpResponse ServingFront::handle_request(const HttpRequest& request,
-                                          const std::string& client_key,
-                                          std::string* endpoint) {
+HttpResponse ServingFront::handle_request(
+    const HttpRequest& request, const std::string& client_key,
+    std::string* endpoint,
+    const std::shared_ptr<obs::TraceContext>& trace) {
   const std::string_view path = request.path();
   const bool is_get = request.method == "GET" || request.method == "HEAD";
 
@@ -489,8 +525,11 @@ HttpResponse ServingFront::handle_request(const HttpRequest& request,
     if (request.method != "POST") {
       return http_error_response(405, "use POST");
     }
-    const RateLimiter::Decision decision =
-        rate_limiter_.admit(client_key, now_seconds());
+    RateLimiter::Decision decision;
+    {
+      obs::TraceContext::Scoped span(trace.get(), obs::Stage::Admission);
+      decision = rate_limiter_.admit(client_key, now_seconds());
+    }
     if (!decision.admitted) {
       metrics_.count_rate_limited();
       HttpResponse limited = http_error_response(
@@ -499,13 +538,15 @@ HttpResponse ServingFront::handle_request(const HttpRequest& request,
           static_cast<long>(std::ceil(decision.retry_after_seconds)));
       return limited;
     }
-    return handle_eval(request);
+    return handle_eval(request, trace);
   }
   if (path.starts_with("/v1/admin/")) {
     *endpoint = "admin";
-    // The quarantine listing is the one read-only admin endpoint.
-    const bool quarantine_listing = path == "/v1/admin/quarantine" && is_get;
-    if (!quarantine_listing && request.method != "POST") {
+    // The quarantine and trace listings are the read-only admin endpoints.
+    const bool read_only_listing =
+        (path == "/v1/admin/quarantine" || path == "/v1/admin/trace") &&
+        is_get;
+    if (!read_only_listing && request.method != "POST") {
       return http_error_response(405, "use POST");
     }
     return handle_admin(request, path);
@@ -513,7 +554,9 @@ HttpResponse ServingFront::handle_request(const HttpRequest& request,
   return http_error_response(404, "no such endpoint: " + std::string(path));
 }
 
-HttpResponse ServingFront::handle_eval(const HttpRequest& request) {
+HttpResponse ServingFront::handle_eval(
+    const HttpRequest& request,
+    const std::shared_ptr<obs::TraceContext>& trace) {
   auto parsed = parse_json(request.body);
   if (!parsed) return error_response(parsed.status());
   const Json& root = *parsed;
@@ -581,6 +624,7 @@ HttpResponse ServingFront::handle_eval(const HttpRequest& request) {
       continue;
     }
     eval.cancel = token;
+    eval.trace = trace;
     batch_slot.push_back(i);
     batch.push_back(std::move(eval));
   }
@@ -625,6 +669,32 @@ HttpResponse ServingFront::handle_eval(const HttpRequest& request) {
   Json list = Json::array();
   for (Json& entry : entries) list.push_back(std::move(entry));
   body.set("responses", std::move(list));
+  // Opt-in per-request timings: the spans recorded so far (queue,
+  // admission, and everything the engine just added), aggregated per
+  // stage. The client sees where its own request spent its time without
+  // admin access to the trace ring.
+  if (trace != nullptr && request.header("x-mfti-trace") == "1") {
+    std::array<double, obs::kStageCount> stage_seconds{};
+    std::array<std::uint64_t, obs::kStageCount> stage_counts{};
+    for (const obs::Span& span : trace->snapshot()) {
+      const std::size_t s = static_cast<std::size_t>(span.stage);
+      stage_seconds[s] += span.seconds;
+      ++stage_counts[s];
+    }
+    Json stages = Json::object();
+    for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+      if (stage_counts[s] == 0) continue;
+      Json one = Json::object();
+      one.set("seconds", Json(stage_seconds[s]));
+      one.set("count", Json(static_cast<double>(stage_counts[s])));
+      stages.set(obs::stage_name(static_cast<obs::Stage>(s)),
+                 std::move(one));
+    }
+    Json timings = Json::object();
+    timings.set("id", Json(trace->id()));
+    timings.set("stages", std::move(stages));
+    body.set("timings", std::move(timings));
+  }
   return json_response(status, body);
 }
 
@@ -690,6 +760,12 @@ HttpResponse ServingFront::handle_admin(const HttpRequest& request,
     return http_error_response(401, "bad or missing admin token");
   }
 
+  if (path == "/v1/admin/trace") {
+    if (request.method != "GET" && request.method != "HEAD") {
+      return http_error_response(405, "use GET");
+    }
+    return handle_trace_listing();
+  }
   if (path == "/v1/admin/quarantine") {
     if (request.method != "GET" && request.method != "HEAD") {
       return http_error_response(405, "use GET");
@@ -806,10 +882,59 @@ HttpResponse ServingFront::handle_admin(const HttpRequest& request,
                              "no such admin action: " + std::string(path));
 }
 
+namespace {
+
+Json trace_json(const obs::Trace& trace) {
+  Json out = Json::object();
+  out.set("id", Json(trace.id));
+  out.set("endpoint", Json(trace.endpoint));
+  out.set("status", Json(static_cast<double>(trace.http_status)));
+  out.set("start_unix_seconds", Json(trace.start_unix_seconds));
+  out.set("total_seconds", Json(trace.total_seconds));
+  out.set("slow", Json(trace.slow));
+  Json spans = Json::array();
+  for (const obs::Span& span : trace.spans) {
+    Json one = Json::object();
+    one.set("stage", Json(std::string(obs::stage_name(span.stage))));
+    one.set("start_seconds", Json(span.start_seconds));
+    one.set("seconds", Json(span.seconds));
+    spans.push_back(std::move(one));
+  }
+  out.set("spans", std::move(spans));
+  if (trace.dropped_spans > 0) {
+    out.set("dropped_spans",
+            Json(static_cast<double>(trace.dropped_spans)));
+  }
+  return out;
+}
+
+Json traces_json(const std::vector<obs::Trace>& traces) {
+  Json list = Json::array();
+  for (const obs::Trace& trace : traces) {
+    list.push_back(trace_json(trace));
+  }
+  return list;
+}
+
+}  // namespace
+
+HttpResponse ServingFront::handle_trace_listing() const {
+  Json body = Json::object();
+  body.set("enabled", Json(collector_.enabled()));
+  body.set("slow_threshold_ms",
+           Json(collector_.options().slow_threshold_ms));
+  body.set("finished", Json(static_cast<double>(
+                          collector_.traces_finished())));
+  body.set("recent", traces_json(collector_.recent()));
+  body.set("slow", traces_json(collector_.slow()));
+  return json_response(200, body);
+}
+
 HttpResponse ServingFront::handle_metrics() const {
   HttpResponse response;
   response.headers["Content-Type"] = "text/plain; version=0.0.4";
-  response.body = metrics_.render(engine_.stats(), registry_.verify_stats());
+  response.body = metrics_.render(engine_.stats(), registry_.verify_stats(),
+                                  collector_.stage_snapshot());
   return response;
 }
 

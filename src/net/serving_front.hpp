@@ -20,6 +20,7 @@
 ///                                {"force": true} skips re-verification
 ///   POST /v1/admin/quarantine/{name}/{version}/discard
 ///                                drop a quarantined version (token)
+///   GET  /v1/admin/trace         recent + slow request traces (token)
 ///   GET  /metrics                Prometheus text format
 ///   GET  /healthz                liveness probe
 ///
@@ -34,6 +35,17 @@
 /// requests with `429`; request deadlines (`X-Deadline-Ms` or the
 /// configured default) cancel evaluation mid-batch through the engine's
 /// `CancellationToken` support and answer `408`.
+///
+/// Observability: unless disabled (`MFTI_TRACE=0`), every request gets an
+/// `obs::TraceContext` — id from the client's `X-Request-Id` header or
+/// generated, echoed back in the response — that collects per-stage spans
+/// (queue wait, admission, registry lookup, cache hit / factorization,
+/// solve, coalescing wait) across the front and the engine. Completed
+/// traces land in the collector's ring (slow ones retained
+/// preferentially), feed the `mfti_stage_seconds` histograms on
+/// `/metrics`, and are listed by `GET /v1/admin/trace`; a client sending
+/// `X-MFTI-Trace: 1` additionally gets a `"timings"` block in its
+/// `/v1/eval` response. docs/observability.md is the reference.
 ///
 /// Shutdown: `begin_drain()` (the SIGTERM path of `tools/mfti_serve.cpp`)
 /// stops accepting, lets in-flight requests complete, closes idle
@@ -54,6 +66,7 @@
 #include "net/http_metrics.hpp"
 #include "net/qos.hpp"
 #include "net/socket.hpp"
+#include "obs/trace.hpp"
 #include "serving/model_registry.hpp"
 #include "serving/serving_engine.hpp"
 
@@ -82,10 +95,13 @@ struct ServingFrontOptions {
   /// Deadline applied to eval requests that carry no `X-Deadline-Ms`
   /// header; 0 means no default deadline.
   std::size_t default_deadline_ms = 0;
+  /// Request tracing (ring sizes, slow threshold, master switch).
+  obs::TraceOptions trace;
 
   /// Defaults overridden by the `MFTI_HTTP_*` environment knobs
   /// (docs/serving-protocol.md lists them; malformed values are diagnosed
-  /// on stderr and ignored).
+  /// on stderr and ignored) plus the `MFTI_TRACE_*` tracing knobs
+  /// (docs/observability.md).
   static ServingFrontOptions from_env();
 };
 
@@ -116,6 +132,9 @@ class ServingFront {
   /// The metrics registry (shared with tests asserting counters).
   HttpMetrics& metrics() { return metrics_; }
 
+  /// The trace collector (shared with tests asserting spans).
+  obs::TraceCollector& traces() { return collector_; }
+
  private:
   class DeadlineTimer;
 
@@ -128,11 +147,14 @@ class ServingFront {
 
   HttpResponse handle_request(const HttpRequest& request,
                               const std::string& client_key,
-                              std::string* endpoint);
-  HttpResponse handle_eval(const HttpRequest& request);
+                              std::string* endpoint,
+                              const std::shared_ptr<obs::TraceContext>& trace);
+  HttpResponse handle_eval(const HttpRequest& request,
+                           const std::shared_ptr<obs::TraceContext>& trace);
   HttpResponse handle_models(std::string_view path) const;
   HttpResponse handle_admin(const HttpRequest& request,
                             std::string_view path);
+  HttpResponse handle_trace_listing() const;
   HttpResponse handle_metrics() const;
 
   double now_seconds() const;
@@ -145,6 +167,7 @@ class ServingFront {
   FairQueue queue_;
   RateLimiter rate_limiter_;
   HttpMetrics metrics_;
+  obs::TraceCollector collector_;
   std::unique_ptr<DeadlineTimer> deadlines_;
 
   std::atomic<bool> stop_{false};

@@ -1,0 +1,25 @@
+#include "obs/build_info.hpp"
+
+#include "linalg/simd/dispatch.hpp"
+
+#ifndef MFTI_BUILD_VERSION
+#define MFTI_BUILD_VERSION "dev"
+#endif
+
+namespace mfti::obs {
+
+BuildInfo build_info() {
+  BuildInfo info;
+  info.version = MFTI_BUILD_VERSION;
+#if defined(__clang__)
+  info.compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+  info.compiler = "gcc " __VERSION__;
+#else
+  info.compiler = "unknown";
+#endif
+  info.simd = la::simd::level_name(la::simd::active_level());
+  return info;
+}
+
+}  // namespace mfti::obs

@@ -1,0 +1,25 @@
+/// \file build_info.hpp
+/// \brief Identity of the running binary, exported as the
+/// `mfti_build_info{version,compiler,simd}` gauge on `/metrics` so a
+/// scrape identifies what is actually serving: the project version the
+/// binary was built from, the compiler that built it, and the SIMD
+/// dispatch level resolved at runtime (a binary built with AVX2 kernels
+/// still reports `scalar` on a machine without them).
+
+#pragma once
+
+#include <string>
+
+namespace mfti::obs {
+
+struct BuildInfo {
+  std::string version;   ///< project version (CMake), "dev" when unset
+  std::string compiler;  ///< "gcc 12.2.0", "clang 15.0.7", ...
+  std::string simd;      ///< active dispatch level: "scalar", "avx2", ...
+};
+
+/// The running binary's identity; `simd` reflects the process-wide level
+/// resolved by `la::simd::active_level()` at first use.
+BuildInfo build_info();
+
+}  // namespace mfti::obs

@@ -268,7 +268,15 @@ std::vector<api::Expected<EvalResponse>> ServingEngine::evaluate(
           "EvalRequest: set 'points' or 'freqs_hz', not both");
       continue;
     }
+    obs::TraceContext* trace = request.trace.get();
+    const auto lookup_start = trace != nullptr
+                                  ? obs::TraceContext::Clock::now()
+                                  : obs::TraceContext::Clock::time_point{};
     auto model = registry_.acquire(request.model);
+    if (trace != nullptr) {
+      trace->record(obs::Stage::Lookup, lookup_start,
+                    obs::TraceContext::Clock::now());
+    }
     if (!model) {
       p.status = model.status();
       continue;
@@ -336,11 +344,29 @@ std::vector<api::Expected<EvalResponse>> ServingEngine::evaluate(
           leader = inserted;
           cell = it->second;
         }
+        obs::TraceContext* trace = batch[tasks[t].request].trace.get();
         if (leader) {
           la::CMat value;
           std::optional<api::Status> error;
           try {
-            value = p.handle->evaluate(p.unique[u]);
+            if (trace == nullptr) {
+              value = p.handle->evaluate(p.unique[u]);
+            } else {
+              // The breakdown splits the evaluation into its spans; the
+              // solve starts where the factorization (or cache probe)
+              // ended, so the two tile the task on the trace timeline.
+              api::EvalBreakdown breakdown;
+              const auto task_start = obs::TraceContext::Clock::now();
+              value = p.handle->evaluate(p.unique[u], &breakdown);
+              const double offset = trace->offset_of(task_start);
+              trace->record_offset(breakdown.cache_hit
+                                       ? obs::Stage::CacheHit
+                                       : obs::Stage::Factorize,
+                                   offset, breakdown.factor_seconds);
+              trace->record_offset(obs::Stage::Solve,
+                                   offset + breakdown.factor_seconds,
+                                   breakdown.solve_seconds);
+            }
           } catch (const la::SingularMatrixError& e) {
             error = api::Status::numerical_error(e.what());
           } catch (const std::exception& e) {
@@ -369,8 +395,15 @@ std::vector<api::Expected<EvalResponse>> ServingEngine::evaluate(
           }
         } else {
           ledger_->coalesced.fetch_add(1, std::memory_order_relaxed);
+          const auto wait_start = trace != nullptr
+                                      ? obs::TraceContext::Clock::now()
+                                      : obs::TraceContext::Clock::time_point{};
           std::unique_lock<std::mutex> lock(cell->m);
           cell->cv.wait(lock, [&] { return cell->done; });
+          if (trace != nullptr) {
+            trace->record(obs::Stage::CoalesceWait, wait_start,
+                          obs::TraceContext::Clock::now());
+          }
           if (cell->error) {
             p.errors[u] = *cell->error;
           } else {

@@ -45,6 +45,7 @@
 #include "api/fit_request.hpp"
 #include "api/model_handle.hpp"
 #include "api/status.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serving/model_registry.hpp"
 
@@ -101,6 +102,13 @@ struct EvalRequest {
   /// request reports `StatusCode::Cancelled`. Engine behaviour is
   /// unchanged when no token is set.
   std::optional<api::CancellationToken> cancel;
+  /// Optional request tracing (owned by the HTTP front's
+  /// `obs::TraceCollector`). When set, the engine records per-stage spans
+  /// into it: `lookup` around the registry acquire, `cache_hit` or
+  /// `factorize` plus `solve` from the handle's `api::EvalBreakdown`, and
+  /// `coalesce_wait` when a task joins another batch's in-flight work.
+  /// Null costs one pointer check per request and per task.
+  std::shared_ptr<obs::TraceContext> trace;
 
   EvalRequest() = default;
   EvalRequest(std::string model_name, std::vector<la::Complex> eval_points,

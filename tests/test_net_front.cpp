@@ -4,7 +4,10 @@
 // token gate (publish/rollback), admission control (queue overflow sheds
 // 429 + Retry-After without stalling the accept loop; a rate-limited
 // client is refused while an unthrottled one is served), request deadlines
-// (408), and graceful drain (in-flight requests complete).
+// (408), graceful drain (in-flight requests complete), and request
+// tracing (X-Request-Id propagation, the opt-in "timings" block, the
+// token-gated /v1/admin/trace ring, mfti_stage_seconds on /metrics, and
+// the MFTI_TRACE=0 disabled path).
 
 #include "net/net.hpp"
 
@@ -631,4 +634,169 @@ TEST(ServingFront, DrainCompletesInFlightRequests) {
   // After the drain the port refuses connections.
   auto gone = net::Socket::connect("127.0.0.1", port, 500);
   EXPECT_FALSE(gone.has_value());
+}
+
+// --- request tracing ---------------------------------------------------------
+
+TEST(ServingFront, TraceIdPropagatesEndToEnd) {
+  serving::ModelRegistry registry;
+  registry.publish("m", make_snapshot(16, 2, 21));
+  serving::ServingEngine engine(registry);
+  net::ServingFrontOptions opts;
+  opts.admin_token = "sekrit";
+  net::ServingFront front(engine, registry, opts);
+  ASSERT_TRUE(front.start().is_ok());
+  TestClient client(front.port());
+
+  // A client-chosen id is echoed in the response header and keys the
+  // retained trace; X-MFTI-Trace: 1 opts into the timings block.
+  auto traced = client.request("POST", "/v1/eval", eval_body("m", 8),
+                               {{"X-Request-Id", "client-abc"},
+                                {"X-MFTI-Trace", "1"}});
+  ASSERT_TRUE(traced.has_value()) << traced.status().to_string();
+  ASSERT_EQ(traced->status, 200) << traced->body;
+  EXPECT_EQ(traced->header("x-request-id"), "client-abc");
+  auto parsed = net::parse_json(traced->body);
+  ASSERT_TRUE(parsed.has_value());
+  const net::Json* timings = parsed->find("timings");
+  ASSERT_NE(timings, nullptr) << traced->body;
+  EXPECT_EQ(timings->find("id")->as_string(), "client-abc");
+  const net::Json* stages = timings->find("stages");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_NE(stages->find("queue"), nullptr);
+  ASSERT_NE(stages->find("lookup"), nullptr);
+  ASSERT_NE(stages->find("factorize"), nullptr);
+  ASSERT_NE(stages->find("solve"), nullptr);
+  EXPECT_EQ(stages->find("factorize")->find("count")->as_number(), 8.0);
+  EXPECT_GE(stages->find("solve")->find("seconds")->as_number(), 0.0);
+
+  // Without the opt-in header there is no timings block, but the request
+  // is still traced (a generated id comes back when the client sent none).
+  auto plain = client.request("POST", "/v1/eval", eval_body("m", 2));
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_EQ(plain->status, 200);
+  EXPECT_EQ(net::parse_json(plain->body)->find("timings"), nullptr);
+  const std::string generated(plain->header("x-request-id"));
+  EXPECT_EQ(generated.rfind("req-", 0), 0u) << generated;
+
+  // The admin ring lists both traces, newest first, with per-span
+  // breakdowns on one timeline.
+  auto listing = client.request("GET", "/v1/admin/trace", "",
+                                {{"X-Admin-Token", "sekrit"}});
+  ASSERT_TRUE(listing.has_value());
+  ASSERT_EQ(listing->status, 200) << listing->body;
+  auto ring = net::parse_json(listing->body);
+  ASSERT_TRUE(ring.has_value());
+  EXPECT_TRUE(ring->find("enabled")->as_bool());
+  const net::Json* recent = ring->find("recent");
+  ASSERT_NE(recent, nullptr);
+  ASSERT_GE(recent->size(), 2u);
+  EXPECT_EQ(recent->at(0).find("id")->as_string(), generated);
+  const net::Json* ours = nullptr;
+  for (const net::Json& entry : recent->items()) {
+    if (entry.find("id")->as_string() == "client-abc") ours = &entry;
+  }
+  ASSERT_NE(ours, nullptr);
+  EXPECT_EQ(ours->find("endpoint")->as_string(), "eval");
+  EXPECT_EQ(ours->find("status")->as_number(), 200.0);
+  const net::Json* spans = ours->find("spans");
+  ASSERT_NE(spans, nullptr);
+  bool saw_queue = false;
+  bool saw_solve = false;
+  for (const net::Json& span : spans->items()) {
+    const std::string& stage = span.find("stage")->as_string();
+    if (stage == "queue") {
+      saw_queue = true;
+      // The queue span anchors the timeline at offset zero.
+      EXPECT_EQ(span.find("start_seconds")->as_number(), 0.0);
+    }
+    if (stage == "solve") saw_solve = true;
+    EXPECT_GE(span.find("seconds")->as_number(), 0.0);
+  }
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_solve);
+
+  // The stage histograms made it to /metrics.
+  auto metrics = client.request("GET", "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  ASSERT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("mfti_stage_seconds_bucket{stage=\"queue\""),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("mfti_stage_seconds_bucket{stage=\"solve\""),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("mfti_build_info{version="),
+            std::string::npos);
+}
+
+TEST(ServingFront, TraceAdminEndpointIsTokenGated) {
+  serving::ModelRegistry registry;
+  serving::ServingEngine engine(registry);
+  {
+    // No token configured: the endpoint is disabled outright.
+    net::ServingFront front(engine, registry, {});
+    ASSERT_TRUE(front.start().is_ok());
+    TestClient client(front.port());
+    auto response = client.request("GET", "/v1/admin/trace");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 403);
+  }
+  net::ServingFrontOptions opts;
+  opts.admin_token = "sekrit";
+  net::ServingFront front(engine, registry, opts);
+  ASSERT_TRUE(front.start().is_ok());
+  TestClient client(front.port());
+  auto wrong = client.request("GET", "/v1/admin/trace", "",
+                              {{"X-Admin-Token", "nope"}});
+  ASSERT_TRUE(wrong.has_value());
+  EXPECT_EQ(wrong->status, 401);
+  auto right = client.request("GET", "/v1/admin/trace", "",
+                              {{"X-Admin-Token", "sekrit"}});
+  ASSERT_TRUE(right.has_value());
+  EXPECT_EQ(right->status, 200);
+}
+
+TEST(ServingFront, TracingDisabledStillEchoesIdsAtZeroCost) {
+  serving::ModelRegistry registry;
+  registry.publish("m", make_snapshot(16, 2, 22));
+  serving::ServingEngine engine(registry);
+  net::ServingFrontOptions opts;
+  opts.admin_token = "sekrit";
+  opts.trace.enabled = false;
+  net::ServingFront front(engine, registry, opts);
+  ASSERT_TRUE(front.start().is_ok());
+  TestClient client(front.port());
+
+  // A client id is still echoed (operators correlate logs either way),
+  // but nothing is recorded: no timings block even when asked for one.
+  auto traced = client.request("POST", "/v1/eval", eval_body("m", 4),
+                               {{"X-Request-Id", "quiet"},
+                                {"X-MFTI-Trace", "1"}});
+  ASSERT_TRUE(traced.has_value());
+  ASSERT_EQ(traced->status, 200);
+  EXPECT_EQ(traced->header("x-request-id"), "quiet");
+  EXPECT_EQ(net::parse_json(traced->body)->find("timings"), nullptr);
+
+  // Without a client id there is nothing to echo.
+  auto anonymous = client.request("POST", "/v1/eval", eval_body("m", 2));
+  ASSERT_TRUE(anonymous.has_value());
+  ASSERT_EQ(anonymous->status, 200);
+  EXPECT_TRUE(anonymous->header("x-request-id").empty());
+
+  // The ring stays empty and says so.
+  EXPECT_EQ(front.traces().traces_finished(), 0u);
+  auto listing = client.request("GET", "/v1/admin/trace", "",
+                                {{"X-Admin-Token", "sekrit"}});
+  ASSERT_TRUE(listing.has_value());
+  ASSERT_EQ(listing->status, 200);
+  auto ring = net::parse_json(listing->body);
+  ASSERT_TRUE(ring.has_value());
+  EXPECT_FALSE(ring->find("enabled")->as_bool());
+  EXPECT_EQ(ring->find("recent")->size(), 0u);
+
+  // No stage observations leak into /metrics.
+  auto metrics = client.request("GET", "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_NE(metrics->body.find(
+                "mfti_stage_seconds_count{stage=\"solve\"} 0"),
+            std::string::npos);
 }

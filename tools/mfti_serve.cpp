@@ -5,8 +5,9 @@
 ///
 ///   mfti_serve --dir fleet/ [--port 8080] [--port-file port.txt]
 ///
-/// Configuration beyond the flags comes from the `MFTI_HTTP_*` (front) and
-/// `MFTI_CACHE_*` (engine cache economics) environment knobs (see
+/// Configuration beyond the flags comes from the `MFTI_HTTP_*` (front),
+/// `MFTI_CACHE_*` (engine cache economics) and `MFTI_TRACE_*` (request
+/// tracing, docs/observability.md) environment knobs (see
 /// docs/serving-protocol.md and docs/operations.md). `--port 0` binds an
 /// ephemeral port; `--port-file` writes the resolved port for launchers
 /// that need to discover it (the CI loopback job does). SIGTERM/SIGINT
@@ -22,6 +23,7 @@
 #include <thread>
 
 #include "net/net.hpp"
+#include "obs/build_info.hpp"
 #include "serving/serving.hpp"
 
 namespace {
@@ -89,9 +91,21 @@ int main(int argc, char** argv) {
                  started.to_string().c_str());
     return 1;
   }
+  const mfti::obs::BuildInfo build = mfti::obs::build_info();
   std::fprintf(stderr,
-               "mfti_serve: serving %zu model(s) from '%s' on port %d\n",
-               (*registry)->list().size(), dir.c_str(), front.port());
+               "mfti_serve: serving %zu model(s) from '%s' on port %d "
+               "(version %s, %s, simd %s)\n",
+               (*registry)->list().size(), dir.c_str(), front.port(),
+               build.version.c_str(), build.compiler.c_str(),
+               build.simd.c_str());
+  if (opts.trace.enabled) {
+    std::fprintf(stderr,
+                 "mfti_serve: request tracing on (ring %zu, slow >= %g ms; "
+                 "MFTI_TRACE=0 disables)\n",
+                 opts.trace.ring_capacity, opts.trace.slow_threshold_ms);
+  } else {
+    std::fprintf(stderr, "mfti_serve: request tracing off (MFTI_TRACE=0)\n");
+  }
   if (!port_file.empty()) {
     std::FILE* f = std::fopen(port_file.c_str(), "w");
     if (f == nullptr) {
